@@ -1,0 +1,21 @@
+"""Shared benchmark configuration.
+
+Each ``test_*`` module regenerates one table or figure from the paper's
+evaluation.  The experiment drivers are deterministic and memoized, so a
+single execution per experiment suffices: the heavyweight benchmarks use
+``benchmark.pedantic(..., rounds=1)`` and print the paper-style report
+(run pytest with ``-s`` to see the tables).
+"""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run ``fn`` exactly once under the benchmark timer."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1, warmup_rounds=0)
+
+    return runner

@@ -1,0 +1,134 @@
+"""Ablations of the paper's individual optimizations (Section 4.1).
+
+The paper motivates each optimization qualitatively; these benchmarks
+quantify them one at a time on registry stand-ins, holding everything
+else at the default configuration:
+
+- flag-based vertex pruning,
+- threshold scaling (the *medium* variant disables it),
+- the 0.8 aggregation tolerance (the *heavy* variant disables it),
+- and the incremental (dynamic) update strategies built on top.
+"""
+
+import pytest
+
+from repro.bench.harness import paper_scale, run_leiden_config
+from repro.baselines.registry import IMPLEMENTATIONS
+from repro.core.config import LeidenConfig
+from repro.core.leiden import leiden
+from repro.datasets.registry import load_graph
+from repro.dynamic import dynamic_leiden
+from repro.dynamic.batch import random_batch
+from repro.metrics.modularity import modularity
+
+GRAPHS = ["uk-2002", "asia_osm", "com-Orkut"]
+
+
+def _modeled(graph_name, cfg):
+    result, _ = run_leiden_config(graph_name, cfg)
+    return IMPLEMENTATIONS["gve"].modeled_seconds(
+        result, scale=paper_scale(graph_name)
+    ), result
+
+
+def test_ablation_vertex_pruning(once):
+    """Pruning cuts local-moving work without hurting quality."""
+
+    def run():
+        out = {}
+        for g in GRAPHS:
+            t_on, r_on = _modeled(g, LeidenConfig())
+            t_off, r_off = _modeled(g, LeidenConfig(vertex_pruning=False))
+            out[g] = (t_on, t_off,
+                      modularity(load_graph(g), r_on.membership),
+                      modularity(load_graph(g), r_off.membership))
+        return out
+
+    out = once(run)
+    print("\nAblation: flag-based vertex pruning")
+    print(f"{'graph':<12} {'with [s]':>10} {'without [s]':>12} "
+          f"{'Q with':>8} {'Q without':>10}")
+    for g, (t_on, t_off, q_on, q_off) in out.items():
+        print(f"{g:<12} {t_on:10.2f} {t_off:12.2f} {q_on:8.4f} {q_off:10.4f}")
+        assert t_on < t_off, g          # pruning saves work
+        assert q_on > q_off - 0.02, g   # at no quality cost
+
+
+def test_ablation_threshold_scaling(once):
+    """Threshold scaling (vs a strict fixed tolerance) saves early-pass
+    iterations at negligible quality cost."""
+
+    def run():
+        out = {}
+        for g in GRAPHS:
+            t_on, r_on = _modeled(g, LeidenConfig())
+            t_off, r_off = _modeled(g, LeidenConfig(threshold_scaling=False))
+            out[g] = (t_on, t_off,
+                      modularity(load_graph(g), r_on.membership),
+                      modularity(load_graph(g), r_off.membership))
+        return out
+
+    out = once(run)
+    print("\nAblation: threshold scaling")
+    for g, (t_on, t_off, q_on, q_off) in out.items():
+        print(f"{g:<12} with {t_on:8.2f}s  without {t_off:8.2f}s  "
+              f"Q {q_on:.4f} vs {q_off:.4f}")
+        assert t_on <= t_off * 1.05, g
+        assert q_on > q_off - 0.02, g
+
+
+def test_ablation_aggregation_tolerance(once):
+    """The 0.8 aggregation tolerance prevents minimal-utility passes."""
+
+    def run():
+        out = {}
+        for g in GRAPHS:
+            _, r_on = _modeled(g, LeidenConfig())
+            _, r_off = _modeled(g, LeidenConfig(aggregation_tolerance=None))
+            out[g] = (r_on.num_passes, r_off.num_passes,
+                      r_on.ledger.total_work, r_off.ledger.total_work)
+        return out
+
+    out = once(run)
+    print("\nAblation: aggregation tolerance 0.8")
+    any_saved = False
+    for g, (p_on, p_off, w_on, w_off) in out.items():
+        print(f"{g:<12} passes {p_on} vs {p_off}, work {w_on:.3g} vs {w_off:.3g}")
+        assert p_on <= p_off, g
+        any_saved |= w_on < w_off
+    assert any_saved  # the tolerance pays for itself somewhere
+
+
+def test_ablation_dynamic_strategies(once):
+    """Incremental updates: frontier < delta-screening < naive < scratch
+    in work, at comparable quality."""
+    graph = load_graph("uk-2002")
+
+    def run():
+        base = leiden(graph, LeidenConfig(seed=3))
+        batch = random_batch(graph, num_insertions=200, num_deletions=200,
+                             seed=5)
+        rows = {}
+        for approach in ("frontier", "delta-screening", "naive"):
+            dyn = dynamic_leiden(graph, base.membership, batch,
+                                 LeidenConfig(seed=3), approach=approach)
+            rows[approach] = (dyn.result.ledger.total_work,
+                              modularity(dyn.graph, dyn.membership),
+                              dyn.affected_fraction)
+        static = leiden(dyn.graph, LeidenConfig(seed=3))
+        rows["static rerun"] = (static.ledger.total_work,
+                                modularity(dyn.graph, static.membership),
+                                1.0)
+        return rows
+
+    rows = once(run)
+    print("\nAblation: dynamic update strategies (uk-2002, ±200 edges)")
+    print(f"{'approach':<16} {'work units':>12} {'Q':>8} {'affected':>9}")
+    for name, (work, q, frac) in rows.items():
+        print(f"{name:<16} {work:12.3g} {q:8.4f} {frac:9.3f}")
+
+    q_static = rows["static rerun"][1]
+    for approach in ("frontier", "delta-screening", "naive"):
+        assert rows[approach][1] > q_static - 0.02, approach
+    assert rows["frontier"][0] < rows["naive"][0]
+    assert rows["frontier"][0] < rows["static rerun"][0]

@@ -1,0 +1,47 @@
+"""Extension experiments as asserted benchmarks.
+
+Louvain-vs-Leiden quantifies the refinement phase's cost/benefit; the
+dynamic-update experiment (strategy sweep over batch sizes) complements
+the single-batch ablation in ``test_ablations.py``.
+"""
+
+from repro.bench.experiments import ext_dynamic_update, ext_louvain_vs_leiden
+
+
+def test_louvain_vs_leiden(once):
+    result = once(ext_louvain_vs_leiden.run)
+    print()
+    print(ext_louvain_vs_leiden.report(result))
+
+    # Refinement costs extra runtime (paper: ~19% of GVE-Leiden's time is
+    # the refinement phase, plus the extra passes its bounds induce).
+    overhead = result.refinement_overhead()
+    assert 1.0 < overhead < 3.0
+
+    # Quality parity or better: Leiden never loses meaningfully.
+    assert result.mean_quality_gap() > -0.005
+    for g in result.quality["leiden"]:
+        assert result.quality["leiden"][g] > \
+            result.quality["louvain"][g] - 0.01, g
+
+    # Leiden's structural guarantee holds on every graph.
+    assert all(v == 0 for v in result.disconnected["leiden"].values())
+
+
+def test_dynamic_update_sweep(once):
+    result = once(lambda: ext_dynamic_update.run("uk-2002", (50, 400)))
+    print()
+    print(ext_dynamic_update.report(result))
+
+    for size, row in result.outcomes.items():
+        # frontier touches the fewest vertices and does the least work
+        assert row["frontier"][2] < row["naive"][2]
+        assert row["frontier"][0] <= row["naive"][0] * 1.05
+        # all approaches match from-scratch quality
+        for approach, (ratio, gap, _) in row.items():
+            assert gap > -0.02, (size, approach)
+            assert ratio < 1.1, (size, approach)
+
+    # the frontier grows with batch size
+    fracs = [result.outcomes[s]["frontier"][2] for s in (50, 400)]
+    assert fracs[0] < fracs[1]

@@ -1,0 +1,30 @@
+"""Figures 1-2: greedy vs random refinement with medium/heavy variants.
+
+Paper: greedy performs best on average in both runtime and modularity;
+medium/heavy variants do not pay off.
+"""
+
+from repro.bench.experiments import fig1_fig2_refinement
+
+
+def test_fig1_fig2_refinement(once):
+    result = once(fig1_fig2_refinement.run)
+    print()
+    print(fig1_fig2_refinement.report(result))
+
+    base = result.outcomes["greedy-default"]
+
+    # Figure 1: greedy-default is the fastest configuration on average.
+    for name, outcome in result.outcomes.items():
+        rel = outcome.mean_relative_runtime(base)
+        assert rel >= 0.95, (name, rel)
+
+    # The heavier variants do more work than their default counterpart.
+    for refinement in ("greedy", "random"):
+        default = result.outcomes[f"{refinement}-default"]
+        heavy = result.outcomes[f"{refinement}-heavy"]
+        assert heavy.mean_relative_runtime(default) > 1.0
+
+    # Figure 2: greedy quality is at least random's (within noise).
+    assert base.mean_quality() >= \
+        result.outcomes["random-default"].mean_quality() - 0.01

@@ -1,0 +1,22 @@
+"""Figures 3-4: move-based vs refine-based super-vertex labels.
+
+Paper: both variants have roughly the same runtime and modularity on
+average; move-based (Traag et al.'s recommendation) is the default.
+"""
+
+from repro.bench.experiments import fig3_fig4_supervertex
+
+
+def test_fig3_fig4_supervertex(once):
+    result = once(fig3_fig4_supervertex.run)
+    print()
+    print(fig3_fig4_supervertex.report(result))
+
+    # Figure 3: relative runtime within ~25% of each other on average.
+    rel = result.mean_relative_runtime("refine")
+    assert 0.75 < rel < 1.35, rel
+
+    # Figure 4: modularity essentially equal.
+    qm = result.mean_quality("move")
+    qr = result.mean_quality("refine")
+    assert abs(qm - qr) < 0.02, (qm, qr)

@@ -1,0 +1,23 @@
+"""Figure 8: runtime / |E| factor per graph.
+
+Paper: road networks, protein k-mer graphs (low average degree) and the
+poorly-clustered social networks show the highest per-edge cost.
+"""
+
+from repro.bench.experiments import fig8_rate
+
+
+def test_fig8_rate(once):
+    result = once(fig8_rate.run)
+    print()
+    print(fig8_rate.report(result))
+
+    fam = result.family_means()
+    # Low-degree families cost more per edge than the web crawls.
+    assert fam["road"] > fam["web"]
+    assert fam["kmer"] > fam["web"]
+
+    # The per-edge factor spreads by an order of magnitude across the
+    # dataset (visible as the spiky Figure 8 profile).
+    rates = list(result.seconds_per_edge.values())
+    assert max(rates) / min(rates) > 3

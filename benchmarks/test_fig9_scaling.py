@@ -1,0 +1,30 @@
+"""Figure 9: strong scaling of GVE-Leiden, 1 to 64 threads.
+
+Paper: 11.4x mean speedup at 32 threads (~1.6x per thread doubling) and
+16.0x at 64 threads, limited by NUMA effects.
+"""
+
+from repro.bench.experiments import fig9_scaling
+
+
+def test_fig9_scaling(once):
+    result = once(fig9_scaling.run)
+    print()
+    print(fig9_scaling.report(result))
+
+    mean = result.mean_speedups()
+    # Monotone increasing in threads.
+    ordered = [mean[t] for t in (1, 2, 4, 8, 16, 32, 64)]
+    assert all(a < b for a, b in zip(ordered, ordered[1:]))
+
+    # Magnitudes near the paper's anchors.
+    assert 6.0 < mean[32] < 16.0     # paper: 11.4x
+    assert 8.0 < mean[64] < 24.0     # paper: 16.0x
+    assert mean[64] < 32             # far from linear: NUMA + SMT
+
+    # ~1.6x per doubling up to 32 threads.
+    per_doubling = result.mean_speedup_per_doubling()
+    assert 1.35 < per_doubling < 1.8
+
+    # The knee: the 32->64 gain is much smaller than the 2->4 gain.
+    assert mean[64] / mean[32] < mean[4] / mean[2]

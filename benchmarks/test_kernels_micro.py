@@ -1,0 +1,95 @@
+"""Micro-benchmarks for the hot kernels (pytest-benchmark, repeated).
+
+These measure the real Python-level throughput of the phase kernels and
+substrates on a mid-size graph — useful for tracking regressions in the
+vectorized implementations.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.aggregate import aggregate_batch
+from repro.core.local_move import local_move_batch
+from repro.core.refine import refine_batch
+from repro.datasets.sbm import planted_partition
+from repro.metrics.connectivity import connected_components
+from repro.metrics.partition import renumber_membership
+from repro.parallel.coloring import color_graph
+from repro.parallel.hashtable import CollisionFreeHashtable
+from repro.parallel.runtime import Runtime
+from repro.parallel.scan import exclusive_scan
+from repro.types import VERTEX_DTYPE
+
+
+@pytest.fixture(scope="module")
+def graph():
+    g, _ = planted_partition(40, 100, intra_degree=10, inter_degree=3,
+                             seed=0)
+    return g
+
+
+def test_local_move_iteration(benchmark, graph):
+    def run():
+        n = graph.num_vertices
+        C = np.arange(n, dtype=VERTEX_DTYPE)
+        K = graph.vertex_weights().copy()
+        S = K.copy()
+        return local_move_batch(graph, C, K, S, 0.01, runtime=Runtime(),
+                                max_iterations=3)
+
+    iters, _ = benchmark(run)
+    assert iters >= 1
+
+
+def test_refine_sweep(benchmark, graph):
+    n = graph.num_vertices
+    CB = np.zeros(n, dtype=VERTEX_DTYPE)
+
+    def run():
+        C = np.arange(n, dtype=VERTEX_DTYPE)
+        K = graph.vertex_weights().copy()
+        S = K.copy()
+        return refine_batch(graph, CB, C, K, S, runtime=Runtime())
+
+    moves = benchmark(run)
+    assert moves > 0
+
+
+def test_aggregate(benchmark, graph):
+    rng = np.random.default_rng(0)
+    C, ids = renumber_membership(rng.integers(0, 40, graph.num_vertices))
+
+    def run():
+        return aggregate_batch(graph, C, len(ids), runtime=Runtime())
+
+    sup = benchmark(run)
+    assert sup.num_vertices == len(ids)
+
+
+def test_coloring(benchmark, graph):
+    colors = benchmark(color_graph, graph)
+    assert colors.max() >= 1
+
+
+def test_connected_components(benchmark, graph):
+    labels = benchmark(connected_components, graph)
+    assert labels.shape[0] == graph.num_vertices
+
+
+def test_exclusive_scan_1m(benchmark):
+    values = np.ones(1_000_000, dtype=np.int64)
+    out = benchmark(exclusive_scan, values)
+    assert out[-1] == 999_999
+
+
+def test_hashtable_accumulate(benchmark):
+    keys = np.random.default_rng(0).integers(0, 1000, 10000)
+    weights = np.ones(10000)
+
+    def run():
+        h = CollisionFreeHashtable(1000)
+        h.accumulate_many(keys, weights)
+        return len(h)
+
+    count = benchmark(run)
+    assert count <= 1000

@@ -1,0 +1,27 @@
+"""Table 2: dataset statistics and GVE-Leiden community counts."""
+
+from repro.bench.experiments import table2_datasets
+
+
+def test_table2_datasets(once):
+    rows = once(table2_datasets.run)
+    print()
+    print(table2_datasets.report(rows))
+
+    assert len(rows) == 13
+    by_name = {r.name: r for r in rows}
+
+    # Degree profiles track the paper's (Table 2 Davg column).
+    for r in rows:
+        assert r.avg_degree == r.avg_degree  # not NaN
+        if r.family in ("road", "kmer"):
+            assert 1.8 <= r.avg_degree <= 2.6
+
+    # Community-structure shapes: Orkut has by far the fewest
+    # communities; webbase the most among the web crawls.
+    assert by_name["com-Orkut"].num_communities == min(
+        r.num_communities for r in rows
+    )
+    web = [r for r in rows if r.family == "web"]
+    assert max(w.num_communities for w in web) == \
+        by_name["webbase-2001"].num_communities

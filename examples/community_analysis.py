@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Inspecting a partition: structure summaries and seed stability.
+
+Detecting communities is step one; deciding whether to *trust* them is
+step two.  This example runs GVE-Leiden on a scale-free
+(Barabási-Albert) graph and a planted-partition graph, then uses the
+analysis utilities to compare: per-community density and conductance,
+partition coverage, and how stable the result is across random seeds.
+
+Run with:  python examples/community_analysis.py
+"""
+
+from repro import LeidenConfig, leiden
+from repro.datasets import barabasi_albert_graph, planted_partition
+from repro.metrics import seed_stability, summarize_partition
+
+#: Randomized refinement makes the seed matter (the greedy default is
+#: nearly deterministic), which is what a stability probe should vary.
+STABILITY_CONFIG = LeidenConfig(refinement="random")
+
+
+def analyze(name, graph):
+    result = leiden(graph)
+    summary = summarize_partition(graph, result.membership)
+    stability = seed_stability(graph, STABILITY_CONFIG, seeds=(1, 2, 3, 4))
+
+    print(f"=== {name}: {graph.num_vertices} vertices, "
+          f"{graph.num_edges} edges")
+    print(f"communities: {summary.num_communities}   "
+          f"Q = {summary.modularity:.4f}   "
+          f"coverage = {summary.coverage:.3f}")
+    pct = summary.size_percentiles()
+    print("sizes (min/median/max): "
+          f"{pct[0]:.0f} / {pct[50]:.0f} / {pct[100]:.0f}")
+    print("weakest communities (highest conductance):")
+    for c in summary.worst_conductance(3):
+        print(f"  id {c.community_id}: size {c.size}, "
+              f"density {c.internal_density:.3f}, "
+              f"conductance {c.conductance:.3f}")
+    print(f"seed stability (mean pairwise NMI over 4 seeds): "
+          f"{stability.mean_similarity:.3f}\n")
+    return stability
+
+
+def main() -> None:
+    planted, _ = planted_partition(8, 60, intra_degree=12, inter_degree=2,
+                                   seed=5)
+    s_planted = analyze("planted partition", planted)
+
+    scale_free = barabasi_albert_graph(600, 3, seed=5)
+    s_ba = analyze("Barabási-Albert (no planted structure)", scale_free)
+
+    print("Interpretation: the planted graph's partition is near-perfectly "
+          "reproducible\nacross seeds; the scale-free graph has no ground "
+          "truth, so its (weaker)\ncommunities vary more "
+          f"({s_planted.mean_similarity:.3f} vs "
+          f"{s_ba.mean_similarity:.3f}).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+#!/usr/bin/env python
+"""Head-to-head: GVE-Leiden vs the four competing implementations.
+
+Runs every implementation the paper benchmarks (original Leiden, igraph,
+NetworKit, cuGraph-on-A100-model) on two registry stand-ins and prints a
+miniature Figure 6: modelled runtime at paper scale, modularity, and the
+fraction of internally-disconnected communities — including cuGraph's
+out-of-memory failure on a billion-edge web crawl.
+
+Run with:  python examples/compare_implementations.py
+"""
+
+from repro.baselines import IMPLEMENTATIONS
+from repro.bench.harness import run_once
+from repro.datasets import graph_spec
+
+GRAPHS = ["com-LiveJournal", "asia_osm", "sk-2005"]
+
+
+def main() -> None:
+    for graph_name in GRAPHS:
+        spec = graph_spec(graph_name)
+        print(f"=== {graph_name} (paper scale: {spec.paper_edges:.3g} edges)")
+        header = (f"{'implementation':<18} {'modelled s':>11} {'Q':>8} "
+                  f"{'disconnected':>13}")
+        print(header)
+        print("-" * len(header))
+        for name, impl in IMPLEMENTATIONS.items():
+            rec = run_once(name, graph_name, seed=42)
+            if not rec.ok:
+                print(f"{impl.display_name:<18} {rec.failure}")
+                continue
+            print(f"{impl.display_name:<18} {rec.modeled_seconds:11.2f} "
+                  f"{rec.modularity:8.4f} {rec.disconnected_fraction:13.2e}")
+        print()
+
+    print("Paper reference (Figure 6): GVE-Leiden is fastest everywhere; "
+          "NetworKit loses quality on road networks; cuGraph runs out of "
+          "device memory on the largest web crawls; only GVE/original/"
+          "igraph guarantee zero disconnected communities.")
+
+
+if __name__ == "__main__":
+    main()

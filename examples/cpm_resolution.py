@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""CPM vs modularity: escaping the resolution limit.
+
+Modularity maximization cannot resolve communities below a scale set by
+the total edge count (the *resolution limit* — the paper's Section 2
+points to the Constant Potts Model as the fix).  This example builds a
+ring of many small cliques: modularity merges adjacent cliques once the
+ring gets long enough, while CPM at a suitable γ keeps every clique
+separate regardless of ring length.
+
+Run with:  python examples/cpm_resolution.py
+"""
+
+from repro import GraphBuilder, LeidenConfig, leiden
+from repro.metrics import cpm_quality, modularity
+
+
+def ring_of_cliques(num_cliques: int, clique_size: int):
+    b = GraphBuilder()
+    n = num_cliques * clique_size
+    for c in range(num_cliques):
+        base = c * clique_size
+        for i in range(clique_size):
+            for j in range(i + 1, clique_size):
+                b.add_edge(base + i, base + j)
+        b.add_edge(base, (base + clique_size) % n)
+    return b.build()
+
+
+def main() -> None:
+    clique_size = 5
+    print(f"{'ring size':>10} {'modularity comms':>17} {'CPM comms':>10} "
+          f"(cliques of {clique_size})")
+    for num_cliques in (8, 16, 32, 64, 128):
+        graph = ring_of_cliques(num_cliques, clique_size)
+        mod = leiden(graph, LeidenConfig(seed=1))
+        cpm = leiden(graph, LeidenConfig(quality="cpm", resolution=0.5,
+                                         seed=1))
+        marker = "  <- resolution limit" if \
+            mod.num_communities < num_cliques else ""
+        print(f"{num_cliques:10d} {mod.num_communities:17d} "
+              f"{cpm.num_communities:10d}{marker}")
+
+    graph = ring_of_cliques(64, clique_size)
+    cpm = leiden(graph, LeidenConfig(quality="cpm", resolution=0.5, seed=1))
+    print(f"\nCPM objective on the 64-ring: "
+          f"H/m = {cpm_quality(graph, cpm.membership, resolution=0.5):.4f}")
+    print(f"modularity of the same partition: "
+          f"Q = {modularity(graph, cpm.membership):.4f}")
+    print("\nCPM's γ sets an absolute intra-density threshold, so the "
+          "detected scale\ndoes not drift with graph size — the property "
+          "Traag et al. (2011) prove.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Incremental community detection on an evolving graph.
+
+Simulates a stream of edge batches over a social-like network and keeps
+the communities up to date with the dynamic-frontier strategy — the
+extension the paper anticipates for dynamic graphs — comparing each
+update's work against re-running from scratch.
+
+Run with:  python examples/dynamic_updates.py
+"""
+
+from repro import LeidenConfig, leiden, modularity
+from repro.datasets import stochastic_block_model
+from repro.dynamic import dynamic_leiden
+from repro.dynamic.batch import random_batch
+
+
+def main() -> None:
+    graph, _ = stochastic_block_model([120] * 8, intra_degree=12,
+                                      mixing=0.25, seed=11)
+    cfg = LeidenConfig(seed=11)
+    base = leiden(graph, cfg)
+    print(f"initial graph: {graph.num_vertices} vertices, "
+          f"{graph.num_edges} edges -> {base.num_communities} communities "
+          f"(Q={modularity(graph, base.membership):.4f})\n")
+
+    membership = base.membership
+    print(f"{'step':>4} {'batch':>12} {'affected':>9} {'comms':>6} "
+          f"{'Q':>8} {'work vs scratch':>16}")
+    for step in range(1, 6):
+        batch = random_batch(graph, num_insertions=60, num_deletions=60,
+                             seed=100 + step)
+        dyn = dynamic_leiden(graph, membership, batch, cfg,
+                             approach="frontier")
+        scratch = leiden(dyn.graph, cfg)
+        ratio = dyn.result.ledger.total_work / scratch.ledger.total_work
+        q = modularity(dyn.graph, dyn.membership)
+        print(f"{step:4d} {'+60/-60':>12} {dyn.affected_fraction:9.3f} "
+              f"{dyn.num_communities:6d} {q:8.4f} {ratio:15.2%}")
+        graph, membership = dyn.graph, dyn.membership
+
+    print("\nThe dynamic-frontier update reconsiders only the endpoints of "
+          "changed edges;\nthe pruning flags grow the frontier on demand, "
+          "so each update costs a fraction\nof a from-scratch run at "
+          "matching quality.")
+
+
+if __name__ == "__main__":
+    main()

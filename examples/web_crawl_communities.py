@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Community detection on a web-crawl-like graph, comparing variants.
+
+Generates an LFR-style graph with power-law degrees and planted
+communities (the structure of the paper's LAW web crawls), then compares
+the paper's algorithm variants — greedy vs randomized refinement, and the
+default/medium/heavy optimization ladder — on recovery quality and work.
+
+Run with:  python examples/web_crawl_communities.py
+"""
+
+from repro import LeidenConfig, leiden, modularity, normalized_mutual_information
+from repro.datasets import lfr_like_graph
+
+
+def main() -> None:
+    graph, planted = lfr_like_graph(
+        4000,
+        avg_degree=18.0,
+        mixing=0.15,
+        min_community=60,
+        seed=7,
+    )
+    print(f"LFR-like web graph: {graph.num_vertices} vertices, "
+          f"{graph.num_edges} edges, "
+          f"{len(set(planted.tolist()))} planted communities\n")
+
+    header = (f"{'variant':<18} {'Q':>8} {'NMI vs planted':>15} "
+              f"{'passes':>7} {'work units':>12}")
+    print(header)
+    print("-" * len(header))
+
+    for refinement in ("greedy", "random"):
+        for variant in ("default", "medium", "heavy"):
+            cfg = LeidenConfig.variant(variant, refinement=refinement, seed=1)
+            result = leiden(graph, cfg)
+            q = modularity(graph, result.membership)
+            nmi = normalized_mutual_information(result.membership, planted)
+            print(f"{refinement}-{variant:<11} {q:8.4f} {nmi:15.3f} "
+                  f"{result.num_passes:7d} "
+                  f"{result.ledger.total_work:12.3g}")
+
+    print("\nThe paper's finding (Figures 1-2): greedy-default does the "
+          "least work at equal-or-better quality; medium/heavy disable "
+          "threshold scaling / aggregation tolerance and pay for it.")
+
+
+if __name__ == "__main__":
+    main()

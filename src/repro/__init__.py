@@ -1,0 +1,87 @@
+"""GVE-Leiden: fast Leiden community detection — full Python reproduction.
+
+Reproduces Sahu, Kothapalli & Banerjee, *"Fast Leiden Algorithm for
+Community Detection in Shared Memory Setting"* (ICPP 2024): the
+GVE-Leiden algorithm with all of its optimizations, the graph and
+parallel-runtime substrates it runs on, faithful reimplementations of the
+four competing systems, the synthetic dataset registry, and a benchmark
+harness that regenerates every table and figure of the paper's
+evaluation.
+
+Quickstart::
+
+    from repro import GraphBuilder, leiden
+
+    graph = GraphBuilder().add_edges(
+        [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)]
+    ).build()
+    result = leiden(graph)
+    print(result.membership)        # community id per vertex
+
+See ``examples/`` for runnable scenarios and ``python -m repro.bench``
+for the full experiment suite.
+"""
+
+from repro._version import __version__
+from repro.core import Dendrogram, LeidenConfig, LeidenResult, PassStats, leiden, louvain
+from repro.errors import (
+    ConfigError,
+    ConvergenceError,
+    GraphFormatError,
+    GraphStructureError,
+    ReproError,
+    SimulatedOutOfMemory,
+)
+from repro.graph import (
+    AdjacencyGraph,
+    CSRGraph,
+    GraphBuilder,
+    build_csr_from_edges,
+    read_edgelist,
+    read_mtx,
+    write_edgelist,
+    write_mtx,
+)
+from repro.metrics import (
+    adjusted_rand_index,
+    disconnected_communities,
+    modularity,
+    normalized_mutual_information,
+)
+from repro.parallel import MachineModel, Runtime, Schedule
+
+__all__ = [
+    "__version__",
+    # core
+    "leiden",
+    "louvain",
+    "LeidenConfig",
+    "LeidenResult",
+    "PassStats",
+    "Dendrogram",
+    # graph
+    "CSRGraph",
+    "AdjacencyGraph",
+    "GraphBuilder",
+    "build_csr_from_edges",
+    "read_edgelist",
+    "write_edgelist",
+    "read_mtx",
+    "write_mtx",
+    # metrics
+    "modularity",
+    "disconnected_communities",
+    "normalized_mutual_information",
+    "adjusted_rand_index",
+    # parallel
+    "Runtime",
+    "Schedule",
+    "MachineModel",
+    # errors
+    "ReproError",
+    "GraphFormatError",
+    "GraphStructureError",
+    "ConfigError",
+    "ConvergenceError",
+    "SimulatedOutOfMemory",
+]

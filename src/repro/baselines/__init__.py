@@ -1,0 +1,45 @@
+"""Reimplementations of the competing Leiden implementations.
+
+The paper compares GVE-Leiden against four externally-developed systems.
+Each is reproduced here as a Python implementation of that system's
+*algorithmic signature* — the convergence policy, pruning style,
+refinement rule and execution model that determine how much work it does
+and what quality it reaches:
+
+- :mod:`repro.baselines.original_leiden` — Traag et al.'s libleidenalg:
+  sequential, randomized refinement, run to full convergence;
+- :mod:`repro.baselines.igraph_leiden` — igraph's sequential C
+  implementation, run until convergence;
+- :mod:`repro.baselines.networkit_leiden` — NetworKit's ParallelLeiden
+  (Nguyen): queue-based pruning with an unguarded parallel refinement,
+  which is what loses the connectivity guarantee;
+- :mod:`repro.baselines.cugraph_leiden` — cuGraph on a simulated A100:
+  bulk-synchronous moves, device-memory limits (OOM on the largest
+  graphs).
+
+Constant-factor efficiency differences (C++ vs CUDA vs our counting) live
+in :data:`repro.parallel.costmodel.IMPLEMENTATION_PROFILES`.
+"""
+
+from repro.baselines.registry import (
+    IMPLEMENTATIONS,
+    Implementation,
+    implementation_names,
+    get_implementation,
+)
+from repro.baselines.original_leiden import original_leiden
+from repro.baselines.igraph_leiden import igraph_leiden
+from repro.baselines.networkit_leiden import networkit_leiden
+from repro.baselines.cugraph_leiden import cugraph_leiden, A100_DEVICE
+
+__all__ = [
+    "IMPLEMENTATIONS",
+    "Implementation",
+    "implementation_names",
+    "get_implementation",
+    "original_leiden",
+    "igraph_leiden",
+    "networkit_leiden",
+    "cugraph_leiden",
+    "A100_DEVICE",
+]

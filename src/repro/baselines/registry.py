@@ -1,0 +1,128 @@
+"""Implementation registry: everything Figure 6 compares, by name."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from repro.baselines.cugraph_leiden import cugraph_leiden
+from repro.baselines.igraph_leiden import igraph_leiden
+from repro.baselines.networkit_leiden import networkit_leiden
+from repro.baselines.original_leiden import original_leiden
+from repro.core.config import LeidenConfig
+from repro.core.leiden import leiden
+from repro.core.result import LeidenResult
+from repro.datasets.registry import GraphSpec
+from repro.errors import ConfigError
+from repro.graph.csr import CSRGraph
+from repro.parallel.costmodel import (
+    GPU_MACHINE,
+    IMPLEMENTATION_PROFILES,
+    PAPER_MACHINE,
+    ImplementationProfile,
+    MachineModel,
+)
+from repro.parallel.runtime import Runtime
+
+__all__ = [
+    "Implementation",
+    "IMPLEMENTATIONS",
+    "implementation_names",
+    "get_implementation",
+]
+
+
+def _gve(graph: CSRGraph, *, seed: int = 42, runtime: Runtime | None = None,
+         spec: GraphSpec | None = None) -> LeidenResult:
+    rt = runtime or Runtime(num_threads=1, seed=seed)
+    return leiden(graph, LeidenConfig(seed=seed), runtime=rt)
+
+
+def _original(graph, *, seed=42, runtime=None, spec=None):
+    return original_leiden(graph, seed=seed, runtime=runtime)
+
+
+def _igraph(graph, *, seed=42, runtime=None, spec=None):
+    return igraph_leiden(graph, seed=seed, runtime=runtime)
+
+
+def _networkit(graph, *, seed=42, runtime=None, spec=None):
+    return networkit_leiden(graph, seed=seed, runtime=runtime)
+
+
+def _cugraph(graph, *, seed=42, runtime=None, spec=None):
+    return cugraph_leiden(graph, seed=seed, runtime=runtime, spec=spec)
+
+
+@dataclass(frozen=True)
+class Implementation:
+    """One comparable implementation: runner + cost/machine profile."""
+
+    name: str
+    display_name: str
+    run: Callable[..., LeidenResult]
+    profile: ImplementationProfile
+    machine: MachineModel
+    #: Threads the implementation uses on the modelled machine.
+    model_threads: int
+
+    def modeled_seconds(
+        self, result: LeidenResult, *, scale: float = 1.0
+    ) -> float:
+        """Modelled runtime of ``result`` for this implementation.
+
+        ``scale`` extrapolates the measured work to paper-scale inputs:
+        the registry stand-ins are ~1000x smaller than the SuiteSparse
+        originals, so per-region work is multiplied by the edge-count
+        ratio while per-region *fixed* costs (barriers) are not — exactly
+        how the same algorithm behaves on a 1000x larger graph.
+        """
+        sim = self.simulated(result, scale=scale)
+        return sim.seconds + self.profile.fixed_overhead_seconds
+
+    def simulated(self, result: LeidenResult, *, scale: float = 1.0):
+        """Full :class:`~repro.parallel.simthread.SimulatedTime` record."""
+        machine = self.profile.machine_for(self.machine)
+        return result.ledger.simulate(
+            machine, self.model_threads, work_scale=scale
+        )
+
+
+IMPLEMENTATIONS: Dict[str, Implementation] = {
+    impl.name: impl
+    for impl in [
+        Implementation(
+            "gve", "GVE-Leiden", _gve,
+            IMPLEMENTATION_PROFILES["gve"], PAPER_MACHINE, 64,
+        ),
+        Implementation(
+            "original", "Original Leiden", _original,
+            IMPLEMENTATION_PROFILES["original"], PAPER_MACHINE, 1,
+        ),
+        Implementation(
+            "igraph", "igraph Leiden", _igraph,
+            IMPLEMENTATION_PROFILES["igraph"], PAPER_MACHINE, 1,
+        ),
+        Implementation(
+            "networkit", "NetworKit Leiden", _networkit,
+            IMPLEMENTATION_PROFILES["networkit"], PAPER_MACHINE, 64,
+        ),
+        Implementation(
+            "cugraph", "cuGraph Leiden", _cugraph,
+            IMPLEMENTATION_PROFILES["cugraph"], GPU_MACHINE, 108,
+        ),
+    ]
+}
+
+
+def implementation_names() -> List[str]:
+    return list(IMPLEMENTATIONS)
+
+
+def get_implementation(name: str) -> Implementation:
+    try:
+        return IMPLEMENTATIONS[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown implementation {name!r}; known: {list(IMPLEMENTATIONS)}"
+        ) from None

@@ -1,0 +1,29 @@
+"""Benchmark harness: run matrices, instrumentation and table formatting.
+
+Each experiment module under :mod:`repro.bench.experiments` regenerates
+one table or figure of the paper's evaluation section and prints the same
+rows/series the paper reports.  ``python -m repro.bench`` runs them all.
+"""
+
+from repro.bench.timing import time_call, repeat_measure, Measurement
+from repro.bench.harness import RunRecord, run_once, run_matrix, paper_scale
+from repro.bench.tables import (
+    format_table,
+    format_series,
+    geometric_mean,
+    ratio_summary,
+)
+
+__all__ = [
+    "time_call",
+    "repeat_measure",
+    "Measurement",
+    "RunRecord",
+    "run_once",
+    "run_matrix",
+    "paper_scale",
+    "format_table",
+    "format_series",
+    "geometric_mean",
+    "ratio_summary",
+]

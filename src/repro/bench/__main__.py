@@ -1,0 +1,56 @@
+"""Run the evaluation: ``python -m repro.bench``.
+
+With no arguments, prints every experiment in paper order.  Positional
+arguments filter by label ("table 1", "figure 9", ...).  ``--output`` /
+``--json`` additionally write the consolidated report artifacts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.bench.experiments import ALL_EXPERIMENTS
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's tables and figures",
+    )
+    parser.add_argument("filters", nargs="*",
+                        help="only run experiments whose label matches")
+    parser.add_argument("--output", default=None,
+                        help="write a consolidated markdown report here")
+    parser.add_argument("--json", default=None, dest="json_path",
+                        help="write a JSON summary here")
+    parser.add_argument("--seed", type=int, default=42)
+    args = parser.parse_args(argv)
+
+    if args.output or args.json_path:
+        from repro.bench.report import generate_report, write_report
+
+        report = generate_report(seed=args.seed)
+        write_report(report, markdown_path=args.output,
+                     json_path=args.json_path)
+        for target in (args.output, args.json_path):
+            if target:
+                print(f"wrote {target}")
+        return 0
+
+    wanted = {f.lower() for f in args.filters}
+    for label, module in ALL_EXPERIMENTS:
+        if wanted and not any(w in label.lower() for w in wanted):
+            continue
+        print("=" * 72)
+        print(f"== {label} ({module.__name__.rsplit('.', 1)[-1]})")
+        print("=" * 72)
+        t0 = time.perf_counter()
+        module.main()
+        print(f"[{label} done in {time.perf_counter() - t0:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,156 @@
+"""Text-mode chart rendering for the figure reports.
+
+The paper's figures are bar charts (log-scale runtimes, modularity bars)
+and line plots (scaling curves).  With no plotting stack available, these
+helpers render the same shapes as unicode bar/line charts so the harness
+output is visually comparable to the paper at a glance.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Mapping, Sequence
+
+__all__ = ["bar_chart", "grouped_bar_chart", "line_chart"]
+
+_BLOCKS = " ▏▎▍▌▋▊▉█"
+
+
+def _bar(fraction: float, width: int) -> str:
+    """A horizontal bar filling ``fraction`` of ``width`` characters."""
+    fraction = min(max(fraction, 0.0), 1.0)
+    cells = fraction * width
+    full = int(cells)
+    rem = cells - full
+    bar = "█" * full
+    if full < width and rem > 0:
+        bar += _BLOCKS[int(rem * 8)]
+    return bar
+
+
+def bar_chart(
+    values: Mapping[str, float],
+    *,
+    width: int = 40,
+    log: bool = False,
+    fmt: str = "{:.4g}",
+    title: str | None = None,
+) -> str:
+    """Horizontal bar chart; ``log=True`` scales bars logarithmically."""
+    items = [(k, v) for k, v in values.items() if v is not None]
+    if not items:
+        return title or ""
+    label_w = max(len(str(k)) for k, _ in items)
+    vals = [v for _, v in items]
+    if log:
+        positive = [v for v in vals if v > 0]
+        lo = math.log10(min(positive)) if positive else 0.0
+        hi = math.log10(max(positive)) if positive else 1.0
+        span = (hi - lo) or 1.0
+
+        def frac(v):
+            return ((math.log10(v) - lo) / span * 0.9 + 0.1) if v > 0 else 0.0
+    else:
+        top = max(vals) or 1.0
+
+        def frac(v):
+            return v / top
+
+    lines = [title] if title else []
+    for k, v in items:
+        lines.append(
+            f"{str(k):<{label_w}} |{_bar(frac(v), width):<{width}}| "
+            + fmt.format(v)
+        )
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(
+    groups: Mapping[str, Mapping[str, float | None]],
+    *,
+    width: int = 40,
+    log: bool = False,
+    fmt: str = "{:.4g}",
+    missing: str = "(missing)",
+    title: str | None = None,
+) -> str:
+    """Bars grouped by outer key (one sub-bar per inner key).
+
+    ``None`` values render as ``missing`` — the paper's absent bars
+    (cuGraph's OOM entries).
+    """
+    all_vals = [
+        v for series in groups.values() for v in series.values()
+        if v is not None and (not log or v > 0)
+    ]
+    if not all_vals:
+        return title or ""
+    if log:
+        lo = math.log10(min(all_vals))
+        span = (math.log10(max(all_vals)) - lo) or 1.0
+
+        def frac(v):
+            return (math.log10(v) - lo) / span * 0.9 + 0.1 if v > 0 else 0.0
+    else:
+        top = max(all_vals)
+
+        def frac(v):
+            return v / top
+
+    label_w = max(
+        (len(str(k)) for series in groups.values() for k in series),
+        default=0,
+    )
+    lines = [title] if title else []
+    for group, series in groups.items():
+        lines.append(f"{group}:")
+        for k, v in series.items():
+            if v is None:
+                lines.append(f"  {str(k):<{label_w}} |{missing}")
+            else:
+                lines.append(
+                    f"  {str(k):<{label_w}} |{_bar(frac(v), width):<{width}}| "
+                    + fmt.format(v)
+                )
+    return "\n".join(lines)
+
+
+def line_chart(
+    series: Mapping[str, Dict[object, float]],
+    *,
+    width: int = 56,
+    height: int = 12,
+    title: str | None = None,
+) -> str:
+    """Multiple series as an ASCII scatter/line plot.
+
+    X positions come from each series' key order (assumed shared);
+    Y is linear from 0 to the max value.  Each series plots with its own
+    glyph; a legend follows.
+    """
+    glyphs = "ox+*#@%&"
+    names = list(series)
+    if not names:
+        return title or ""
+    xs = list(series[names[0]].keys())
+    top = max((v for s in series.values() for v in s.values()), default=1.0)
+    top = top or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for si, name in enumerate(names):
+        pts = series[name]
+        for xi, x in enumerate(xs):
+            if x not in pts:
+                continue
+            col = int(xi / max(len(xs) - 1, 1) * (width - 1))
+            row = height - 1 - int(pts[x] / top * (height - 1))
+            grid[row][col] = glyphs[si % len(glyphs)]
+    lines = [title] if title else []
+    lines.append(f"{top:.3g} ┐")
+    for row in grid:
+        lines.append("      │" + "".join(row))
+    lines.append("    0 └" + "─" * width)
+    lines.append("       " + "  ".join(str(x) for x in xs))
+    lines.append("legend: " + ", ".join(
+        f"{glyphs[i % len(glyphs)]}={n}" for i, n in enumerate(names)
+    ))
+    return "\n".join(lines)

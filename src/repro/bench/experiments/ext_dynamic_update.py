@@ -1,0 +1,82 @@
+"""Extension experiment: incremental updates vs from-scratch reruns.
+
+The dynamic-Leiden extension (anticipated by the paper's refine-based
+variant discussion): apply random edge batches of growing size to a
+registry graph and compare the work of the three update strategies with
+a static rerun, plus the quality each reaches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+from repro.bench.tables import format_table
+from repro.core.config import LeidenConfig
+from repro.core.leiden import leiden
+from repro.datasets.registry import load_graph
+from repro.dynamic import dynamic_leiden
+from repro.dynamic.batch import random_batch
+from repro.dynamic.strategies import APPROACHES
+from repro.metrics.modularity import modularity
+
+__all__ = ["DynamicUpdateResult", "run", "report", "main"]
+
+BATCH_SIZES = (50, 200, 800)
+
+
+@dataclass
+class DynamicUpdateResult:
+    graph_name: str
+    #: [batch_size][approach] -> (work_ratio_vs_scratch, quality_gap).
+    outcomes: Dict[int, Dict[str, tuple]]
+
+
+def run(
+    graph_name: str = "uk-2002",
+    batch_sizes: Sequence[int] = BATCH_SIZES,
+    *,
+    seed: int = 42,
+) -> DynamicUpdateResult:
+    graph = load_graph(graph_name)
+    cfg = LeidenConfig(seed=seed)
+    base = leiden(graph, cfg)
+    outcomes: Dict[int, Dict[str, tuple]] = {}
+    for size in batch_sizes:
+        batch = random_batch(graph, num_insertions=size,
+                             num_deletions=size, seed=seed + size)
+        row: Dict[str, tuple] = {}
+        scratch = None
+        for approach in APPROACHES:
+            dyn = dynamic_leiden(graph, base.membership, batch, cfg,
+                                 approach=approach)
+            if scratch is None:
+                scratch = leiden(dyn.graph, cfg)
+                q_scratch = modularity(dyn.graph, scratch.membership)
+            ratio = dyn.result.ledger.total_work / scratch.ledger.total_work
+            gap = modularity(dyn.graph, dyn.membership) - q_scratch
+            row[approach] = (ratio, gap, dyn.affected_fraction)
+        outcomes[size] = row
+    return DynamicUpdateResult(graph_name=graph_name, outcomes=outcomes)
+
+
+def report(result: DynamicUpdateResult) -> str:
+    rows = []
+    for size, row in result.outcomes.items():
+        for approach, (ratio, gap, frac) in row.items():
+            rows.append([
+                f"±{size}", approach, f"{ratio:.2%}", f"{gap:+.4f}",
+                f"{frac:.3f}",
+            ])
+    return format_table(
+        ["Batch", "approach", "work vs scratch", "Q gap", "affected frac"],
+        rows,
+        title=f"Extension: dynamic updates on {result.graph_name} "
+              "(vs from-scratch rerun)",
+    )
+
+
+def main() -> DynamicUpdateResult:  # pragma: no cover - CLI
+    result = run()
+    print(report(result))
+    return result

@@ -1,0 +1,111 @@
+"""Extension experiment: GVE-Leiden vs GVE-Louvain.
+
+The paper's introduction motivates Leiden over Louvain: the refinement
+phase guarantees well-connected communities at some extra cost.  This
+experiment quantifies both sides on the registry — the refinement
+overhead in modelled runtime and the quality relationship.  (On the
+scaled-down stand-ins Louvain's disconnected-community pathology does not
+manifest — it needs the long iteration histories of billion-edge inputs —
+so the quality comparison is the informative axis here; the *guarantee*
+difference is exercised directly by the refine-guard tests.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+from repro.baselines.registry import IMPLEMENTATIONS
+from repro.bench.harness import paper_scale, run_leiden_config
+from repro.bench.tables import format_table, geometric_mean
+from repro.core.config import LeidenConfig
+from repro.datasets.registry import load_graph, registry_names
+from repro.metrics.connectivity import disconnected_communities
+from repro.metrics.modularity import modularity
+
+__all__ = ["LouvainVsLeidenResult", "run", "report", "main"]
+
+
+@dataclass
+class LouvainVsLeidenResult:
+    #: [algorithm][graph] modelled seconds.
+    seconds: Dict[str, Dict[str, float]]
+    #: [algorithm][graph] modularity.
+    quality: Dict[str, Dict[str, float]]
+    #: [algorithm][graph] disconnected communities.
+    disconnected: Dict[str, Dict[str, int]]
+
+    def refinement_overhead(self) -> float:
+        """Geometric-mean Leiden/Louvain runtime ratio."""
+        ratios = [
+            self.seconds["leiden"][g] / self.seconds["louvain"][g]
+            for g in self.seconds["leiden"]
+            if self.seconds["louvain"][g] > 0
+        ]
+        return geometric_mean(ratios)
+
+    def mean_quality_gap(self) -> float:
+        """Mean (Leiden - Louvain) modularity."""
+        gaps = [
+            self.quality["leiden"][g] - self.quality["louvain"][g]
+            for g in self.quality["leiden"]
+        ]
+        return sum(gaps) / len(gaps) if gaps else 0.0
+
+
+def run(graphs: Sequence[str] | None = None, *,
+        seed: int = 42) -> LouvainVsLeidenResult:
+    gs = list(graphs or registry_names())
+    gve = IMPLEMENTATIONS["gve"]
+    configs = {
+        "leiden": LeidenConfig(),
+        "louvain": LeidenConfig(use_refinement=False),
+    }
+    seconds: Dict[str, Dict[str, float]] = {a: {} for a in configs}
+    quality: Dict[str, Dict[str, float]] = {a: {} for a in configs}
+    disconnected: Dict[str, Dict[str, int]] = {a: {} for a in configs}
+    for name, cfg in configs.items():
+        for g in gs:
+            result, _ = run_leiden_config(g, cfg, seed=seed)
+            graph = load_graph(g)
+            seconds[name][g] = gve.modeled_seconds(
+                result, scale=paper_scale(g))
+            quality[name][g] = modularity(graph, result.membership)
+            disconnected[name][g] = disconnected_communities(
+                graph, result.membership).num_disconnected
+    return LouvainVsLeidenResult(seconds, quality, disconnected)
+
+
+def report(result: LouvainVsLeidenResult) -> str:
+    rows = []
+    for g in result.seconds["leiden"]:
+        rows.append([
+            g,
+            result.seconds["louvain"][g],
+            result.seconds["leiden"][g],
+            round(result.quality["louvain"][g], 4),
+            round(result.quality["leiden"][g], 4),
+            result.disconnected["louvain"][g],
+            result.disconnected["leiden"][g],
+        ])
+    table = format_table(
+        ["Graph", "Louvain [s]", "Leiden [s]", "Q Louvain", "Q Leiden",
+         "disc Louvain", "disc Leiden"],
+        rows,
+        title="Extension: GVE-Louvain vs GVE-Leiden",
+    )
+    footer = (
+        f"\nrefinement overhead (Leiden/Louvain runtime): "
+        f"{result.refinement_overhead():.2f}x"
+        f"\nmean modularity gap (Leiden - Louvain): "
+        f"{result.mean_quality_gap():+.4f}"
+        f"\nLeiden guarantees disc = 0 structurally; Louvain merely "
+        f"happens to be clean at this scale."
+    )
+    return table + footer
+
+
+def main() -> LouvainVsLeidenResult:  # pragma: no cover - CLI
+    result = run()
+    print(report(result))
+    return result

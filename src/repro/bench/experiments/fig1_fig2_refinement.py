@@ -1,0 +1,94 @@
+"""Figures 1-2: greedy vs random refinement, with medium/heavy variants.
+
+The paper compares six configurations of GVE-Leiden — {greedy, random}
+refinement x {default, medium, heavy} optimization levels — and reports,
+averaged over all graphs, the *relative runtime* (Figure 1) and the
+*modularity* (Figure 2).  Paper outcome: greedy-default is fastest and
+ties or beats random on quality; medium/heavy (threshold scaling and/or
+aggregation tolerance disabled) cost runtime without quality gains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.baselines.registry import IMPLEMENTATIONS
+from repro.bench.harness import paper_scale, run_leiden_config
+from repro.bench.tables import format_table, geometric_mean
+from repro.core.config import LeidenConfig
+from repro.datasets.registry import load_graph, registry_names
+from repro.metrics.modularity import modularity
+
+__all__ = ["VariantOutcome", "Fig12Result", "CONFIGS", "run", "report", "main"]
+
+CONFIGS: Dict[str, LeidenConfig] = {
+    f"{refinement}-{variant}": LeidenConfig.variant(variant, refinement=refinement)
+    for refinement in ("greedy", "random")
+    for variant in ("default", "medium", "heavy")
+}
+
+
+@dataclass
+class VariantOutcome:
+    name: str
+    #: Modelled seconds per graph (paper scale, 64 threads).
+    seconds: Dict[str, float]
+    #: Modularity per graph.
+    quality: Dict[str, float]
+
+    def mean_relative_runtime(self, baseline: "VariantOutcome") -> float:
+        ratios = {
+            g: self.seconds[g] / baseline.seconds[g]
+            for g in self.seconds
+            if g in baseline.seconds and baseline.seconds[g] > 0
+        }
+        return geometric_mean(ratios.values())
+
+    def mean_quality(self) -> float:
+        vals = list(self.quality.values())
+        return sum(vals) / len(vals) if vals else float("nan")
+
+
+@dataclass
+class Fig12Result:
+    outcomes: Dict[str, VariantOutcome]
+    baseline: str = "greedy-default"
+
+
+def run(graphs: Sequence[str] | None = None, *, seed: int = 42) -> Fig12Result:
+    gs = list(graphs or registry_names())
+    gve = IMPLEMENTATIONS["gve"]
+    outcomes: Dict[str, VariantOutcome] = {}
+    for name, cfg in CONFIGS.items():
+        seconds: Dict[str, float] = {}
+        quality: Dict[str, float] = {}
+        for g in gs:
+            result, _wall = run_leiden_config(g, cfg, seed=seed)
+            seconds[g] = gve.modeled_seconds(result, scale=paper_scale(g))
+            quality[g] = modularity(load_graph(g), result.membership)
+        outcomes[name] = VariantOutcome(name, seconds, quality)
+    return Fig12Result(outcomes=outcomes)
+
+
+def report(result: Fig12Result) -> str:
+    base = result.outcomes[result.baseline]
+    rows: List[List[object]] = []
+    for name, outcome in result.outcomes.items():
+        rows.append([
+            name,
+            round(outcome.mean_relative_runtime(base), 3),
+            round(outcome.mean_quality(), 4),
+        ])
+    return format_table(
+        ["Variant", "relative runtime (Fig 1)", "mean modularity (Fig 2)"],
+        rows,
+        title="Figures 1-2: refinement variants, averaged over the dataset "
+              "(paper: greedy-default fastest; greedy >= random quality)",
+    )
+
+
+def main() -> Fig12Result:  # pragma: no cover - CLI
+    result = run()
+    print(report(result))
+    return result

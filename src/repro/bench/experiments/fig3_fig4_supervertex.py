@@ -1,0 +1,81 @@
+"""Figures 3-4: move-based vs refine-based super-vertex community labels.
+
+After aggregation, the communities of the new super-vertices can be
+seeded from the local-moving phase ("move-based", Traag et al.'s
+recommendation) or from the refinement phase ("refine-based").  The paper
+finds both variants roughly equal in runtime and modularity (Figures 3
+and 4) and keeps move-based.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+from repro.baselines.registry import IMPLEMENTATIONS
+from repro.bench.harness import paper_scale, run_leiden_config
+from repro.bench.tables import format_table, geometric_mean
+from repro.core.config import LeidenConfig
+from repro.datasets.registry import load_graph, registry_names
+from repro.metrics.modularity import modularity
+
+__all__ = ["Fig34Result", "run", "report", "main"]
+
+LABELS = ("move", "refine")
+
+
+@dataclass
+class Fig34Result:
+    #: [label][graph] modelled seconds.
+    seconds: Dict[str, Dict[str, float]]
+    #: [label][graph] modularity.
+    quality: Dict[str, Dict[str, float]]
+
+    def mean_relative_runtime(self, label: str) -> float:
+        base = self.seconds["move"]
+        ratios = [
+            self.seconds[label][g] / base[g] for g in base if base[g] > 0
+        ]
+        return geometric_mean(ratios)
+
+    def mean_quality(self, label: str) -> float:
+        vals = list(self.quality[label].values())
+        return sum(vals) / len(vals) if vals else float("nan")
+
+
+def run(graphs: Sequence[str] | None = None, *, seed: int = 42) -> Fig34Result:
+    gs = list(graphs or registry_names())
+    gve = IMPLEMENTATIONS["gve"]
+    seconds: Dict[str, Dict[str, float]] = {}
+    quality: Dict[str, Dict[str, float]] = {}
+    for label in LABELS:
+        cfg = LeidenConfig(vertex_label=label)
+        seconds[label] = {}
+        quality[label] = {}
+        for g in gs:
+            result, _wall = run_leiden_config(g, cfg, seed=seed)
+            seconds[label][g] = gve.modeled_seconds(result, scale=paper_scale(g))
+            quality[label][g] = modularity(load_graph(g), result.membership)
+    return Fig34Result(seconds=seconds, quality=quality)
+
+
+def report(result: Fig34Result) -> str:
+    rows = [
+        [label,
+         round(result.mean_relative_runtime(label), 3),
+         round(result.mean_quality(label), 4)]
+        for label in LABELS
+    ]
+    return format_table(
+        ["Super-vertex labels", "relative runtime (Fig 3)",
+         "mean modularity (Fig 4)"],
+        rows,
+        title="Figures 3-4: move-based vs refine-based super-vertex "
+              "communities (paper: roughly equal)",
+    )
+
+
+def main() -> Fig34Result:  # pragma: no cover - CLI
+    result = run()
+    print(report(result))
+    return result

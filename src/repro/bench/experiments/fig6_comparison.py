@@ -1,0 +1,144 @@
+"""Figure 6: runtime, speedup, modularity and disconnected communities.
+
+The paper's headline comparison: all five implementations on all 13
+graphs.  Four sub-reports match the four panels:
+
+- (a) modelled runtime per graph (log scale in the paper);
+- (b) GVE-Leiden's speedup over each other implementation;
+- (c) modularity of the communities each implementation finds;
+- (d) fraction of internally-disconnected communities.
+
+cuGraph's out-of-memory failures on the five largest web crawls are
+reported as missing entries, exactly as the paper's missing bars.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.baselines.registry import implementation_names
+from repro.bench.harness import RunRecord, run_matrix
+from repro.bench.tables import format_table, ratio_summary
+from repro.datasets.registry import registry_names
+
+__all__ = ["Fig6Result", "run", "report", "main"]
+
+
+@dataclass
+class Fig6Result:
+    records: Dict[str, Dict[str, RunRecord]]  # [graph][impl]
+    implementations: List[str]
+    graphs: List[str]
+
+    def speedup_vs(self, impl: str) -> Dict[str, float]:
+        """Per-graph speedup of GVE over ``impl`` (modelled time)."""
+        out = {}
+        for g in self.graphs:
+            gve = self.records[g]["gve"]
+            other = self.records[g].get(impl)
+            if other is None or not other.ok or not gve.ok:
+                continue
+            out[g] = other.modeled_seconds / gve.modeled_seconds
+        return out
+
+    def mean_speedup(self, impl: str) -> float:
+        per_graph = self.speedup_vs(impl)
+        if not per_graph:
+            return float("nan")
+        return ratio_summary(
+            {g: v for g, v in per_graph.items()},
+            {g: 1.0 for g in per_graph},
+        )
+
+
+def run(
+    graphs: Sequence[str] | None = None,
+    implementations: Sequence[str] | None = None,
+    *,
+    seed: int = 42,
+) -> Fig6Result:
+    gs = list(graphs or registry_names())
+    impls = list(implementations or implementation_names())
+    records = run_matrix(gs, impls, seed=seed)
+    return Fig6Result(records=records, implementations=impls, graphs=gs)
+
+
+def report(result: Fig6Result) -> str:
+    parts = []
+    recs = result.records
+
+    def cell(g, i, attr, scale=1.0):
+        r = recs[g].get(i)
+        if r is None:
+            return None
+        if not r.ok:
+            return "OOM"
+        v = getattr(r, attr)
+        return None if v is None else v * scale
+
+    parts.append(format_table(
+        ["Graph"] + result.implementations,
+        [
+            [g] + [cell(g, i, "modeled_seconds") for i in result.implementations]
+            for g in result.graphs
+        ],
+        title="Figure 6(a): modelled runtime at paper scale [s]",
+    ))
+
+    others = [i for i in result.implementations if i != "gve"]
+    parts.append(format_table(
+        ["Graph"] + [f"vs {i}" for i in others],
+        [
+            [g] + [result.speedup_vs(i).get(g) for i in others]
+            for g in result.graphs
+        ] + [
+            ["MEAN"] + [result.mean_speedup(i) for i in others]
+        ],
+        title="Figure 6(b): speedup of GVE-Leiden (paper means: original "
+              "436x, igraph 104x, networkit 8.2x, cugraph 3.0x)",
+    ))
+
+    parts.append(format_table(
+        ["Graph"] + result.implementations,
+        [
+            [g] + [cell(g, i, "modularity") for i in result.implementations]
+            for g in result.graphs
+        ],
+        title="Figure 6(c): modularity",
+    ))
+
+    parts.append(format_table(
+        ["Graph"] + result.implementations,
+        [
+            [g] + [cell(g, i, "disconnected_fraction")
+                   for i in result.implementations]
+            for g in result.graphs
+        ],
+        title="Figure 6(d): fraction of disconnected communities "
+              "(paper: GVE/original/igraph zero; networkit ~1.5e-2; "
+              "cugraph ~6.6e-5)",
+    ))
+
+    # The paper's 6(a) is a log-scale bar chart; render the same shape.
+    from repro.bench.ascii_charts import grouped_bar_chart
+
+    groups = {}
+    for g in result.graphs:
+        series = {}
+        for i in result.implementations:
+            r = recs[g].get(i)
+            series[i] = (r.modeled_seconds if r is not None and r.ok
+                         else None)
+        groups[g] = series
+    parts.append(grouped_bar_chart(
+        groups, log=True, missing="(out of memory)",
+        title="Figure 6(a) as log-scale bars [modelled s]:",
+    ))
+    return "\n\n".join(parts)
+
+
+def main() -> Fig6Result:  # pragma: no cover - CLI
+    result = run()
+    print(report(result))
+    return result

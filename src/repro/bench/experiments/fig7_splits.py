@@ -1,0 +1,99 @@
+"""Figure 7: phase split and pass split of GVE-Leiden.
+
+Paper findings to reproduce in shape: web graphs, road networks and
+protein k-mer graphs spend most time in local-moving (plus refinement);
+social networks are dominated by the aggregation phase.  On average the
+split is roughly 46% local-moving / 19% refinement / 20% aggregation /
+15% others, with 63% of the runtime in the first pass; on low-degree
+graphs the later passes dominate instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.bench.harness import paper_scale, run_leiden_config
+from repro.bench.instruments import pass_split, phase_split
+from repro.bench.tables import format_table
+from repro.core.config import LeidenConfig
+from repro.core.result import ALL_PHASES
+from repro.datasets.registry import registry_names
+
+__all__ = ["Fig7Result", "run", "report", "main"]
+
+
+@dataclass
+class Fig7Result:
+    #: [graph][phase] fraction of modelled runtime.
+    phase_fractions: Dict[str, Dict[str, float]]
+    #: [graph] per-pass fraction of modelled runtime.
+    pass_fractions: Dict[str, List[float]]
+
+    def mean_phase_fractions(self) -> Dict[str, float]:
+        out = {p: 0.0 for p in ALL_PHASES}
+        for fractions in self.phase_fractions.values():
+            for p in ALL_PHASES:
+                out[p] += fractions.get(p, 0.0)
+        n = max(len(self.phase_fractions), 1)
+        return {p: v / n for p, v in out.items()}
+
+    def mean_first_pass_fraction(self) -> float:
+        vals = [fr[0] for fr in self.pass_fractions.values() if fr]
+        return sum(vals) / len(vals) if vals else float("nan")
+
+
+def run(
+    graphs: Sequence[str] | None = None,
+    *,
+    seed: int = 42,
+    num_threads: int = 64,
+) -> Fig7Result:
+    gs = list(graphs or registry_names())
+    cfg = LeidenConfig()
+    phases: Dict[str, Dict[str, float]] = {}
+    passes: Dict[str, List[float]] = {}
+    for g in gs:
+        result, _ = run_leiden_config(g, cfg, seed=seed)
+        scale = paper_scale(g)
+        phases[g] = phase_split(result, num_threads=num_threads,
+                                work_scale=scale)
+        passes[g] = pass_split(result, num_threads=num_threads,
+                               work_scale=scale)
+    return Fig7Result(phase_fractions=phases, pass_fractions=passes)
+
+
+def report(result: Fig7Result) -> str:
+    parts = []
+    parts.append(format_table(
+        ["Graph"] + list(ALL_PHASES),
+        [
+            [g] + [round(result.phase_fractions[g].get(p, 0.0), 3)
+                   for p in ALL_PHASES]
+            for g in result.phase_fractions
+        ] + [
+            ["MEAN"] + [round(v, 3)
+                        for v in result.mean_phase_fractions().values()]
+        ],
+        title="Figure 7(a): phase split of modelled runtime "
+              "(paper mean: 46% move / 19% refine / 20% aggregate / 15% other)",
+    ))
+    max_passes = max((len(v) for v in result.pass_fractions.values()), default=0)
+    parts.append(format_table(
+        ["Graph"] + [f"pass {i}" for i in range(max_passes)],
+        [
+            [g] + [round(fr[i], 3) if i < len(fr) else None
+                   for i in range(max_passes)]
+            for g, fr in result.pass_fractions.items()
+        ],
+        title="Figure 7(b): pass split of modelled runtime "
+              f"(paper: first pass ~63% on average; measured mean "
+              f"{result.mean_first_pass_fraction():.0%})",
+    ))
+    return "\n\n".join(parts)
+
+
+def main() -> Fig7Result:  # pragma: no cover - CLI
+    result = run()
+    print(report(result))
+    return result

@@ -1,0 +1,69 @@
+"""Figure 8: runtime / |E| factor of GVE-Leiden per graph.
+
+The paper observes that graphs with low average degree (road networks,
+protein k-mer graphs) and graphs with poor community structure
+(com-LiveJournal, com-Orkut) show a higher runtime-per-edge factor.  We
+report modelled-seconds-per-edge at paper scale, which preserves the
+comparison across graphs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+from repro.bench.harness import run_once
+from repro.bench.tables import format_table
+from repro.datasets.registry import graph_spec, registry_names
+
+__all__ = ["Fig8Result", "run", "report", "main"]
+
+
+@dataclass
+class Fig8Result:
+    #: [graph] modelled seconds per paper-scale edge.
+    seconds_per_edge: Dict[str, float]
+    families: Dict[str, str]
+
+    def family_means(self) -> Dict[str, float]:
+        sums: Dict[str, list] = {}
+        for g, v in self.seconds_per_edge.items():
+            sums.setdefault(self.families[g], []).append(v)
+        return {f: sum(v) / len(v) for f, v in sums.items()}
+
+
+def run(graphs: Sequence[str] | None = None, *, seed: int = 42) -> Fig8Result:
+    gs = list(graphs or registry_names())
+    rates: Dict[str, float] = {}
+    families: Dict[str, str] = {}
+    for g in gs:
+        rec = run_once("gve", g, seed=seed)
+        spec = graph_spec(g)
+        families[g] = spec.family
+        if rec.ok and spec.paper_edges:
+            rates[g] = rec.modeled_seconds / spec.paper_edges
+    return Fig8Result(seconds_per_edge=rates, families=families)
+
+
+def report(result: Fig8Result) -> str:
+    rows = [
+        [g, result.families[g], f"{v:.3e}"]
+        for g, v in result.seconds_per_edge.items()
+    ]
+    table = format_table(
+        ["Graph", "family", "runtime/|E| [s/edge]"],
+        rows,
+        title="Figure 8: runtime/|E| factor (paper: road/k-mer and "
+              "poorly-clustered social graphs are highest)",
+    )
+    fam = format_table(
+        ["Family", "mean runtime/|E|"],
+        [[f, f"{v:.3e}"] for f, v in result.family_means().items()],
+    )
+    return table + "\n\n" + fam
+
+
+def main() -> Fig8Result:  # pragma: no cover - CLI
+    result = run()
+    print(report(result))
+    return result

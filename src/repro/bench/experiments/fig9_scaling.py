@@ -1,0 +1,131 @@
+"""Figure 9: strong scaling of GVE-Leiden from 1 to 64 threads.
+
+The paper varies threads in powers of two and reports overall speedup
+plus the split across phases.  Key numbers: 11.4x average speedup at 32
+threads (=1.6x per thread doubling) and only 16.0x at 64 threads due to
+NUMA effects.  The work ledger makes this a single-execution experiment:
+every region's per-chunk work was recorded, so modelled runtimes for all
+thread counts come from one run per graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.bench.harness import paper_scale, run_leiden_config
+from repro.bench.instruments import phase_scaling_curves, scaling_curve
+from repro.bench.tables import format_table, geometric_mean
+from repro.core.config import LeidenConfig
+from repro.core.result import ALL_PHASES
+from repro.datasets.registry import registry_names
+
+__all__ = ["Fig9Result", "THREAD_COUNTS", "run", "report", "main"]
+
+THREAD_COUNTS = (1, 2, 4, 8, 16, 32, 64)
+
+
+@dataclass
+class Fig9Result:
+    #: [graph][threads] modelled seconds.
+    seconds: Dict[str, Dict[int, float]]
+    #: [graph][phase][threads] modelled seconds.
+    phase_seconds: Dict[str, Dict[str, Dict[int, float]]]
+
+    def speedups(self, graph: str) -> Dict[int, float]:
+        base = self.seconds[graph][1]
+        return {t: base / s for t, s in self.seconds[graph].items()}
+
+    def mean_speedups(self) -> Dict[int, float]:
+        out = {}
+        for t in THREAD_COUNTS:
+            out[t] = geometric_mean(
+                [self.speedups(g)[t] for g in self.seconds]
+            )
+        return out
+
+    def mean_speedup_per_doubling(self, upto: int = 32) -> float:
+        mean = self.mean_speedups()
+        doublings = [t for t in THREAD_COUNTS if 1 < t <= upto]
+        if not doublings:
+            return float("nan")
+        return mean[max(doublings)] ** (1.0 / len(doublings))
+
+
+def run(
+    graphs: Sequence[str] | None = None,
+    *,
+    seed: int = 42,
+    thread_counts: Sequence[int] = THREAD_COUNTS,
+) -> Fig9Result:
+    gs = list(graphs or registry_names())
+    cfg = LeidenConfig()
+    seconds: Dict[str, Dict[int, float]] = {}
+    phase_secs: Dict[str, Dict[str, Dict[int, float]]] = {}
+    for g in gs:
+        result, _ = run_leiden_config(g, cfg, seed=seed)
+        scale = paper_scale(g)
+        seconds[g] = scaling_curve(result, thread_counts, work_scale=scale)
+        phase_secs[g] = phase_scaling_curves(
+            result, thread_counts, work_scale=scale
+        )
+    return Fig9Result(seconds=seconds, phase_seconds=phase_secs)
+
+
+def report(result: Fig9Result) -> str:
+    parts = []
+    mean = result.mean_speedups()
+    parts.append(format_table(
+        ["Graph"] + [f"{t}T" for t in THREAD_COUNTS],
+        [
+            [g] + [round(result.speedups(g)[t], 2) for t in THREAD_COUNTS]
+            for g in result.seconds
+        ] + [["MEAN"] + [round(mean[t], 2) for t in THREAD_COUNTS]],
+        title="Figure 9: strong-scaling speedup (paper: 11.4x @32T, "
+              "16.0x @64T, ~1.6x per doubling)",
+    ))
+    parts.append(
+        f"speedup per thread doubling (to 32T): "
+        f"{result.mean_speedup_per_doubling():.2f}x (paper: 1.6x)"
+    )
+    # Phase-level mean speedups.
+    rows = []
+    for p in ALL_PHASES:
+        row = [p]
+        for t in THREAD_COUNTS:
+            ratios = []
+            for g in result.phase_seconds:
+                base = result.phase_seconds[g][p].get(1, 0.0)
+                cur = result.phase_seconds[g][p].get(t, 0.0)
+                if base > 0 and cur > 0:
+                    ratios.append(base / cur)
+            row.append(round(geometric_mean(ratios), 2) if ratios else None)
+        rows.append(row)
+    parts.append(format_table(
+        ["Phase"] + [f"{t}T" for t in THREAD_COUNTS],
+        rows,
+        title="Figure 9 (phase split): mean speedup per phase",
+    ))
+
+    # Paper-style speedup curve (mean and the best/worst graphs).
+    from repro.bench.ascii_charts import line_chart
+
+    mean = result.mean_speedups()
+    at64 = {g: result.speedups(g)[64] for g in result.seconds}
+    best = max(at64, key=at64.get)
+    worst = min(at64, key=at64.get)
+    parts.append(line_chart(
+        {
+            "mean": mean,
+            best: result.speedups(best),
+            worst: result.speedups(worst),
+        },
+        title="Figure 9 as a curve (speedup vs threads):",
+    ))
+    return "\n\n".join(parts)
+
+
+def main() -> Fig9Result:  # pragma: no cover - CLI
+    result = run()
+    print(report(result))
+    return result

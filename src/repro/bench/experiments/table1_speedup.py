@@ -1,0 +1,75 @@
+"""Table 1: headline mean speedups of GVE-Leiden.
+
+| implementation  | parallelism     | paper speedup |
+|-----------------|-----------------|---------------|
+| Original Leiden | sequential      | 436x          |
+| igraph Leiden   | sequential      | 104x          |
+| NetworKit       | parallel        | 8.2x          |
+| cuGraph (A100)  | parallel (GPU)  | 3.0x          |
+
+(The abstract quotes 22x/50x/20x/3.0x for a different averaging; the
+per-figure means above are what Figure 6(b) reports.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.bench.experiments import fig6_comparison
+from repro.bench.tables import format_table
+
+__all__ = ["Table1Result", "PAPER_SPEEDUPS", "run", "report", "main"]
+
+PAPER_SPEEDUPS: Dict[str, float] = {
+    "original": 436.0,
+    "igraph": 104.0,
+    "networkit": 8.2,
+    "cugraph": 3.0,
+}
+
+PARALLELISM: Dict[str, str] = {
+    "original": "Sequential",
+    "igraph": "Sequential",
+    "networkit": "Parallel",
+    "cugraph": "Parallel (GPU)",
+}
+
+
+@dataclass
+class Table1Result:
+    measured: Dict[str, float]
+    paper: Dict[str, float]
+
+
+def run(graphs: Sequence[str] | None = None, *, seed: int = 42) -> Table1Result:
+    fig6 = fig6_comparison.run(graphs, seed=seed)
+    measured = {
+        impl: fig6.mean_speedup(impl)
+        for impl in fig6.implementations
+        if impl != "gve"
+    }
+    return Table1Result(measured=measured, paper=dict(PAPER_SPEEDUPS))
+
+
+def report(result: Table1Result) -> str:
+    rows: List[List[object]] = []
+    for impl, measured in result.measured.items():
+        rows.append([
+            impl,
+            PARALLELISM.get(impl, "?"),
+            f"{measured:.1f}x",
+            f"{result.paper.get(impl, float('nan')):.1f}x",
+        ])
+    return format_table(
+        ["Implementation", "Parallelism", "Our speedup (measured)",
+         "Paper speedup"],
+        rows,
+        title="Table 1: mean speedup of GVE-Leiden over each implementation",
+    )
+
+
+def main() -> Table1Result:  # pragma: no cover - CLI
+    result = run()
+    print(report(result))
+    return result

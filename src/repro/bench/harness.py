@@ -1,0 +1,118 @@
+"""Run matrix: implementations × registry graphs, with full metrics.
+
+``run_once`` executes one implementation on one registry graph and
+collects everything Figure 6 needs: modelled runtime (paper-scale),
+wall-clock, modularity, community count and the disconnected-community
+fraction.  Results are memoized per (implementation, graph, seed) so the
+experiment drivers and the pytest benchmarks can share one execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, Iterable, List, Optional
+
+from repro.baselines.registry import IMPLEMENTATIONS, get_implementation
+from repro.bench.timing import time_call
+from repro.datasets.registry import graph_spec, load_graph
+from repro.errors import SimulatedOutOfMemory
+from repro.metrics.connectivity import disconnected_communities
+from repro.metrics.modularity import modularity
+
+__all__ = ["RunRecord", "run_once", "run_matrix", "paper_scale"]
+
+
+def paper_scale(graph_name: str) -> float:
+    """Work multiplier from the stand-in to the paper-scale original."""
+    spec = graph_spec(graph_name)
+    graph = load_graph(graph_name)
+    if graph.num_edges == 0:
+        return 1.0
+    return float(spec.paper_edges) / float(graph.num_edges)
+
+
+@dataclass
+class RunRecord:
+    """Outcome of one (implementation, graph) execution."""
+
+    implementation: str
+    graph: str
+    #: Modelled seconds at paper scale (None when the run failed).
+    modeled_seconds: Optional[float]
+    wall_seconds: Optional[float]
+    modularity: Optional[float]
+    num_communities: Optional[int]
+    disconnected_fraction: Optional[float]
+    num_passes: Optional[int]
+    failure: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.failure is None
+
+
+@lru_cache(maxsize=512)
+def run_once(
+    impl_name: str,
+    graph_name: str,
+    *,
+    seed: int = 42,
+    use_paper_scale: bool = True,
+) -> RunRecord:
+    """Execute one implementation on one registry graph (memoized)."""
+    impl = get_implementation(impl_name)
+    graph = load_graph(graph_name)
+    spec = graph_spec(graph_name)
+    try:
+        result, wall = time_call(
+            lambda: impl.run(graph, seed=seed, spec=spec)
+        )
+    except SimulatedOutOfMemory as exc:
+        return RunRecord(
+            impl_name, graph_name,
+            None, None, None, None, None, None,
+            failure=f"out of memory ({exc.required_bytes / 2**30:.0f} GiB)",
+        )
+    scale = paper_scale(graph_name) if use_paper_scale else 1.0
+    report = disconnected_communities(graph, result.membership)
+    return RunRecord(
+        implementation=impl_name,
+        graph=graph_name,
+        modeled_seconds=impl.modeled_seconds(result, scale=scale),
+        wall_seconds=wall,
+        modularity=modularity(graph, result.membership),
+        num_communities=result.num_communities,
+        disconnected_fraction=report.fraction,
+        num_passes=result.num_passes,
+    )
+
+
+@lru_cache(maxsize=512)
+def run_leiden_config(graph_name: str, config, *, seed: int = 42):
+    """Run GVE-Leiden with an explicit config on a registry graph.
+
+    Memoized on ``(graph_name, config, seed)`` — ``LeidenConfig`` is a
+    frozen dataclass, hence hashable.  Returns ``(result, wall_seconds)``.
+    """
+    from repro.core.leiden import leiden
+
+    graph = load_graph(graph_name)
+    return time_call(lambda: leiden(graph, config.with_(seed=seed)))
+
+
+def run_matrix(
+    graphs: Iterable[str],
+    implementations: Iterable[str] | None = None,
+    *,
+    seed: int = 42,
+) -> Dict[str, Dict[str, RunRecord]]:
+    """``records[graph][impl]`` for the full cross product."""
+    impls: List[str] = (
+        list(implementations) if implementations is not None
+        else list(IMPLEMENTATIONS)
+    )
+    out: Dict[str, Dict[str, RunRecord]] = {}
+    for g in graphs:
+        out[g] = {i: run_once(i, g, seed=seed) for i in impls}
+    return out

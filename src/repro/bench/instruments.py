@@ -1,0 +1,80 @@
+"""Instrumentation views over :class:`~repro.core.result.LeidenResult`.
+
+Figures 7 and 9 need the modelled runtime *decomposed*: by phase
+(local-moving / refinement / aggregation / other), by pass, and by thread
+count.  The work ledger records regions tagged with both, so one
+execution yields every decomposition.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from repro.core.result import ALL_PHASES, LeidenResult
+from repro.parallel.costmodel import MachineModel, PAPER_MACHINE
+
+__all__ = [
+    "phase_split",
+    "pass_split",
+    "scaling_curve",
+    "phase_scaling_curves",
+]
+
+
+def phase_split(
+    result: LeidenResult,
+    *,
+    machine: MachineModel = PAPER_MACHINE,
+    num_threads: int = 64,
+    work_scale: float = 1.0,
+) -> Dict[str, float]:
+    """Fraction of modelled runtime per phase (Figure 7(a))."""
+    sim = result.ledger.simulate(machine, num_threads, work_scale=work_scale)
+    total = sim.seconds or 1.0
+    return {p: sim.phase_seconds.get(p, 0.0) / total for p in ALL_PHASES}
+
+
+def pass_split(
+    result: LeidenResult,
+    *,
+    machine: MachineModel = PAPER_MACHINE,
+    num_threads: int = 64,
+    work_scale: float = 1.0,
+) -> List[float]:
+    """Fraction of modelled runtime per pass (Figure 7(b))."""
+    seconds = [
+        ps.ledger.simulate(machine, num_threads, work_scale=work_scale).seconds
+        for ps in result.passes
+    ]
+    total = sum(seconds) or 1.0
+    return [s / total for s in seconds]
+
+
+def scaling_curve(
+    result: LeidenResult,
+    thread_counts: Iterable[int],
+    *,
+    machine: MachineModel = PAPER_MACHINE,
+    work_scale: float = 1.0,
+) -> Dict[int, float]:
+    """Modelled seconds at each thread count (Figure 9, overall)."""
+    return {
+        t: result.ledger.simulate(machine, t, work_scale=work_scale).seconds
+        for t in thread_counts
+    }
+
+
+def phase_scaling_curves(
+    result: LeidenResult,
+    thread_counts: Iterable[int],
+    *,
+    machine: MachineModel = PAPER_MACHINE,
+    work_scale: float = 1.0,
+) -> Dict[str, Dict[int, float]]:
+    """Per-phase modelled seconds at each thread count (Figure 9 split)."""
+    curves: Dict[str, Dict[int, float]] = {p: {} for p in ALL_PHASES}
+    for t in thread_counts:
+        sim = result.ledger.simulate(machine, t, work_scale=work_scale)
+        for p in ALL_PHASES:
+            curves[p][t] = sim.phase_seconds.get(p, 0.0)
+    return curves

@@ -1,0 +1,83 @@
+"""Plain-text table and series formatting for the experiment drivers."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Sequence
+
+__all__ = ["format_table", "format_series", "geometric_mean", "ratio_summary"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Fixed-width ASCII table."""
+    srows: List[List[str]] = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in srows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in srows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    y_label: str,
+    points: Dict[object, float],
+    *,
+    title: str | None = None,
+    fmt: str = "{:.4g}",
+) -> str:
+    """A two-column series (one figure line) as text."""
+    rows = [(k, fmt.format(v)) for k, v in points.items()]
+    return format_table([x_label, y_label], rows, title=title)
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values; NaN for empty input."""
+    vals = [v for v in values if v is not None]
+    if not vals:
+        return float("nan")
+    if any(v <= 0 for v in vals):
+        raise ValueError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def ratio_summary(
+    numerators: Dict[str, float], denominators: Dict[str, float]
+) -> float:
+    """Geometric-mean ratio over the keys present in both mappings."""
+    ratios = [
+        numerators[k] / denominators[k]
+        for k in numerators
+        if k in denominators
+        and numerators[k] is not None
+        and denominators[k] is not None
+        and denominators[k] > 0
+    ]
+    return geometric_mean(ratios)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell != cell:  # NaN
+            return "-"
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000 or abs(cell) < 0.001:
+            return f"{cell:.3g}"
+        return f"{cell:.4g}"
+    if cell is None:
+        return "-"
+    return str(cell)

@@ -1,0 +1,45 @@
+"""Wall-clock timing helpers (the paper averages five runs per point)."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Tuple, TypeVar
+
+T = TypeVar("T")
+
+
+def time_call(fn: Callable[[], T]) -> Tuple[T, float]:
+    """Run ``fn`` once; return ``(result, seconds)``."""
+    t0 = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - t0
+
+
+@dataclass
+class Measurement:
+    """Aggregated repeated timing."""
+
+    mean_seconds: float
+    min_seconds: float
+    max_seconds: float
+    runs: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.mean_seconds:.4f}s (min {self.min_seconds:.4f}, n={self.runs})"
+
+
+def repeat_measure(fn: Callable[[], object], *, repeats: int = 3) -> Measurement:
+    """Run ``fn`` ``repeats`` times and aggregate wall-clock times."""
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    times = []
+    for _ in range(repeats):
+        _, secs = time_call(fn)
+        times.append(secs)
+    return Measurement(
+        mean_seconds=sum(times) / len(times),
+        min_seconds=min(times),
+        max_seconds=max(times),
+        runs=repeats,
+    )

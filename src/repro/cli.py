@@ -1,0 +1,134 @@
+"""Command-line interface: ``gve-leiden`` / ``python -m repro``.
+
+Detect communities in a graph file (MatrixMarket or edge list) or a named
+registry dataset and print a summary, optionally writing the membership
+vector to a file — mirroring how the paper's artifact is driven.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro._version import __version__
+from repro.core.config import LeidenConfig
+from repro.core.leiden import leiden
+from repro.core.louvain import louvain
+from repro.datasets.registry import load_graph, registry_names
+from repro.graph.io_edgelist import read_edgelist
+from repro.graph.io_mtx import read_mtx
+from repro.metrics.connectivity import disconnected_communities
+from repro.metrics.modularity import modularity
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="gve-leiden",
+        description="GVE-Leiden community detection (ICPP 2024 reproduction)",
+    )
+    p.add_argument("input", nargs="?", default=None,
+                   help="graph file (.mtx or edge list) or a registry "
+                        "dataset name (see --list)")
+    p.add_argument("--list", action="store_true", dest="list_datasets",
+                   help="list registry dataset names and exit")
+    p.add_argument("--algorithm", choices=["leiden", "louvain"],
+                   default="leiden")
+    p.add_argument("--refinement", choices=["greedy", "random"],
+                   default="greedy")
+    p.add_argument("--variant", choices=["default", "medium", "heavy"],
+                   default="default")
+    p.add_argument("--vertex-label", choices=["move", "refine"],
+                   default="move")
+    p.add_argument("--quality", choices=["modularity", "cpm"],
+                   default="modularity")
+    p.add_argument("--engine", choices=["batch", "loop", "threads"],
+                   default="batch")
+    p.add_argument("--resolution", type=float, default=1.0)
+    p.add_argument("--max-passes", type=int, default=10)
+    p.add_argument("--seed", type=int, default=42)
+    p.add_argument("--output", type=Path, default=None,
+                   help="write one community id per line to this file")
+    p.add_argument("--check-connectivity", action="store_true",
+                   help="also count internally-disconnected communities")
+    p.add_argument("--summary", action="store_true",
+                   help="print per-community structure statistics")
+    p.add_argument("--version", action="version",
+                   version=f"%(prog)s {__version__}")
+    return p
+
+
+def _load(arg: str):
+    if arg in registry_names():
+        return load_graph(arg)
+    path = Path(arg)
+    if not path.exists():
+        raise SystemExit(f"error: {arg!r} is neither a file nor a dataset "
+                         f"name (use --list to see dataset names)")
+    if path.suffix == ".mtx":
+        return read_mtx(path)
+    if path.suffix in (".graph", ".metis"):
+        from repro.graph.io_metis import read_metis
+
+        return read_metis(path)
+    return read_edgelist(path)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_datasets:
+        for name in registry_names():
+            print(name)
+        return 0
+    if args.input is None:
+        parser.error("the following arguments are required: input")
+
+    graph = _load(args.input)
+    config = LeidenConfig.variant(
+        args.variant,
+        refinement=args.refinement,
+        vertex_label=args.vertex_label,
+        quality=args.quality,
+        engine=args.engine,
+        resolution=args.resolution,
+        max_passes=args.max_passes,
+        seed=args.seed,
+    )
+    algo = leiden if args.algorithm == "leiden" else louvain
+    result = algo(graph, config)
+
+    q = modularity(graph, result.membership, resolution=args.resolution)
+    print(f"graph: {args.input}")
+    print(f"vertices: {graph.num_vertices}  edges: {graph.num_edges}")
+    print(f"algorithm: {args.algorithm} ({args.refinement}, {args.variant})")
+    print(f"passes: {result.num_passes}  communities: {result.num_communities}")
+    print(f"modularity: {q:.6f}")
+    print(f"wall time: {result.wall_seconds:.3f}s")
+    if args.check_connectivity:
+        report = disconnected_communities(graph, result.membership)
+        print(f"disconnected communities: {report.num_disconnected} "
+              f"({report.fraction:.2e})")
+    if args.summary:
+        from repro.metrics.summary import summarize_partition
+
+        summary = summarize_partition(graph, result.membership)
+        pct = summary.size_percentiles()
+        print(f"coverage: {summary.coverage:.4f}")
+        print("community sizes (min/25%/median/75%/max): "
+              + "/".join(f"{pct[q]:.0f}" for q in (0, 25, 50, 75, 100)))
+        worst = summary.worst_conductance(3)
+        for c in worst:
+            print(f"  weakest community {c.community_id}: size {c.size}, "
+                  f"conductance {c.conductance:.3f}")
+    if args.output is not None:
+        args.output.write_text(
+            "\n".join(str(int(c)) for c in result.membership) + "\n"
+        )
+        print(f"membership written to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,37 @@
+"""GVE-Leiden core: the paper's primary contribution.
+
+- :mod:`repro.core.config` — algorithm configuration and the paper's
+  *default* / *medium* / *heavy* variants;
+- :mod:`repro.core.local_move` — the local-moving phase (Algorithm 2);
+- :mod:`repro.core.refine` — greedy/randomized refinement (Algorithm 3);
+- :mod:`repro.core.aggregate` — CSR-based aggregation (Algorithm 4);
+- :mod:`repro.core.leiden` — the pass driver (Algorithm 1);
+- :mod:`repro.core.louvain` — GVE-Louvain (the in-house baseline the
+  optimizations were first developed for);
+- :mod:`repro.core.result` / :mod:`repro.core.dendrogram` — result types.
+"""
+
+from repro.core.config import LeidenConfig
+from repro.core.result import LeidenResult, PassStats
+from repro.core.dendrogram import Dendrogram
+from repro.core.io_result import (
+    load_membership_text,
+    load_result_json,
+    save_membership_text,
+    save_result_json,
+)
+from repro.core.leiden import leiden
+from repro.core.louvain import louvain
+
+__all__ = [
+    "LeidenConfig",
+    "LeidenResult",
+    "PassStats",
+    "Dendrogram",
+    "leiden",
+    "louvain",
+    "save_membership_text",
+    "load_membership_text",
+    "save_result_json",
+    "load_result_json",
+]

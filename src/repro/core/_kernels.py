@@ -1,0 +1,72 @@
+"""Shared segmented-array kernels for the batch-parallel phases.
+
+The batch engine processes a *batch* of vertices at once — the set of
+vertices the OpenMP threads would have in flight concurrently.  Per batch
+it needs two primitives, both implemented with sort + ``reduceat`` so no
+Python-level loop touches edges:
+
+- :func:`segment_pair_sums` — the vectorized equivalent of filling the
+  per-thread hashtables: total edge weight from each batch vertex to each
+  adjacent community (``K_{i→c}`` for all *c* at once);
+- :func:`segmented_argmax` — "best community linked to i" across a batch.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.types import ACCUM_DTYPE
+
+__all__ = ["segment_pair_sums", "segmented_argmax"]
+
+
+def segment_pair_sums(
+    seg: np.ndarray,
+    comm: np.ndarray,
+    weights: np.ndarray,
+    num_communities: int,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Sum ``weights`` grouped by ``(seg, comm)`` pairs.
+
+    Returns ``(pair_seg, pair_comm, pair_sum)`` sorted by ``(seg, comm)``.
+    ``seg`` values must be small non-negative ints (batch positions);
+    ``comm`` values must be < ``num_communities``.
+    """
+    if seg.shape[0] == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty, np.empty(0, dtype=ACCUM_DTYPE)
+    key = seg.astype(np.int64) * np.int64(num_communities) + comm
+    order = np.argsort(key, kind="stable")
+    ksort = key[order]
+    wsort = weights[order].astype(ACCUM_DTYPE)
+    boundary = np.empty(ksort.shape[0], dtype=bool)
+    boundary[0] = True
+    np.not_equal(ksort[1:], ksort[:-1], out=boundary[1:])
+    starts = np.flatnonzero(boundary)
+    sums = np.add.reduceat(wsort, starts)
+    ukey = ksort[starts]
+    return ukey // num_communities, ukey % num_communities, sums
+
+
+def segmented_argmax(
+    seg: np.ndarray, values: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Argmax of ``values`` within each segment.
+
+    ``seg`` need not be sorted.  Returns ``(segments, argmax_indices)``:
+    for each distinct segment id (ascending), the index into the input
+    arrays of its maximum value.  Ties break toward the entry that sorts
+    last among equals — deterministic given the inputs.
+    """
+    if seg.shape[0] == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    order = np.lexsort((values, seg))
+    seg_sorted = seg[order]
+    is_last = np.empty(seg_sorted.shape[0], dtype=bool)
+    is_last[-1] = True
+    np.not_equal(seg_sorted[1:], seg_sorted[:-1], out=is_last[:-1])
+    last_pos = np.flatnonzero(is_last)
+    return seg_sorted[last_pos], order[last_pos]

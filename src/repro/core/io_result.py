@@ -1,0 +1,105 @@
+"""Persisting detection results.
+
+Two formats:
+
+- **plain text** — one community id per line (what the paper's artifact
+  consumes for its disconnected-communities counter); and
+- **JSON** — membership plus provenance (config echo, pass trace,
+  quality), so a result can be reloaded later, compared against, or fed
+  to :func:`repro.dynamic.update.dynamic_leiden` as the warm start.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro._version import __version__
+from repro.core.config import LeidenConfig
+from repro.core.result import LeidenResult
+from repro.errors import GraphFormatError
+from repro.types import VERTEX_DTYPE
+
+PathLike = Union[str, Path]
+
+__all__ = [
+    "save_membership_text",
+    "load_membership_text",
+    "save_result_json",
+    "load_result_json",
+]
+
+
+def save_membership_text(membership, path: PathLike) -> None:
+    """One community id per line."""
+    arr = np.asarray(membership, dtype=VERTEX_DTYPE)
+    Path(path).write_text(
+        "\n".join(str(int(c)) for c in arr) + ("\n" if arr.size else ""),
+        encoding="utf-8",
+    )
+
+
+def load_membership_text(path: PathLike) -> np.ndarray:
+    """Inverse of :func:`save_membership_text`."""
+    lines = [
+        l for l in Path(path).read_text(encoding="utf-8").splitlines()
+        if l.strip()
+    ]
+    try:
+        return np.asarray([int(l) for l in lines], dtype=VERTEX_DTYPE)
+    except ValueError as exc:
+        raise GraphFormatError(f"bad membership file {path}: {exc}") from exc
+
+
+def save_result_json(
+    result: LeidenResult,
+    path: PathLike,
+    *,
+    config: LeidenConfig | None = None,
+    extra: dict | None = None,
+) -> None:
+    """Membership + provenance as JSON."""
+    payload = {
+        "format": "repro-leiden-result",
+        "version": __version__,
+        "membership": [int(c) for c in result.membership],
+        "num_communities": result.num_communities,
+        "num_passes": result.num_passes,
+        "wall_seconds": result.wall_seconds,
+        "passes": [
+            {
+                "index": ps.index,
+                "num_vertices": ps.num_vertices,
+                "num_communities": ps.num_communities,
+                "move_iterations": ps.move_iterations,
+                "refine_moves": ps.refine_moves,
+            }
+            for ps in result.passes
+        ],
+    }
+    if config is not None:
+        payload["config"] = dataclasses.asdict(config)
+    if extra:
+        payload["extra"] = extra
+    Path(path).write_text(json.dumps(payload, indent=1), encoding="utf-8")
+
+
+def load_result_json(path: PathLike) -> dict:
+    """Load a saved result; ``membership`` comes back as an int32 array.
+
+    Returns the payload dict (not a full :class:`LeidenResult` — ledgers
+    and dendrograms are runtime objects and are not persisted).
+    """
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise GraphFormatError(f"bad result file {path}: {exc}") from exc
+    if payload.get("format") != "repro-leiden-result":
+        raise GraphFormatError(f"{path} is not a saved leiden result")
+    payload["membership"] = np.asarray(payload["membership"],
+                                       dtype=VERTEX_DTYPE)
+    return payload

@@ -1,0 +1,325 @@
+"""GVE-Leiden pass driver (Algorithm 1).
+
+Each pass runs local-moving → refinement → (maybe) aggregation on the
+current super-vertex graph:
+
+1. initialize per-vertex weights ``K'`` and community weights ``Σ'``;
+2. ``leidenMove`` optimizes the membership ``C'`` (Algorithm 2);
+3. the result becomes the *community bound* ``C'_B``; membership resets
+   to singletons and ``leidenRefine`` merges within bounds (Algorithm 3);
+4. stop if globally converged (local-moving settled in one iteration and
+   refinement merged nothing) or if communities shrank by less than the
+   aggregation tolerance;
+5. otherwise renumber, update the dendrogram, aggregate (Algorithm 4),
+   seed the next pass's membership from the move phase (``move``-based
+   labels, as Traag et al. recommend) or as singletons (``refine``-based),
+   and scale the tolerance down (threshold scaling).
+
+On the convergence and low-shrink exits the returned communities are the
+refined partition of the final pass (Algorithm 1 breaks before line 14's
+remapping), which is internally connected by construction; the
+``vertex_label`` choice affects how each pass is *seeded* and the output
+only when the pass budget is exhausted.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict
+
+import numpy as np
+
+from repro.core.aggregate import aggregate_batch, aggregate_loop
+from repro.core.config import LeidenConfig
+from repro.core.dendrogram import Dendrogram
+from repro.core.local_move import local_move_batch, local_move_loop
+from repro.core.local_move_threads import local_move_threads
+from repro.core.quality import Quality
+from repro.core.refine import refine_batch, refine_loop
+from repro.core.result import (
+    PHASE_AGGREGATE,
+    PHASE_LOCAL_MOVE,
+    PHASE_OTHER,
+    PHASE_REFINE,
+    LeidenResult,
+    PassStats,
+)
+from repro.graph.csr import CSRGraph
+from repro.graph.reorder import order_ranks as _order_ranks
+from repro.graph.reorder import vertex_order as _vertex_order
+from repro.metrics.partition import renumber_membership
+from repro.parallel.rng import Xorshift32
+from repro.parallel.runtime import Runtime
+from repro.parallel.simthread import WorkLedger
+from repro.types import VERTEX_DTYPE
+
+__all__ = ["leiden"]
+
+
+def leiden(
+    graph: CSRGraph,
+    config: LeidenConfig | None = None,
+    *,
+    runtime: Runtime | None = None,
+    initial_membership=None,
+    affected=None,
+    validate_input: bool = False,
+) -> LeidenResult:
+    """Detect communities in ``graph`` with GVE-Leiden.
+
+    ``graph`` must be undirected (symmetric edge storage); pass
+    ``validate_input=True`` to verify that (and weight symmetry/
+    finiteness) up front instead of silently computing on a directed
+    graph.  Returns a
+    :class:`repro.core.result.LeidenResult` whose ``membership`` holds a
+    compact community id per vertex.
+
+    ``initial_membership`` warm-starts the first pass from an existing
+    partition instead of singletons, and ``affected`` (a boolean mask or
+    vertex-id array) seeds the first pass's pruning flags so only the
+    given vertices are initially reconsidered — together these are the
+    primitives :mod:`repro.dynamic` builds its incremental update
+    strategies on.
+    """
+    if validate_input:
+        from repro.graph.validate import validate_csr
+
+        validate_csr(graph, require_positive_weights=False)
+    cfg = config or LeidenConfig()
+    rt = runtime or Runtime(num_threads=1, seed=cfg.seed)
+    rng = Xorshift32(cfg.seed)
+    qual = Quality(cfg.quality, cfg.resolution)
+
+    n0 = graph.num_vertices
+    C_top = np.arange(n0, dtype=VERTEX_DTYPE)
+    dendrogram = Dendrogram()
+    passes: list[PassStats] = []
+    wall_phase: Dict[str, float] = {p: 0.0 for p in
+                                    (PHASE_LOCAL_MOVE, PHASE_REFINE,
+                                     PHASE_AGGREGATE, PHASE_OTHER)}
+    t_start = time.perf_counter()
+
+    G = graph
+    if initial_membership is None:
+        init_membership: np.ndarray | None = None
+    else:
+        init_membership, _ = renumber_membership(
+            np.asarray(initial_membership, dtype=VERTEX_DTYPE)
+        )
+    first_unprocessed = _affected_mask(affected, n0)
+    tau = cfg.initial_tolerance()
+    # CPM tracks node sizes through aggregation (super-vertices count the
+    # original vertices they contain); modularity ignores them.
+    sizes = np.ones(n0, dtype=np.float64)
+
+    for pass_index in range(cfg.max_passes):
+        pass_ledger = WorkLedger()
+        saved_ledger = rt.ledger
+        rt.ledger = pass_ledger
+        pw: Dict[str, float] = {p: 0.0 for p in wall_phase}
+        n = G.num_vertices
+
+        # -- initialization (line 4) -------------------------------------
+        t0 = time.perf_counter()
+        K = G.vertex_weights().copy()
+        Qv = qual.vertex_quantity(K, sizes)
+        if init_membership is None:
+            C = np.arange(n, dtype=VERTEX_DTYPE)
+            Sigma = Qv.copy()
+        else:
+            C = init_membership.copy()
+            Sigma = np.bincount(C, weights=Qv, minlength=n)
+        rt.record_parallel(np.ones(n), phase=PHASE_OTHER)
+        pw[PHASE_OTHER] += time.perf_counter() - t0
+
+        # -- local-moving phase (line 5) ----------------------------------
+        t0 = time.perf_counter()
+        if cfg.vertex_order != "natural":
+            order = _vertex_order(G, cfg.vertex_order, seed=cfg.seed)
+            ranks = _order_ranks(order)
+        else:
+            order = ranks = None
+        if cfg.engine == "threads":
+            li, _dq = local_move_threads(
+                G, C, K, Sigma, tau,
+                runtime=rt,
+                max_iterations=cfg.max_iterations,
+                quality=qual,
+                quantities=Qv,
+                unprocessed_mask=(first_unprocessed if pass_index == 0
+                                  else None),
+                pruning=cfg.vertex_pruning,
+            )
+        elif cfg.engine == "batch":
+            li, _dq = local_move_batch(
+                G, C, K, Sigma, tau,
+                runtime=rt,
+                max_iterations=cfg.max_iterations,
+                batch_size=cfg.batch_size,
+                quality=qual,
+                quantities=Qv,
+                unprocessed_mask=(first_unprocessed if pass_index == 0
+                                  else None),
+                pruning=cfg.vertex_pruning,
+                order_ranks=ranks,
+            )
+        else:
+            li, _dq = local_move_loop(
+                G, C, K, Sigma, tau,
+                runtime=rt,
+                max_iterations=cfg.max_iterations,
+                quality=qual,
+                quantities=Qv,
+                unprocessed_mask=(first_unprocessed if pass_index == 0
+                                  else None),
+                pruning=cfg.vertex_pruning,
+                order=order,
+            )
+        pw[PHASE_LOCAL_MOVE] += time.perf_counter() - t0
+
+        # -- refinement phase (lines 6-7) -----------------------------------
+        t0 = time.perf_counter()
+        C_B = C.copy()
+        if cfg.use_refinement:
+            C_ref = np.arange(n, dtype=VERTEX_DTYPE)
+            Sigma_ref = Qv.copy()
+            if cfg.engine == "batch":
+                lj = refine_batch(
+                    G, C_B, C_ref, K, Sigma_ref,
+                    runtime=rt,
+                    rng=rng,
+                    refinement=cfg.refinement,
+                    batch_size=cfg.batch_size,
+                    guard=cfg.refine_guard,
+                    quality=qual,
+                    quantities=Qv,
+                )
+            else:
+                lj = refine_loop(
+                    G, C_B, C_ref, K, Sigma_ref,
+                    runtime=rt,
+                    rng=rng,
+                    refinement=cfg.refinement,
+                    quality=qual,
+                    quantities=Qv,
+                )
+        else:
+            # GVE-Louvain: aggregation follows the move phase directly.
+            C_ref = C_B
+            lj = 0
+        pw[PHASE_REFINE] += time.perf_counter() - t0
+
+        # -- convergence / shrink checks (lines 8-10) ------------------------
+        t0 = time.perf_counter()
+        converged = li <= 1 and lj == 0
+        C_ref_ren, ref_ids = renumber_membership(C_ref)
+        num_comms = int(ref_ids.shape[0])
+        low_shrink = (
+            cfg.aggregation_tolerance is not None
+            and n > 0
+            and num_comms / n > cfg.aggregation_tolerance
+        )
+        if converged or low_shrink:
+            # Algorithm 1 breaks before line 14's move-based remapping,
+            # so the final dendrogram lookup (line 16) applies the
+            # *refined* membership — which is internally connected by
+            # construction (the CAS discipline of Algorithm 3).
+            dendrogram.add_level(C_ref_ren)
+            C_top = C_ref_ren[C_top]
+            pw[PHASE_OTHER] += time.perf_counter() - t0
+            rt.record_parallel(np.ones(max(n, 1)), phase=PHASE_OTHER)
+            _close_pass(
+                passes, pass_index, n, int(np.unique(C_top).shape[0]),
+                li, lj, tau, pw, pass_ledger,
+            )
+            rt.ledger = saved_ledger
+            rt.ledger.merge(pass_ledger)
+            for p, s in pw.items():
+                wall_phase[p] += s
+            break
+
+        # -- dendrogram lookup (lines 11-12) ----------------------------------
+        dendrogram.add_level(C_ref_ren)
+        C_top = C_ref_ren[C_top]
+        rt.record_parallel(np.ones(n0), phase=PHASE_OTHER)
+        pw[PHASE_OTHER] += time.perf_counter() - t0
+
+        # -- aggregation phase (line 13) ------------------------------------------
+        t0 = time.perf_counter()
+        if cfg.engine == "batch":
+            G = aggregate_batch(G, C_ref_ren, num_comms, runtime=rt)
+        else:
+            G = aggregate_loop(G, C_ref_ren, num_comms, runtime=rt)
+        sizes = np.bincount(C_ref_ren, weights=sizes, minlength=num_comms)
+        pw[PHASE_AGGREGATE] += time.perf_counter() - t0
+
+        # -- next pass's initial membership (line 14) -------------------------------
+        t0 = time.perf_counter()
+        if cfg.vertex_label == "move" and cfg.use_refinement:
+            # Each super-vertex (refined community) starts in the
+            # community its members held after the local-moving phase.
+            _, first_member = np.unique(C_ref_ren, return_index=True)
+            bound_labels = C_B[first_member]
+            init_membership, _ = renumber_membership(bound_labels)
+        else:
+            init_membership = None
+        tau = cfg.next_tolerance(tau)
+        rt.record_serial(float(num_comms), phase=PHASE_OTHER)
+        pw[PHASE_OTHER] += time.perf_counter() - t0
+
+        _close_pass(
+            passes, pass_index, n, num_comms, li, lj, tau, pw, pass_ledger
+        )
+        rt.ledger = saved_ledger
+        rt.ledger.merge(pass_ledger)
+        for p, s in pw.items():
+            wall_phase[p] += s
+    else:
+        # Pass budget exhausted: the dendrogram currently maps onto the
+        # *refined* communities of the last pass; move-based labelling
+        # composes the move-phase bound on top (Algorithm 1, line 16
+        # after line 14's remapping).
+        if cfg.vertex_label == "move" and init_membership is not None:
+            dendrogram.add_level(init_membership)
+            C_top = init_membership[C_top]
+
+    # Final renumbering keeps ids compact regardless of the exit path.
+    C_top, _ = renumber_membership(C_top)
+    wall = time.perf_counter() - t_start
+    return LeidenResult(
+        membership=C_top,
+        dendrogram=dendrogram,
+        passes=passes,
+        ledger=rt.ledger,
+        wall_seconds=wall,
+        wall_phase_seconds=wall_phase,
+    )
+
+
+def _affected_mask(affected, n: int):
+    """Normalize the ``affected`` argument to a boolean mask or None."""
+    if affected is None:
+        return None
+    arr = np.asarray(affected)
+    if arr.dtype == bool:
+        if arr.shape[0] != n:
+            raise ValueError("affected mask length must equal vertex count")
+        return arr
+    mask = np.zeros(n, dtype=bool)
+    mask[arr] = True
+    return mask
+
+
+def _close_pass(passes, index, n, num_comms, li, lj, tau, pw, ledger) -> None:
+    passes.append(
+        PassStats(
+            index=index,
+            num_vertices=n,
+            num_communities=num_comms,
+            move_iterations=li,
+            refine_moves=lj,
+            tolerance=tau,
+            wall_phase_seconds=dict(pw),
+            ledger=ledger,
+        )
+    )

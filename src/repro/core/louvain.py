@@ -1,0 +1,35 @@
+"""GVE-Louvain: the Louvain method with the same optimizations.
+
+The paper derives its Leiden optimizations from the authors' Louvain
+implementation (GVE-Louvain, reference [23]); the Leiden algorithm is
+Louvain plus the refinement phase.  Disabling refinement in the shared
+driver therefore *is* GVE-Louvain: local-moving then aggregation by the
+move-phase communities, with threshold scaling, aggregation tolerance,
+vertex pruning and the CSR aggregation intact.
+
+Louvain is also the reference point for the quality comparisons: it may
+produce internally-disconnected communities, which Leiden's refinement
+provably avoids — our test suite checks both sides of that claim.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import LeidenConfig
+from repro.core.leiden import leiden
+from repro.core.result import LeidenResult
+from repro.graph.csr import CSRGraph
+from repro.parallel.runtime import Runtime
+
+__all__ = ["louvain"]
+
+
+def louvain(
+    graph: CSRGraph,
+    config: LeidenConfig | None = None,
+    *,
+    runtime: Runtime | None = None,
+) -> LeidenResult:
+    """Detect communities with GVE-Louvain (no refinement phase)."""
+    cfg = config or LeidenConfig()
+    cfg = cfg.with_(use_refinement=False)
+    return leiden(graph, cfg, runtime=runtime)

@@ -1,0 +1,41 @@
+"""Dynamic (incremental) Leiden for evolving graphs.
+
+The paper closes its variant discussion with the observation that the
+refine-based super-vertex labelling "may be more suitable for the design
+of dynamic Leiden algorithm (for dynamic graphs)" — the follow-up work
+the same group published as ND/DS/DF-Leiden.  This package implements
+that extension on top of the static engine:
+
+- :mod:`repro.dynamic.batch` — edge insertion/deletion batches and their
+  application to a CSR graph;
+- :mod:`repro.dynamic.strategies` — the three affected-vertex policies
+  from the dynamic-community-detection literature:
+
+  * **naive-dynamic (ND)**: warm-start from the previous membership,
+    reconsider every vertex;
+  * **delta-screening (DS)**: reconsider the endpoints of changed edges,
+    their neighbourhoods, and (for deletions) everything in the affected
+    communities;
+  * **dynamic-frontier (DF)**: reconsider only the endpoints; the
+    pruning flags propagate work outward exactly like the static
+    algorithm's "mark neighbours unprocessed" rule;
+
+- :mod:`repro.dynamic.update` — ``dynamic_leiden``, the incremental
+  driver tying them together.
+"""
+
+from repro.dynamic.batch import EdgeBatch, apply_batch
+from repro.dynamic.strategies import (
+    APPROACHES,
+    affected_vertices,
+)
+from repro.dynamic.update import DynamicResult, dynamic_leiden
+
+__all__ = [
+    "EdgeBatch",
+    "apply_batch",
+    "APPROACHES",
+    "affected_vertices",
+    "DynamicResult",
+    "dynamic_leiden",
+]

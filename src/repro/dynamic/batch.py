@@ -1,0 +1,157 @@
+"""Edge batches: the unit of change for the dynamic algorithm.
+
+A batch carries undirected insertions and deletions.  ``apply_batch``
+produces the updated CSR graph: deletions remove *all* parallel edges
+between their endpoint pairs (both directions), insertions are added
+symmetrically and coalesced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import GraphStructureError
+from repro.graph.builder import build_csr_from_edges
+from repro.graph.csr import CSRGraph
+from repro.types import VERTEX_DTYPE, WEIGHT_DTYPE
+
+__all__ = ["EdgeBatch", "apply_batch", "random_batch"]
+
+
+def _as_pairs(edges) -> tuple[np.ndarray, np.ndarray]:
+    if edges is None or len(edges) == 0:
+        e = np.empty(0, dtype=VERTEX_DTYPE)
+        return e, e.copy()
+    arr = np.asarray(edges, dtype=VERTEX_DTYPE)
+    if arr.ndim != 2 or arr.shape[1] != 2:
+        raise GraphStructureError("edges must be an (n, 2) array")
+    return np.ascontiguousarray(arr[:, 0]), np.ascontiguousarray(arr[:, 1])
+
+
+@dataclass
+class EdgeBatch:
+    """A set of undirected edge insertions and deletions."""
+
+    insert_sources: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=VERTEX_DTYPE))
+    insert_targets: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=VERTEX_DTYPE))
+    insert_weights: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=WEIGHT_DTYPE))
+    delete_sources: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=VERTEX_DTYPE))
+    delete_targets: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=VERTEX_DTYPE))
+
+    @classmethod
+    def from_edges(cls, insertions=None, deletions=None,
+                   insert_weights=None) -> "EdgeBatch":
+        """Build a batch from ``(u, v)`` pair lists."""
+        isrc, idst = _as_pairs(insertions)
+        dsrc, ddst = _as_pairs(deletions)
+        if insert_weights is None:
+            iw = np.ones(isrc.shape[0], dtype=WEIGHT_DTYPE)
+        else:
+            iw = np.asarray(insert_weights, dtype=WEIGHT_DTYPE)
+            if iw.shape[0] != isrc.shape[0]:
+                raise GraphStructureError("insert_weights length mismatch")
+        return cls(isrc, idst, iw, dsrc, ddst)
+
+    @property
+    def num_insertions(self) -> int:
+        return int(self.insert_sources.shape[0])
+
+    @property
+    def num_deletions(self) -> int:
+        return int(self.delete_sources.shape[0])
+
+    def touched_vertices(self) -> np.ndarray:
+        """Sorted unique endpoints of every changed edge."""
+        return np.unique(np.concatenate([
+            self.insert_sources, self.insert_targets,
+            self.delete_sources, self.delete_targets,
+        ]))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"EdgeBatch(+{self.num_insertions} edges, "
+                f"-{self.num_deletions} edges)")
+
+
+def apply_batch(graph: CSRGraph, batch: EdgeBatch) -> CSRGraph:
+    """The graph after applying ``batch``.
+
+    Deletions remove all stored edges between each ``{u, v}`` pair (in
+    both directions); insertions are symmetrized and coalesced with any
+    surviving parallel edges.  The vertex set may grow if insertions
+    reference new ids.
+    """
+    src, dst, wgt = graph.to_coo()
+    if batch.num_deletions:
+        n = max(graph.num_vertices,
+                int(batch.delete_sources.max(initial=-1)) + 1,
+                int(batch.delete_targets.max(initial=-1)) + 1)
+        # canonical undirected keys
+        lo = np.minimum(src, dst).astype(np.int64)
+        hi = np.maximum(src, dst).astype(np.int64)
+        keys = lo * n + hi
+        dlo = np.minimum(batch.delete_sources, batch.delete_targets).astype(np.int64)
+        dhi = np.maximum(batch.delete_sources, batch.delete_targets).astype(np.int64)
+        dkeys = np.unique(dlo * n + dhi)
+        keep = ~np.isin(keys, dkeys)
+        src, dst, wgt = src[keep], dst[keep], wgt[keep]
+
+    if batch.num_insertions:
+        # New edges enter directed-once; symmetrize only them, then merge.
+        isrc = batch.insert_sources
+        idst = batch.insert_targets
+        iw = batch.insert_weights
+        loops = isrc == idst
+        add_src = np.concatenate([isrc, idst[~loops]])
+        add_dst = np.concatenate([idst, isrc[~loops]])
+        add_w = np.concatenate([iw, iw[~loops]])
+        src = np.concatenate([src, add_src])
+        dst = np.concatenate([dst, add_dst])
+        wgt = np.concatenate([wgt, add_w])
+
+    num_vertices = graph.num_vertices
+    if src.shape[0]:
+        num_vertices = max(num_vertices,
+                           int(src.max()) + 1, int(dst.max()) + 1)
+    return build_csr_from_edges(
+        src, dst, wgt,
+        num_vertices=num_vertices,
+        symmetrize=False,
+        coalesce="sum",
+    )
+
+
+def random_batch(
+    graph: CSRGraph,
+    *,
+    num_insertions: int = 0,
+    num_deletions: int = 0,
+    seed: int = 0,
+) -> EdgeBatch:
+    """A random batch: uniform new pairs plus uniformly sampled existing
+    edges to delete — the standard dynamic-benchmark workload."""
+    rng = np.random.default_rng(seed)
+    n = graph.num_vertices
+    ins = None
+    if num_insertions:
+        u = rng.integers(0, n, num_insertions)
+        v = rng.integers(0, n, num_insertions)
+        keep = u != v
+        ins = np.stack([u[keep], v[keep]], axis=1)
+    dels = None
+    if num_deletions:
+        src, dst, _ = graph.to_coo()
+        fwd = src < dst
+        src, dst = src[fwd], dst[fwd]
+        if src.shape[0]:
+            pick = rng.choice(src.shape[0],
+                              size=min(num_deletions, src.shape[0]),
+                              replace=False)
+            dels = np.stack([src[pick], dst[pick]], axis=1)
+    return EdgeBatch.from_edges(ins, dels)

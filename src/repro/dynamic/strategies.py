@@ -1,0 +1,77 @@
+"""Affected-vertex strategies for incremental updates.
+
+Given the previous membership and an edge batch, each strategy marks the
+vertices whose community assignment must be reconsidered:
+
+- **naive-dynamic (ND)** — everyone; the warm start alone saves work;
+- **delta-screening (DS)** (Zarayeneh & Kalyanaraman) — for an inserted
+  edge between different communities: both endpoints and their
+  neighbourhoods plus the destination community; for a deleted edge
+  within a community: the whole community.  Conservative but sound;
+- **dynamic-frontier (DF)** (the paper group's follow-up) — only the
+  endpoints of changed edges; the local-moving phase's pruning rule
+  ("mark neighbours of movers unprocessed") then grows the frontier
+  organically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dynamic.batch import EdgeBatch
+from repro.errors import ConfigError
+from repro.graph.csr import CSRGraph
+
+__all__ = ["APPROACHES", "affected_vertices"]
+
+APPROACHES = ("naive", "delta-screening", "frontier")
+
+
+def affected_vertices(
+    graph: CSRGraph,
+    membership: np.ndarray,
+    batch: EdgeBatch,
+    *,
+    approach: str = "frontier",
+) -> np.ndarray:
+    """Boolean mask of vertices the update must reconsider.
+
+    ``graph`` is the *updated* graph; ``membership`` the pre-update
+    partition (already padded/truncated to the new vertex count).
+    """
+    if approach not in APPROACHES:
+        raise ConfigError(f"approach must be one of {APPROACHES}")
+    n = graph.num_vertices
+    mask = np.zeros(n, dtype=bool)
+    if approach == "naive":
+        mask[:] = True
+        return mask
+
+    touched = batch.touched_vertices()
+    touched = touched[touched < n]
+    mask[touched] = True
+    if approach == "frontier":
+        return mask
+
+    # delta-screening: widen around the change sites.
+    C = np.asarray(membership)
+    # Insertions: both endpoints' neighbourhoods, plus every vertex of
+    # the community the edge points into (it may now attract others).
+    for u, v in zip(batch.insert_sources.tolist(),
+                    batch.insert_targets.tolist()):
+        if u < n:
+            mask[graph.neighbors(u)] = True
+        if v < n:
+            mask[graph.neighbors(v)] = True
+            mask[C == C[v]] = True
+    # Deletions: an intra-community deletion can split the community, so
+    # all of it must be revisited; endpoints' neighbourhoods regardless.
+    for u, v in zip(batch.delete_sources.tolist(),
+                    batch.delete_targets.tolist()):
+        if u < n:
+            mask[graph.neighbors(u)] = True
+        if v < n:
+            mask[graph.neighbors(v)] = True
+        if u < n and v < n and C[u] == C[v]:
+            mask[C == C[u]] = True
+    return mask

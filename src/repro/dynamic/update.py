@@ -1,0 +1,92 @@
+"""The incremental driver: ``dynamic_leiden``.
+
+Applies an edge batch to a graph, selects the affected vertices per the
+chosen strategy, and re-runs the static engine warm-started from the
+previous membership.  Communities of deleted intra-community edges can
+split; the refinement phase's connectivity discipline still applies, so
+the updated partition carries the same guarantee as a from-scratch run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import LeidenConfig
+from repro.core.leiden import leiden
+from repro.core.result import LeidenResult
+from repro.dynamic.batch import EdgeBatch, apply_batch
+from repro.dynamic.strategies import affected_vertices
+from repro.graph.csr import CSRGraph
+from repro.parallel.runtime import Runtime
+from repro.types import VERTEX_DTYPE
+
+__all__ = ["DynamicResult", "dynamic_leiden"]
+
+
+@dataclass
+class DynamicResult:
+    """Outcome of one incremental update."""
+
+    result: LeidenResult
+    graph: CSRGraph
+    #: Fraction of vertices initially reconsidered (1.0 for naive).
+    affected_fraction: float
+
+    @property
+    def membership(self) -> np.ndarray:
+        return self.result.membership
+
+    @property
+    def num_communities(self) -> int:
+        return self.result.num_communities
+
+
+def dynamic_leiden(
+    graph: CSRGraph,
+    membership: np.ndarray,
+    batch: EdgeBatch,
+    config: LeidenConfig | None = None,
+    *,
+    approach: str = "frontier",
+    runtime: Runtime | None = None,
+) -> DynamicResult:
+    """Update ``membership`` after applying ``batch`` to ``graph``.
+
+    Parameters
+    ----------
+    graph:
+        The pre-update graph.
+    membership:
+        The pre-update community of each vertex (e.g. a previous
+        :class:`~repro.core.result.LeidenResult`'s membership).
+    batch:
+        Edge insertions/deletions to apply.
+    approach:
+        ``"naive"``, ``"delta-screening"`` or ``"frontier"``.
+    """
+    cfg = config or LeidenConfig()
+    updated = apply_batch(graph, batch)
+
+    # Pad the previous membership over any newly-appearing vertices:
+    # each starts in its own fresh community.
+    old = np.asarray(membership, dtype=VERTEX_DTYPE)
+    n_new = updated.num_vertices
+    if n_new > old.shape[0]:
+        extra = np.arange(n_new - old.shape[0], dtype=VERTEX_DTYPE)
+        warm = np.concatenate([old, old.max(initial=-1) + 1 + extra])
+    else:
+        warm = old[:n_new].copy()
+
+    mask = affected_vertices(updated, warm, batch, approach=approach)
+    result = leiden(
+        updated,
+        cfg,
+        runtime=runtime,
+        initial_membership=warm,
+        affected=mask,
+    )
+    frac = float(mask.mean()) if mask.shape[0] else 0.0
+    return DynamicResult(result=result, graph=updated,
+                         affected_fraction=frac)

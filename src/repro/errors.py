@@ -1,0 +1,40 @@
+"""Exception hierarchy for the repro package."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class GraphFormatError(ReproError):
+    """A graph file or edge list could not be parsed or is inconsistent."""
+
+
+class GraphStructureError(ReproError):
+    """A graph object violates a structural invariant (bad CSR, etc.)."""
+
+
+class ConfigError(ReproError):
+    """An algorithm configuration is invalid or inconsistent."""
+
+
+class ConvergenceError(ReproError):
+    """An algorithm failed to make progress within its iteration budget."""
+
+
+class SimulatedOutOfMemory(ReproError):
+    """A simulated device (GPU model) ran out of device memory.
+
+    Mirrors the cuGraph OOM failures the paper reports on arabic-2005,
+    uk-2005, webbase-2001, it-2004 and sk-2005.
+    """
+
+    def __init__(self, required_bytes: int, capacity_bytes: int, what: str = "graph"):
+        self.required_bytes = int(required_bytes)
+        self.capacity_bytes = int(capacity_bytes)
+        self.what = what
+        super().__init__(
+            f"simulated device out of memory: {what} needs "
+            f"{required_bytes} B but device holds {capacity_bytes} B"
+        )

@@ -1,0 +1,133 @@
+"""Mutable 2D-vector-based weighted graph.
+
+This mirrors the "Weighted 2D-vector-based input graph" of Figure 5: one
+growable edge vector per vertex.  It is the convenient representation for
+incremental construction and small edits; convert to :class:`CSRGraph`
+before running the algorithms.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Tuple
+
+import numpy as np
+
+from repro.errors import GraphStructureError
+from repro.graph.csr import CSRGraph
+from repro.types import OFFSET_DTYPE, VERTEX_DTYPE, WEIGHT_DTYPE
+
+
+class AdjacencyGraph:
+    """A weighted graph stored as per-vertex adjacency lists."""
+
+    def __init__(self, num_vertices: int = 0) -> None:
+        self._targets: list[list[int]] = [[] for _ in range(num_vertices)]
+        self._weights: list[list[float]] = [[] for _ in range(num_vertices)]
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_csr(cls, graph: CSRGraph) -> "AdjacencyGraph":
+        """Copy a CSR graph into mutable adjacency-list form."""
+        g = cls(graph.num_vertices)
+        for i in range(graph.num_vertices):
+            dst, wgt = graph.edges(i)
+            g._targets[i] = dst.tolist()
+            g._weights[i] = [float(w) for w in wgt]
+        return g
+
+    def add_vertex(self) -> int:
+        """Append a fresh isolated vertex; return its id."""
+        self._targets.append([])
+        self._weights.append([])
+        return len(self._targets) - 1
+
+    def ensure_vertices(self, count: int) -> None:
+        """Grow the vertex set so at least ``count`` vertices exist."""
+        while len(self._targets) < count:
+            self.add_vertex()
+
+    def add_edge(self, u: int, v: int, weight: float = 1.0) -> None:
+        """Add a directed edge ``u -> v``.
+
+        For an undirected graph call :meth:`add_undirected_edge` instead so
+        both directions stay in sync.
+        """
+        self._check_vertex(u)
+        self._check_vertex(v)
+        self._targets[u].append(int(v))
+        self._weights[u].append(float(weight))
+
+    def add_undirected_edge(self, u: int, v: int, weight: float = 1.0) -> None:
+        """Add both directions of an undirected edge (one slot if u == v)."""
+        self.add_edge(u, v, weight)
+        if u != v:
+            self.add_edge(v, u, weight)
+
+    def add_edges(self, edges: Iterable[Tuple[int, int, float]]) -> None:
+        """Add many directed ``(u, v, w)`` edges."""
+        for u, v, w in edges:
+            self.add_edge(u, v, w)
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self._targets)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of stored directed edges."""
+        return sum(len(t) for t in self._targets)
+
+    def degree(self, i: int) -> int:
+        self._check_vertex(i)
+        return len(self._targets[i])
+
+    def neighbors(self, i: int) -> list[int]:
+        self._check_vertex(i)
+        return list(self._targets[i])
+
+    def edges(self, i: int) -> Iterator[Tuple[int, float]]:
+        """Yield ``(target, weight)`` pairs of vertex ``i``."""
+        self._check_vertex(i)
+        return iter(zip(self._targets[i], self._weights[i]))
+
+    def has_edge(self, u: int, v: int) -> bool:
+        self._check_vertex(u)
+        return int(v) in self._targets[u]
+
+    def edge_weight(self, u: int, v: int) -> float:
+        """Total weight of parallel ``u -> v`` edges (0.0 when absent)."""
+        self._check_vertex(u)
+        total = 0.0
+        for t, w in zip(self._targets[u], self._weights[u]):
+            if t == v:
+                total += w
+        return total
+
+    def _check_vertex(self, i: int) -> None:
+        if not 0 <= int(i) < len(self._targets):
+            raise GraphStructureError(f"vertex {i} out of range")
+
+    # -- conversion ----------------------------------------------------------
+
+    def to_csr(self) -> CSRGraph:
+        """Freeze into an immutable CSR graph."""
+        n = self.num_vertices
+        counts = np.fromiter(
+            (len(t) for t in self._targets), dtype=OFFSET_DTYPE, count=n
+        )
+        offsets = np.zeros(n + 1, dtype=OFFSET_DTYPE)
+        np.cumsum(counts, out=offsets[1:])
+        total = int(offsets[-1])
+        targets = np.empty(total, dtype=VERTEX_DTYPE)
+        weights = np.empty(total, dtype=WEIGHT_DTYPE)
+        for i in range(n):
+            s, e = offsets[i], offsets[i + 1]
+            targets[s:e] = self._targets[i]
+            weights[s:e] = self._weights[i]
+        return CSRGraph(offsets, targets, weights, validate=False)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"AdjacencyGraph(n={self.num_vertices}, edges={self.num_edges})"

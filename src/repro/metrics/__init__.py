@@ -1,0 +1,58 @@
+"""Community-quality metrics: modularity, connectivity, partition tools."""
+
+from repro.metrics.modularity import (
+    modularity,
+    delta_modularity,
+    community_weights,
+    intra_community_weight,
+)
+from repro.metrics.connectivity import (
+    connected_components,
+    count_components,
+    disconnected_communities,
+    is_community_connected,
+)
+from repro.metrics.partition import (
+    community_sizes,
+    count_communities,
+    renumber_membership,
+    check_membership,
+    groups_from_membership,
+)
+from repro.core.quality import cpm_quality
+from repro.metrics.stability import StabilityReport, seed_stability
+from repro.metrics.summary import (
+    CommunitySummary,
+    PartitionSummary,
+    summarize_partition,
+)
+from repro.metrics.comparison import (
+    contingency_counts,
+    normalized_mutual_information,
+    adjusted_rand_index,
+)
+
+__all__ = [
+    "modularity",
+    "cpm_quality",
+    "delta_modularity",
+    "community_weights",
+    "intra_community_weight",
+    "connected_components",
+    "count_components",
+    "disconnected_communities",
+    "is_community_connected",
+    "community_sizes",
+    "count_communities",
+    "renumber_membership",
+    "check_membership",
+    "groups_from_membership",
+    "contingency_counts",
+    "normalized_mutual_information",
+    "adjusted_rand_index",
+    "CommunitySummary",
+    "PartitionSummary",
+    "summarize_partition",
+    "StabilityReport",
+    "seed_stability",
+]

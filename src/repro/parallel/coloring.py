@@ -1,0 +1,84 @@
+"""Parallel greedy graph coloring (Jones-Plassmann style).
+
+The batch-parallel local-moving kernel processes vertices in batches that
+share one snapshot of the memberships.  If two *adjacent* vertices decide
+in the same batch they can swap or chase each other's communities forever
+— the classic oscillation of synchronous Louvain.  Ordering vertices by a
+proper coloring (a technique the paper cites from Grappolo [11]) removes
+the problem: within a color class no two vertices are adjacent, so batch
+decisions are exactly as independent as the asynchronous algorithm's.
+
+The coloring itself is the standard parallel maximal-independent-set
+iteration with random priorities: in each round, every uncolored vertex
+that is a local priority maximum among its uncolored neighbors takes the
+round's color.  Rounds are fully vectorized (one ``np.maximum.at`` pass
+over the edges each).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+
+__all__ = ["color_graph", "color_classes", "verify_coloring"]
+
+
+def color_graph(
+    graph: CSRGraph,
+    *,
+    seed: int = 0,
+    max_rounds: int = 256,
+) -> np.ndarray:
+    """Proper vertex coloring; returns a color id per vertex.
+
+    Colors are dense ``0..k-1``.  If ``max_rounds`` is hit (pathological
+    inputs), all remaining vertices are given mutually distinct fresh
+    colors, preserving properness.
+    """
+    n = graph.num_vertices
+    colors = np.full(n, -1, dtype=np.int64)
+    if n == 0:
+        return colors
+    src, dst, _ = graph.to_coo()
+    notself = src != dst
+    src, dst = src[notself], dst[notself]
+
+    rng = np.random.default_rng(seed)
+    priority = rng.permutation(n)
+    uncolored = np.ones(n, dtype=bool)
+    color = 0
+    while uncolored.any():
+        if color >= max_rounds:
+            remaining = np.flatnonzero(uncolored)
+            colors[remaining] = color + np.arange(remaining.shape[0])
+            break
+        # Max uncolored-neighbor priority per uncolored vertex.
+        live = uncolored[src] & uncolored[dst]
+        best = np.full(n, -1, dtype=np.int64)
+        if live.any():
+            np.maximum.at(best, dst[live], priority[src[live]])
+        winners = uncolored & (priority > best)
+        colors[winners] = color
+        uncolored[winners] = False
+        color += 1
+    return colors
+
+
+def color_classes(colors: np.ndarray) -> list[np.ndarray]:
+    """Vertex-id arrays per color, ascending color then ascending id."""
+    if colors.shape[0] == 0:
+        return []
+    order = np.argsort(colors, kind="stable")
+    sorted_colors = colors[order]
+    boundaries = np.flatnonzero(
+        np.concatenate([[True], sorted_colors[1:] != sorted_colors[:-1]])
+    )
+    return np.split(order, boundaries[1:])
+
+
+def verify_coloring(graph: CSRGraph, colors: np.ndarray) -> bool:
+    """True iff no edge connects two vertices of the same color."""
+    src, dst, _ = graph.to_coo()
+    notself = src != dst
+    return not bool(np.any(colors[src[notself]] == colors[dst[notself]]))

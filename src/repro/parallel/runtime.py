@@ -1,0 +1,173 @@
+"""Runtime facade: thread count, schedule, executors and accounting.
+
+A :class:`Runtime` is passed through every phase of the algorithms.  It
+owns the work ledger (for modelled time), the per-thread RNGs and
+hashtables, and an executor that can run chunked loops either serially
+(default — deterministic, used by the simulated machine) or on real
+Python threads (`executor="threads"`, useful to exercise the thread-safe
+code paths even though the GIL serializes them).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, List, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.parallel.costmodel import MachineModel, PAPER_MACHINE
+from repro.parallel.hashtable import CollisionFreeHashtable
+from repro.parallel.rng import Xorshift32
+from repro.parallel.schedule import DEFAULT_CHUNK, Schedule, chunk_spans
+from repro.parallel.simthread import SimulatedTime, WorkLedger
+
+_EXECUTORS = ("serial", "threads")
+
+
+class Runtime:
+    """Execution context for one algorithm run.
+
+    Parameters
+    ----------
+    num_threads:
+        Thread count the run models (and uses, with ``executor="threads"``).
+    schedule:
+        Loop schedule; the paper uses OpenMP ``dynamic`` (chunked).
+    seed:
+        Seed for the master xorshift32; per-thread generators are spawned
+        from it.
+    executor:
+        ``"serial"`` (deterministic, default) or ``"threads"``.
+    machine:
+        Machine model used by :meth:`simulate`; defaults to the paper's
+        dual-Xeon testbed.
+    """
+
+    def __init__(
+        self,
+        num_threads: int = 1,
+        *,
+        schedule: Schedule | None = None,
+        seed: int = 12345,
+        executor: str = "serial",
+        machine: MachineModel | None = None,
+    ) -> None:
+        if num_threads < 1:
+            raise ConfigError("num_threads must be >= 1")
+        if executor not in _EXECUTORS:
+            raise ConfigError(f"executor must be one of {_EXECUTORS}")
+        self.num_threads = int(num_threads)
+        self.schedule = schedule or Schedule("dynamic", DEFAULT_CHUNK)
+        self.executor = executor
+        self.machine = machine or PAPER_MACHINE
+        self.ledger = WorkLedger()
+        self.master_rng = Xorshift32(seed)
+        self.thread_rngs: List[Xorshift32] = self.master_rng.spawn(self.num_threads)
+        self._pool: ThreadPoolExecutor | None = None
+
+    # -- per-thread resources ------------------------------------------------
+
+    def hashtables(self, capacity: int) -> List[CollisionFreeHashtable]:
+        """One collision-free hashtable per thread (Algorithms 2-4)."""
+        return [CollisionFreeHashtable(capacity) for _ in range(self.num_threads)]
+
+    # -- execution -------------------------------------------------------------
+
+    def map_chunks(
+        self,
+        n_items: int,
+        body: Callable[[int, int, int], None],
+        *,
+        schedule: Schedule | None = None,
+    ) -> None:
+        """Run ``body(start, stop, thread_id)`` over chunks of ``[0, n_items)``.
+
+        With the serial executor, chunks run in order with a synthetic
+        round-robin thread id; with the thread executor they are submitted
+        to a real pool of ``num_threads`` workers.
+        """
+        sched = schedule or self.schedule
+        spans = chunk_spans(n_items, sched, self.num_threads)
+        if not spans:
+            return
+        if self.executor == "serial" or self.num_threads == 1:
+            for c, (lo, hi) in enumerate(spans):
+                body(lo, hi, c % self.num_threads)
+            return
+        pool = self._ensure_pool()
+        futures = [
+            pool.submit(body, lo, hi, c % self.num_threads)
+            for c, (lo, hi) in enumerate(spans)
+        ]
+        for f in futures:
+            f.result()
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(max_workers=self.num_threads)
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the thread pool, if one was created."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "Runtime":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- accounting --------------------------------------------------------------
+
+    def record_parallel(
+        self,
+        item_costs,
+        *,
+        phase: str,
+        atomics: float = 0.0,
+        schedule: Schedule | None = None,
+    ) -> None:
+        """Record one parallel region's per-item work in the ledger."""
+        self.ledger.parallel(
+            item_costs,
+            phase=phase,
+            schedule=schedule or self.schedule,
+            atomics=atomics,
+        )
+
+    def record_serial(self, cost: float, *, phase: str) -> None:
+        """Record sequential work in the ledger."""
+        self.ledger.serial(cost, phase=phase)
+
+    def simulate(
+        self,
+        *,
+        machine: MachineModel | None = None,
+        num_threads: int | None = None,
+    ) -> SimulatedTime:
+        """Modelled runtime of everything recorded so far."""
+        return self.ledger.simulate(
+            machine or self.machine,
+            num_threads if num_threads is not None else self.num_threads,
+        )
+
+    # -- misc -------------------------------------------------------------------
+
+    def batch_order(self, n_items: int) -> Sequence[np.ndarray]:
+        """Vertex-id batches matching the schedule's chunking.
+
+        The batch-parallel kernels process one batch as "the set of
+        vertices concurrently in flight", which is how the asynchronous
+        OpenMP loop behaves with a dynamic schedule.
+        """
+        spans = chunk_spans(n_items, self.schedule, self.num_threads)
+        return [np.arange(lo, hi, dtype=np.int64) for lo, hi in spans]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Runtime(threads={self.num_threads}, schedule={self.schedule.kind}"
+            f"/{self.schedule.chunk}, executor={self.executor})"
+        )

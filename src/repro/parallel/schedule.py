@@ -1,0 +1,122 @@
+"""OpenMP-style loop schedules and their makespan under simulation.
+
+GVE-Leiden uses OpenMP's *dynamic* schedule (chunk 2048) for the vertex
+loops.  The simulated runtime needs two things from a schedule: how a loop
+is split into chunks, and which thread executes each chunk — from which
+the per-thread finishing times (and hence the region makespan) follow.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+DEFAULT_CHUNK = 2048
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """A loop schedule: ``kind`` is ``"static"``, ``"dynamic"`` or ``"guided"``."""
+
+    kind: str = "dynamic"
+    chunk: int = DEFAULT_CHUNK
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("static", "dynamic", "guided"):
+            raise ValueError(f"unknown schedule kind {self.kind!r}")
+        if self.chunk < 1:
+            raise ValueError("chunk must be >= 1")
+
+
+def chunk_spans(n_items: int, schedule: Schedule, num_threads: int) -> List[Tuple[int, int]]:
+    """Split ``[0, n_items)`` into ``(start, stop)`` chunks per the schedule.
+
+    - ``static``: ``num_threads`` contiguous near-equal blocks;
+    - ``dynamic``: fixed-size chunks of ``schedule.chunk`` items;
+    - ``guided``: exponentially shrinking chunks with floor ``schedule.chunk``.
+    """
+    if n_items <= 0:
+        return []
+    if schedule.kind == "static":
+        bounds = np.linspace(0, n_items, num_threads + 1).astype(np.int64)
+        return [
+            (int(bounds[t]), int(bounds[t + 1]))
+            for t in range(num_threads)
+            if bounds[t + 1] > bounds[t]
+        ]
+    if schedule.kind == "dynamic":
+        starts = list(range(0, n_items, schedule.chunk))
+        return [(s, min(s + schedule.chunk, n_items)) for s in starts]
+    # guided
+    spans: List[Tuple[int, int]] = []
+    remaining, start = n_items, 0
+    while remaining > 0:
+        size = max(schedule.chunk, remaining // (2 * num_threads))
+        size = min(size, remaining)
+        spans.append((start, start + size))
+        start += size
+        remaining -= size
+    return spans
+
+
+def assign_chunks(
+    chunk_costs: np.ndarray,
+    num_threads: int,
+    schedule: Schedule,
+) -> np.ndarray:
+    """Which thread runs each chunk, per the schedule semantics.
+
+    ``static`` assigns chunks round-robin; ``dynamic``/``guided`` hand each
+    chunk to the earliest-free thread (greedy list scheduling, which is
+    what an OpenMP dynamic loop does up to tie-breaking).
+    Returns an int array of thread ids parallel to ``chunk_costs``.
+    """
+    n = chunk_costs.shape[0]
+    owner = np.empty(n, dtype=np.int32)
+    if n == 0:
+        return owner
+    if schedule.kind == "static":
+        owner[:] = np.arange(n, dtype=np.int32) % num_threads
+        return owner
+    heap = [(0.0, t) for t in range(num_threads)]
+    heapq.heapify(heap)
+    for c in range(n):
+        busy_until, t = heapq.heappop(heap)
+        owner[c] = t
+        heapq.heappush(heap, (busy_until + float(chunk_costs[c]), t))
+    return owner
+
+
+def makespan(
+    chunk_costs: np.ndarray,
+    num_threads: int,
+    schedule: Schedule,
+    *,
+    per_chunk_overhead: float = 0.0,
+) -> float:
+    """Finish time of the slowest thread for one parallel region.
+
+    ``per_chunk_overhead`` models the scheduler handshake each chunk costs
+    under dynamic scheduling.
+    """
+    costs = np.asarray(chunk_costs, dtype=np.float64)
+    if costs.shape[0] == 0:
+        return 0.0
+    if per_chunk_overhead:
+        costs = costs + per_chunk_overhead
+    if num_threads <= 1:
+        return float(costs.sum())
+    if schedule.kind == "static":
+        owner = np.arange(costs.shape[0], dtype=np.int64) % num_threads
+        per_thread = np.bincount(owner, weights=costs, minlength=num_threads)
+        return float(per_thread.max())
+    # dynamic/guided: greedy earliest-free assignment
+    heap = [0.0] * num_threads
+    heapq.heapify(heap)
+    for c in costs:
+        t = heapq.heappop(heap)
+        heapq.heappush(heap, t + float(c))
+    return max(heap)

@@ -1,0 +1,55 @@
+"""Shared dtype and type-alias conventions.
+
+The paper (Section 5.1.2) uses 32-bit integers for vertex ids, 32-bit
+floats for edge weights, and 64-bit floats for computations and hashtable
+values.  We mirror that convention across the whole code base so memory
+layouts match what the C++ implementation would use.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+from numpy.typing import NDArray
+
+#: dtype for vertex ids and community ids (paper: 32-bit integers).
+VERTEX_DTYPE = np.int32
+
+#: dtype for CSR offsets — must hold up to 2*|E|+1, so 64-bit.
+OFFSET_DTYPE = np.int64
+
+#: dtype for stored edge weights (paper: 32-bit float).
+WEIGHT_DTYPE = np.float32
+
+#: dtype for accumulations, modularity and hashtable values (paper: 64-bit).
+ACCUM_DTYPE = np.float64
+
+VertexArray = NDArray[np.int32]
+OffsetArray = NDArray[np.int64]
+WeightArray = NDArray[np.float32]
+AccumArray = NDArray[np.float64]
+
+#: Anything accepted where a vertex id is expected.
+VertexLike = Union[int, np.integer]
+
+
+def as_vertex_array(values, *, copy: bool = False) -> VertexArray:
+    """Coerce ``values`` to a contiguous int32 vertex-id array."""
+    arr = np.asarray(values, dtype=VERTEX_DTYPE)
+    if copy and arr is values:
+        arr = arr.copy()
+    return np.ascontiguousarray(arr)
+
+
+def as_weight_array(values, *, copy: bool = False) -> WeightArray:
+    """Coerce ``values`` to a contiguous float32 edge-weight array."""
+    arr = np.asarray(values, dtype=WEIGHT_DTYPE)
+    if copy and arr is values:
+        arr = arr.copy()
+    return np.ascontiguousarray(arr)
+
+
+def as_accum_array(values) -> AccumArray:
+    """Coerce ``values`` to a contiguous float64 accumulation array."""
+    return np.ascontiguousarray(np.asarray(values, dtype=ACCUM_DTYPE))

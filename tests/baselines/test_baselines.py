@@ -1,0 +1,110 @@
+"""Tests for the competitor reimplementations."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    IMPLEMENTATIONS,
+    get_implementation,
+    igraph_leiden,
+    implementation_names,
+    networkit_leiden,
+    original_leiden,
+)
+from repro.errors import ConfigError
+from repro.metrics.connectivity import disconnected_communities
+from repro.metrics.modularity import modularity
+from repro.datasets.sbm import planted_partition
+from repro.datasets.geometric import road_network
+from tests.conftest import random_graph, two_cliques_graph
+
+
+class TestRegistry:
+    def test_five_implementations(self):
+        assert implementation_names() == [
+            "gve", "original", "igraph", "networkit", "cugraph"
+        ]
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigError):
+            get_implementation("snap")
+
+    def test_display_names(self):
+        assert IMPLEMENTATIONS["gve"].display_name == "GVE-Leiden"
+
+    def test_model_threads(self):
+        assert IMPLEMENTATIONS["original"].model_threads == 1
+        assert IMPLEMENTATIONS["gve"].model_threads == 64
+        assert IMPLEMENTATIONS["cugraph"].model_threads == 108
+
+
+class TestSequentialBaselines:
+    def test_original_finds_cliques(self):
+        g = two_cliques_graph()
+        res = original_leiden(g, seed=3)
+        assert res.num_communities == 2
+
+    def test_igraph_finds_cliques(self):
+        g = two_cliques_graph()
+        res = igraph_leiden(g, seed=3)
+        assert res.num_communities == 2
+
+    def test_original_no_disconnected(self):
+        g = random_graph(n=120, avg_degree=6, seed=1)
+        res = original_leiden(g, seed=1)
+        assert disconnected_communities(g, res.membership).num_disconnected == 0
+
+    def test_original_quality_at_least_gve(self):
+        """Run-to-convergence should match or beat the tolerance-bounded
+        GVE quality (within noise)."""
+        from repro.core.leiden import leiden
+        g, _ = planted_partition(6, 40, intra_degree=10, inter_degree=3, seed=2)
+        q_orig = modularity(g, original_leiden(g, seed=2).membership)
+        q_gve = modularity(g, leiden(g).membership)
+        assert q_orig > q_gve - 0.02
+
+    def test_original_does_more_work_than_gve(self):
+        from repro.core.leiden import leiden
+        g = random_graph(n=150, avg_degree=6, seed=4)
+        w_orig = original_leiden(g, seed=4).ledger.total_work
+        w_gve = leiden(g).ledger.total_work
+        assert w_orig > w_gve
+
+
+class TestNetworkit:
+    def test_runs(self):
+        g = two_cliques_graph()
+        res = networkit_leiden(g, seed=1)
+        assert res.num_communities == 2
+
+    def test_quality_collapses_on_chains(self):
+        """The paper's key NetworKit observation: much lower modularity
+        on road-network-like graphs."""
+        from repro.core.leiden import leiden
+        g, _ = road_network(30, 100, seed=3)
+        q_nk = modularity(g, networkit_leiden(g, seed=3).membership)
+        q_gve = modularity(g, leiden(g).membership)
+        assert q_nk < q_gve - 0.2
+
+    def test_max_ten_passes(self):
+        g = random_graph(n=100, avg_degree=4, seed=5)
+        res = networkit_leiden(g, seed=5)
+        assert res.num_passes <= 10
+
+
+class TestModeledSeconds:
+    def test_gve_fastest_on_dense_graph(self):
+        g = random_graph(n=200, avg_degree=10, seed=6)
+        times = {}
+        for name in ("gve", "original", "igraph"):
+            impl = IMPLEMENTATIONS[name]
+            res = impl.run(g, seed=6)
+            times[name] = impl.modeled_seconds(res, scale=1000.0)
+        assert times["gve"] < times["igraph"] < times["original"]
+
+    def test_scale_increases_time(self):
+        g = random_graph(n=100, avg_degree=6, seed=7)
+        impl = IMPLEMENTATIONS["gve"]
+        res = impl.run(g, seed=7)
+        assert impl.modeled_seconds(res, scale=1000.0) > \
+            impl.modeled_seconds(res, scale=1.0)

@@ -1,0 +1,74 @@
+"""Tests for the cuGraph baseline and its A100 device model."""
+
+import pytest
+
+from repro.baselines.cugraph_leiden import (
+    A100_DEVICE,
+    DeviceModel,
+    cugraph_leiden,
+)
+from repro.datasets.registry import graph_spec, load_graph
+from repro.errors import SimulatedOutOfMemory
+from repro.metrics.connectivity import disconnected_communities
+from repro.metrics.modularity import modularity
+from tests.conftest import random_graph, two_cliques_graph
+
+#: Graphs the paper reports cuGraph failing on (out of memory).
+PAPER_OOM = ["arabic-2005", "uk-2005", "webbase-2001", "it-2004", "sk-2005"]
+PAPER_OK = ["indochina-2004", "uk-2002", "com-LiveJournal", "com-Orkut",
+            "asia_osm", "europe_osm", "kmer_A2a", "kmer_V1r"]
+
+
+class TestDeviceModel:
+    def test_a100_capacity(self):
+        assert A100_DEVICE.memory_bytes == 80 * 1024**3
+
+    def test_required_bytes_monotone(self):
+        small = A100_DEVICE.required_bytes(1e6, 1e8)
+        large = A100_DEVICE.required_bytes(1e6, 1e9)
+        assert large > small
+
+    def test_check_fit_raises_with_details(self):
+        with pytest.raises(SimulatedOutOfMemory) as exc:
+            A100_DEVICE.check_fit(1e9, 1e10, "huge")
+        assert exc.value.capacity_bytes == A100_DEVICE.memory_bytes
+        assert exc.value.required_bytes > exc.value.capacity_bytes
+        assert "huge" in str(exc.value)
+
+    def test_small_device(self):
+        tiny = DeviceModel(memory_bytes=1024)
+        with pytest.raises(SimulatedOutOfMemory):
+            tiny.check_fit(100, 100, "g")
+
+
+class TestPaperOomPattern:
+    @pytest.mark.parametrize("name", PAPER_OOM)
+    def test_paper_oom_graphs_fail(self, name):
+        g = load_graph(name)
+        with pytest.raises(SimulatedOutOfMemory):
+            cugraph_leiden(g, spec=graph_spec(name))
+
+    @pytest.mark.parametrize("name", PAPER_OK)
+    def test_other_graphs_fit(self, name):
+        spec = graph_spec(name)
+        A100_DEVICE.check_fit(spec.paper_vertices, spec.paper_edges, name)
+
+
+class TestCugraphQuality:
+    def test_runs_without_spec(self):
+        g = two_cliques_graph()
+        res = cugraph_leiden(g, seed=1)
+        assert res.num_communities == 2
+
+    def test_quality_close_to_gve(self):
+        from repro.core.leiden import leiden
+        g = random_graph(n=200, avg_degree=8, seed=2)
+        q_cu = modularity(g, cugraph_leiden(g, seed=2).membership)
+        q_gve = modularity(g, leiden(g).membership)
+        assert q_cu > q_gve - 0.05
+
+    def test_disconnected_fraction_tiny(self):
+        g = random_graph(n=300, avg_degree=6, seed=3)
+        res = cugraph_leiden(g, seed=3)
+        report = disconnected_communities(g, res.membership)
+        assert report.fraction < 0.02

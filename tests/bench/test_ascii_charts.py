@@ -1,0 +1,80 @@
+"""Tests for the text-mode chart rendering."""
+
+import pytest
+
+from repro.bench.ascii_charts import bar_chart, grouped_bar_chart, line_chart
+
+
+class TestBarChart:
+    def test_proportional_lengths(self):
+        out = bar_chart({"a": 1.0, "b": 2.0}, width=10)
+        line_a, line_b = out.splitlines()
+        assert line_b.count("█") > line_a.count("█")
+
+    def test_max_fills_width(self):
+        out = bar_chart({"big": 5.0}, width=8)
+        assert "█" * 8 in out
+
+    def test_log_scale_compresses(self):
+        linear = bar_chart({"a": 1.0, "b": 1000.0}, width=20)
+        logged = bar_chart({"a": 1.0, "b": 1000.0}, width=20, log=True)
+        a_lin = linear.splitlines()[0].count("█")
+        a_log = logged.splitlines()[0].count("█")
+        assert a_log > a_lin  # small value visible on log scale
+
+    def test_title_and_values(self):
+        out = bar_chart({"x": 3.5}, title="T", fmt="{:.1f}")
+        assert out.splitlines()[0] == "T"
+        assert "3.5" in out
+
+    def test_skips_none(self):
+        out = bar_chart({"a": 1.0, "b": None})
+        assert "b" not in out
+
+    def test_empty(self):
+        assert bar_chart({}, title="t") == "t"
+
+
+class TestGroupedBarChart:
+    def test_groups_and_missing(self):
+        out = grouped_bar_chart(
+            {"g1": {"x": 1.0, "y": None}, "g2": {"x": 2.0}},
+            missing="(OOM)",
+        )
+        assert "g1:" in out and "g2:" in out
+        assert "(OOM)" in out
+
+    def test_shared_scale(self):
+        out = grouped_bar_chart({"g1": {"x": 1.0}, "g2": {"x": 4.0}},
+                                width=8)
+        lines = [l for l in out.splitlines() if "|" in l]
+        assert lines[1].count("█") > lines[0].count("█")
+
+    def test_empty(self):
+        assert grouped_bar_chart({}, title="t") == "t"
+
+
+class TestLineChart:
+    def test_renders_axes_and_legend(self):
+        out = line_chart({"s": {1: 1.0, 2: 2.0, 4: 3.0}})
+        assert "└" in out and "┐" in out
+        assert "legend: o=s" in out
+        assert "1  2  4" in out
+
+    def test_multiple_series_glyphs(self):
+        out = line_chart({
+            "a": {1: 1.0, 2: 2.0},
+            "b": {1: 2.0, 2: 1.0},
+        })
+        assert "o=a" in out and "x=b" in out
+        body = "\n".join(out.splitlines()[1:-2])
+        assert "o" in body and "x" in body
+
+    def test_monotone_series_slopes_up(self):
+        out = line_chart({"s": {1: 1.0, 2: 2.0, 3: 3.0}}, height=6, width=12)
+        rows = [i for i, l in enumerate(out.splitlines()) if "o" in l]
+        assert rows == sorted(rows)  # later x at higher row index? visual only
+        assert len(rows) >= 2
+
+    def test_empty(self):
+        assert line_chart({}, title="t") == "t"

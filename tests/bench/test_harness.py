@@ -1,0 +1,61 @@
+"""Tests for the run-matrix harness (on the two smallest graphs)."""
+
+import pytest
+
+from repro.bench.harness import (
+    RunRecord,
+    paper_scale,
+    run_matrix,
+    run_once,
+)
+
+SMALL = "asia_osm"
+
+
+class TestPaperScale:
+    def test_scale_is_large(self):
+        assert paper_scale(SMALL) > 100
+
+    def test_matches_spec_ratio(self):
+        from repro.datasets.registry import graph_spec, load_graph
+        spec = graph_spec(SMALL)
+        g = load_graph(SMALL)
+        assert paper_scale(SMALL) == pytest.approx(
+            spec.paper_edges / g.num_edges
+        )
+
+
+class TestRunOnce:
+    def test_gve_record(self):
+        rec = run_once("gve", SMALL, seed=42)
+        assert rec.ok
+        assert rec.modeled_seconds > 0
+        assert rec.wall_seconds > 0
+        assert 0 < rec.modularity <= 1
+        assert rec.num_communities > 1
+        assert rec.disconnected_fraction == 0.0
+
+    def test_memoized(self):
+        a = run_once("gve", SMALL, seed=42)
+        b = run_once("gve", SMALL, seed=42)
+        assert a is b
+
+    def test_oom_recorded_as_failure(self):
+        rec = run_once("cugraph", "sk-2005", seed=42)
+        assert not rec.ok
+        assert "memory" in rec.failure
+        assert rec.modeled_seconds is None
+
+    def test_unscaled_option(self):
+        rec = run_once("gve", SMALL, seed=7, use_paper_scale=False)
+        scaled = run_once("gve", SMALL, seed=7)
+        assert rec.modeled_seconds < scaled.modeled_seconds
+
+
+class TestRunMatrix:
+    def test_shape(self):
+        records = run_matrix([SMALL], ["gve", "networkit"], seed=42)
+        assert set(records) == {SMALL}
+        assert set(records[SMALL]) == {"gve", "networkit"}
+        assert all(isinstance(r, RunRecord)
+                   for r in records[SMALL].values())

@@ -1,0 +1,51 @@
+"""Tests for phase/pass split and scaling instrumentation."""
+
+import pytest
+
+from repro.bench.instruments import (
+    pass_split,
+    phase_scaling_curves,
+    phase_split,
+    scaling_curve,
+)
+from repro.core.leiden import leiden
+from repro.core.result import ALL_PHASES
+from tests.conftest import random_graph
+
+
+@pytest.fixture(scope="module")
+def result():
+    return leiden(random_graph(n=300, avg_degree=8, seed=1))
+
+
+class TestPhaseSplit:
+    def test_fractions_sum_to_one(self, result):
+        split = phase_split(result, num_threads=8)
+        assert sum(split.values()) == pytest.approx(1.0)
+        assert set(split) == set(ALL_PHASES)
+
+    def test_all_nonnegative(self, result):
+        assert all(v >= 0 for v in phase_split(result).values())
+
+
+class TestPassSplit:
+    def test_fractions_sum_to_one(self, result):
+        fr = pass_split(result, num_threads=8)
+        assert len(fr) == result.num_passes
+        assert sum(fr) == pytest.approx(1.0)
+
+    def test_first_pass_dominates_on_dense_graph(self, result):
+        fr = pass_split(result, num_threads=8, work_scale=1000)
+        assert fr[0] == max(fr)
+
+
+class TestScalingCurve:
+    def test_monotone(self, result):
+        curve = scaling_curve(result, [1, 2, 4, 8], work_scale=1000)
+        vals = [curve[t] for t in (1, 2, 4, 8)]
+        assert all(a > b for a, b in zip(vals, vals[1:]))
+
+    def test_phase_curves_consistent_with_total(self, result):
+        total = scaling_curve(result, [4], work_scale=1000)[4]
+        phases = phase_scaling_curves(result, [4], work_scale=1000)
+        assert sum(c[4] for c in phases.values()) == pytest.approx(total)

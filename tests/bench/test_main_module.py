@@ -1,0 +1,55 @@
+"""Tests for the ``python -m repro.bench`` entry point."""
+
+import pytest
+
+import repro.bench.__main__ as bench_main
+
+
+class _StubModule:
+    __name__ = "repro.bench.experiments.stub"
+    calls = 0
+
+    @classmethod
+    def main(cls):
+        cls.calls += 1
+
+
+class TestMain:
+    def test_filter_selects_experiments(self, monkeypatch, capsys):
+        _StubModule.calls = 0
+        monkeypatch.setattr(
+            bench_main, "ALL_EXPERIMENTS",
+            [("Stub A", _StubModule), ("Other B", _StubModule)],
+        )
+        assert bench_main.main(["stub"]) == 0
+        assert _StubModule.calls == 1
+        out = capsys.readouterr().out
+        assert "Stub A" in out and "Other B" not in out
+
+    def test_no_filter_runs_all(self, monkeypatch, capsys):
+        _StubModule.calls = 0
+        monkeypatch.setattr(
+            bench_main, "ALL_EXPERIMENTS",
+            [("A", _StubModule), ("B", _StubModule)],
+        )
+        assert bench_main.main([]) == 0
+        assert _StubModule.calls == 2
+
+    def test_report_mode(self, monkeypatch, tmp_path, capsys):
+        written = {}
+
+        def fake_generate(seed=42):
+            written["seed"] = seed
+            return "REPORT"
+
+        def fake_write(report, markdown_path=None, json_path=None):
+            written["md"] = markdown_path
+            written["json"] = json_path
+
+        import repro.bench.report as report_mod
+        monkeypatch.setattr(report_mod, "generate_report", fake_generate)
+        monkeypatch.setattr(report_mod, "write_report", fake_write)
+        md = tmp_path / "r.md"
+        assert bench_main.main(["--output", str(md), "--seed", "7"]) == 0
+        assert written["seed"] == 7
+        assert written["md"] == str(md)

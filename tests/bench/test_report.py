@@ -1,0 +1,60 @@
+"""Tests for the consolidated report writer (on a two-graph subset)."""
+
+import json
+
+import pytest
+
+from repro.bench.report import generate_report, write_report
+
+SMALL = ["asia_osm", "com-Orkut"]
+
+
+@pytest.fixture(scope="module")
+def report():
+    return generate_report(SMALL)
+
+
+class TestGenerateReport:
+    def test_all_sections_present(self, report):
+        titles = [t for t, _ in report.sections]
+        assert len(titles) == 9
+        assert any("Table 1" in t for t in titles)
+        assert any("Figure 9" in t for t in titles)
+        assert any("Section 5.5" in t for t in titles)
+
+    def test_summary_keys(self, report):
+        assert set(report.summary) >= {
+            "table1", "table2", "fig1_fig2", "fig3_fig4",
+            "fig6_mean_speedups", "fig7_mean_phase_fractions",
+            "fig8_family_means", "fig9_mean_speedups", "sec55",
+        }
+
+    def test_summary_values_sane(self, report):
+        assert report.summary["table1"]["measured"]["original"] > 1
+        assert set(report.summary["table2"]) == set(SMALL)
+        fr = report.summary["fig7_mean_phase_fractions"]
+        assert sum(fr.values()) == pytest.approx(1.0)
+
+    def test_markdown_renders(self, report):
+        md = report.to_markdown()
+        assert md.startswith("# GVE-Leiden reproduction")
+        assert "## Table 1" in md
+        assert "```" in md
+
+    def test_json_roundtrips(self, report):
+        data = json.loads(report.to_json())
+        assert data["sec55"]["gve_vs_original"] > 1
+
+
+class TestWriteReport:
+    def test_writes_files(self, report, tmp_path):
+        md = tmp_path / "report.md"
+        js = tmp_path / "report.json"
+        write_report(report, markdown_path=md, json_path=js)
+        assert md.read_text().startswith("# GVE-Leiden")
+        assert json.loads(js.read_text())
+
+    def test_partial_write(self, report, tmp_path):
+        md = tmp_path / "only.md"
+        write_report(report, markdown_path=md)
+        assert md.exists()

@@ -1,0 +1,68 @@
+"""Tests for table/series formatting helpers."""
+
+import math
+
+import pytest
+
+from repro.bench.tables import (
+    format_series,
+    format_table,
+    geometric_mean,
+    ratio_summary,
+)
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(["a", "bb"], [[1, 22], [333, 4]])
+        lines = out.splitlines()
+        assert lines[0].startswith("a")
+        assert "333" in lines[3]
+        # all rows same width
+        assert len({len(l) for l in lines[:1] + lines[2:]}) == 1
+
+    def test_title(self):
+        out = format_table(["x"], [[1]], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_none_and_nan_render_dash(self):
+        out = format_table(["x", "y"], [[None, float("nan")]])
+        assert out.splitlines()[-1].split("|")[0].strip() == "-"
+
+    def test_float_formatting(self):
+        out = format_table(["x"], [[0.000123]])
+        assert "0.000123" in out
+
+    def test_series(self):
+        out = format_series("t", "s", {1: 0.5, 2: 0.25})
+        assert "0.5" in out and "0.25" in out
+
+
+class TestGeometricMean:
+    def test_basic(self):
+        assert geometric_mean([1, 4]) == pytest.approx(2.0)
+
+    def test_empty_is_nan(self):
+        assert math.isnan(geometric_mean([]))
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    def test_filters_none(self):
+        assert geometric_mean([2.0, None, 8.0]) == pytest.approx(4.0)
+
+
+class TestRatioSummary:
+    def test_basic(self):
+        num = {"a": 4.0, "b": 9.0}
+        den = {"a": 2.0, "b": 3.0}
+        assert ratio_summary(num, den) == pytest.approx((2 * 3) ** 0.5)
+
+    def test_skips_missing_keys(self):
+        assert ratio_summary({"a": 4.0, "c": 1.0}, {"a": 2.0}) == \
+            pytest.approx(2.0)
+
+    def test_skips_none(self):
+        assert ratio_summary({"a": 4.0, "b": None}, {"a": 2.0, "b": 1.0}) == \
+            pytest.approx(2.0)

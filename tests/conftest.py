@@ -1,0 +1,97 @@
+"""Shared fixtures: small graphs with known structure."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph.builder import build_csr_from_edges
+
+
+def two_cliques_graph(clique_size: int = 5):
+    """Two cliques joined by a single bridge edge; expected: 2 communities."""
+    edges = []
+    for base in (0, clique_size):
+        for i in range(clique_size):
+            for j in range(i + 1, clique_size):
+                edges.append((base + i, base + j))
+    edges.append((0, clique_size))
+    src, dst = zip(*edges)
+    return build_csr_from_edges(src, dst)
+
+
+def ring_of_cliques_graph(num_cliques: int = 6, clique_size: int = 5):
+    """Cliques arranged in a ring; expected: one community per clique."""
+    edges = []
+    n = num_cliques * clique_size
+    for c in range(num_cliques):
+        base = c * clique_size
+        for i in range(clique_size):
+            for j in range(i + 1, clique_size):
+                edges.append((base + i, base + j))
+        edges.append((base, (base + clique_size) % n))
+    src, dst = zip(*edges)
+    return build_csr_from_edges(src, dst)
+
+
+def path_graph(n: int = 10):
+    u = np.arange(n - 1)
+    return build_csr_from_edges(u, u + 1)
+
+
+def star_graph(n: int = 8):
+    """Hub 0 connected to 1..n-1."""
+    return build_csr_from_edges(np.zeros(n - 1, dtype=np.int64),
+                                np.arange(1, n))
+
+
+def weighted_triangle_graph():
+    """Triangle with distinct weights 1, 2, 3."""
+    return build_csr_from_edges([0, 1, 2], [1, 2, 0], [1.0, 2.0, 3.0])
+
+
+def random_graph(n: int = 60, avg_degree: float = 6.0, seed: int = 0,
+                 weighted: bool = False):
+    rng = np.random.default_rng(seed)
+    m = int(n * avg_degree / 2)
+    src = rng.integers(0, n, m)
+    dst = rng.integers(0, n, m)
+    keep = src != dst
+    src, dst = src[keep], dst[keep]
+    wgt = rng.uniform(0.5, 3.0, src.shape[0]) if weighted else None
+    return build_csr_from_edges(src, dst, wgt, num_vertices=n)
+
+
+@pytest.fixture
+def two_cliques():
+    return two_cliques_graph()
+
+
+@pytest.fixture
+def ring_of_cliques():
+    return ring_of_cliques_graph()
+
+
+@pytest.fixture
+def path10():
+    return path_graph(10)
+
+
+@pytest.fixture
+def star8():
+    return star_graph(8)
+
+
+@pytest.fixture
+def weighted_triangle():
+    return weighted_triangle_graph()
+
+
+@pytest.fixture
+def small_random():
+    return random_graph()
+
+
+@pytest.fixture
+def small_random_weighted():
+    return random_graph(weighted=True, seed=3)

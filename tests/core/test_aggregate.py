@@ -1,0 +1,118 @@
+"""Tests for the aggregation phase (both engines)."""
+
+import numpy as np
+import pytest
+
+from repro.core.aggregate import (
+    aggregate_batch,
+    aggregate_loop,
+    community_vertices_csr,
+)
+from repro.metrics.modularity import modularity
+from repro.metrics.partition import renumber_membership
+from repro.parallel.runtime import Runtime
+from repro.types import VERTEX_DTYPE
+from tests.conftest import random_graph, two_cliques_graph
+
+
+def aggregate(graph, membership, engine):
+    C, ids = renumber_membership(membership)
+    fn = aggregate_batch if engine == "batch" else aggregate_loop
+    return fn(graph, C, len(ids), runtime=Runtime())
+
+
+class TestCommunityVerticesCsr:
+    def test_groups_members(self):
+        C = np.array([1, 0, 1, 1], dtype=VERTEX_DTYPE)
+        offsets, vertices = community_vertices_csr(C, 2)
+        assert offsets.tolist() == [0, 1, 4]
+        assert vertices[0] == 1
+        assert sorted(vertices[1:4].tolist()) == [0, 2, 3]
+
+    def test_empty_communities_get_empty_rows(self):
+        C = np.array([0, 2], dtype=VERTEX_DTYPE)
+        offsets, _ = community_vertices_csr(C, 3)
+        assert offsets.tolist() == [0, 1, 1, 2]
+
+
+@pytest.mark.parametrize("engine", ["batch", "loop"])
+class TestAggregation:
+    def test_two_cliques_collapse(self, engine):
+        g = two_cliques_graph()
+        C = np.array([0] * 5 + [1] * 5, dtype=VERTEX_DTYPE)
+        sup = aggregate(g, C, engine)
+        assert sup.num_vertices == 2
+        # self-loops hold intra-clique weight (20 each, both directions);
+        # one cross edge each way.
+        src, dst, wgt = sup.to_coo()
+        triples = {(int(u), int(v)): float(w)
+                   for u, v, w in zip(src, dst, wgt)}
+        assert triples[(0, 0)] == pytest.approx(20.0)
+        assert triples[(1, 1)] == pytest.approx(20.0)
+        assert triples[(0, 1)] == pytest.approx(1.0)
+        assert triples[(1, 0)] == pytest.approx(1.0)
+
+    def test_total_weight_preserved(self, engine):
+        g = random_graph(n=60, avg_degree=6, seed=0, weighted=True)
+        rng = np.random.default_rng(1)
+        C = rng.integers(0, 7, g.num_vertices)
+        sup = aggregate(g, C, engine)
+        assert sup.total_weight == pytest.approx(g.total_weight, rel=1e-6)
+
+    def test_vertex_weights_aggregate(self, engine):
+        g = random_graph(n=40, avg_degree=5, seed=2, weighted=True)
+        rng = np.random.default_rng(2)
+        C = rng.integers(0, 5, g.num_vertices)
+        Cren, ids = renumber_membership(C)
+        sup = aggregate(g, C, engine)
+        K = g.vertex_weights()
+        expect = np.bincount(Cren, weights=K, minlength=len(ids))
+        assert sup.vertex_weights() == pytest.approx(expect, rel=1e-6)
+
+    def test_modularity_invariant_under_aggregation(self, engine):
+        """Q of the partition equals Q of the super-graph's singletons."""
+        g = random_graph(n=50, avg_degree=6, seed=3)
+        rng = np.random.default_rng(3)
+        C = rng.integers(0, 6, g.num_vertices)
+        Cren, ids = renumber_membership(C)
+        sup = aggregate(g, C, engine)
+        q_partition = modularity(g, Cren)
+        q_super = modularity(sup, np.arange(len(ids), dtype=VERTEX_DTYPE))
+        assert q_super == pytest.approx(q_partition, abs=1e-6)
+
+    def test_holey_csr_produced(self, engine):
+        g = two_cliques_graph()
+        C = np.array([0] * 5 + [1] * 5, dtype=VERTEX_DTYPE)
+        sup = aggregate(g, C, engine)
+        # capacity was overestimated by total community degree
+        assert sup.offsets[-1] == g.num_edges
+        assert sup.is_holey
+
+    def test_identity_membership_roundtrip(self, engine):
+        g = random_graph(n=20, avg_degree=4, seed=5, weighted=True)
+        C = np.arange(g.num_vertices, dtype=VERTEX_DTYPE)
+        sup = aggregate(g, C, engine)
+        assert sup.compact() == g.compact()
+
+    def test_singleton_graph(self, engine):
+        from repro.graph.builder import build_csr_from_edges
+        g = build_csr_from_edges([0], [1])
+        C = np.zeros(2, dtype=VERTEX_DTYPE)
+        sup = aggregate(g, C, engine)
+        assert sup.num_vertices == 1
+        src, dst, wgt = sup.to_coo()
+        assert wgt.sum() == pytest.approx(2.0)  # both directions folded
+
+
+class TestEngineEquivalence:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_same_graph(self, seed):
+        g = random_graph(n=50, avg_degree=7, seed=seed, weighted=True)
+        rng = np.random.default_rng(seed)
+        C = rng.integers(0, 8, g.num_vertices)
+        a = aggregate(g, C, "batch")
+        b = aggregate(g, C, "loop")
+        assert a.num_vertices == b.num_vertices
+        assert np.array_equal(a.offsets, b.offsets)
+        assert np.array_equal(a.degrees, b.degrees)
+        assert a == b

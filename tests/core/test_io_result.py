@@ -1,0 +1,80 @@
+"""Tests for result persistence."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import LeidenConfig
+from repro.core.io_result import (
+    load_membership_text,
+    load_result_json,
+    save_membership_text,
+    save_result_json,
+)
+from repro.core.leiden import leiden
+from repro.errors import GraphFormatError
+from tests.conftest import two_cliques_graph
+
+
+@pytest.fixture(scope="module")
+def result():
+    return leiden(two_cliques_graph(), LeidenConfig(seed=1))
+
+
+class TestText:
+    def test_roundtrip(self, result, tmp_path):
+        p = tmp_path / "members.txt"
+        save_membership_text(result.membership, p)
+        back = load_membership_text(p)
+        assert np.array_equal(back, result.membership)
+
+    def test_empty(self, tmp_path):
+        p = tmp_path / "empty.txt"
+        save_membership_text(np.empty(0, dtype=np.int32), p)
+        assert load_membership_text(p).shape == (0,)
+
+    def test_bad_content(self, tmp_path):
+        p = tmp_path / "bad.txt"
+        p.write_text("0\nnot-a-number\n")
+        with pytest.raises(GraphFormatError):
+            load_membership_text(p)
+
+
+class TestJson:
+    def test_roundtrip(self, result, tmp_path):
+        p = tmp_path / "result.json"
+        cfg = LeidenConfig(seed=1)
+        save_result_json(result, p, config=cfg, extra={"graph": "toy"})
+        payload = load_result_json(p)
+        assert np.array_equal(payload["membership"], result.membership)
+        assert payload["num_communities"] == 2
+        assert payload["num_passes"] == result.num_passes
+        assert payload["config"]["seed"] == 1
+        assert payload["extra"] == {"graph": "toy"}
+        assert len(payload["passes"]) == result.num_passes
+
+    def test_without_config(self, result, tmp_path):
+        p = tmp_path / "r.json"
+        save_result_json(result, p)
+        assert "config" not in load_result_json(p)
+
+    def test_rejects_wrong_format(self, tmp_path):
+        p = tmp_path / "other.json"
+        p.write_text('{"format": "something-else"}')
+        with pytest.raises(GraphFormatError):
+            load_result_json(p)
+
+    def test_rejects_invalid_json(self, tmp_path):
+        p = tmp_path / "broken.json"
+        p.write_text("{nope")
+        with pytest.raises(GraphFormatError):
+            load_result_json(p)
+
+    def test_warm_start_from_saved(self, result, tmp_path):
+        """The saved membership feeds straight back into a warm start."""
+        p = tmp_path / "r.json"
+        save_result_json(result, p)
+        payload = load_result_json(p)
+        g = two_cliques_graph()
+        warm = leiden(g, LeidenConfig(seed=2),
+                      initial_membership=payload["membership"])
+        assert warm.num_communities == 2

@@ -1,0 +1,87 @@
+"""Tests for the segmented batch kernels."""
+
+import numpy as np
+import pytest
+
+from repro.core._kernels import segment_pair_sums, segmented_argmax
+
+
+class TestSegmentPairSums:
+    def test_basic(self):
+        seg = np.array([0, 0, 0, 1])
+        comm = np.array([2, 2, 3, 2])
+        w = np.array([1.0, 2.0, 4.0, 8.0])
+        ps, pc, psum = segment_pair_sums(seg, comm, w, 5)
+        assert ps.tolist() == [0, 0, 1]
+        assert pc.tolist() == [2, 3, 2]
+        assert psum.tolist() == [3.0, 4.0, 8.0]
+
+    def test_sorted_by_segment_then_community(self):
+        rng = np.random.default_rng(0)
+        seg = rng.integers(0, 8, 100)
+        comm = rng.integers(0, 10, 100)
+        w = rng.uniform(0, 1, 100)
+        ps, pc, _ = segment_pair_sums(seg, comm, w, 10)
+        keys = ps * 10 + pc
+        assert np.all(np.diff(keys) > 0)  # strictly increasing = unique
+
+    def test_matches_dict_oracle(self):
+        rng = np.random.default_rng(7)
+        seg = rng.integers(0, 20, 500)
+        comm = rng.integers(0, 30, 500)
+        w = rng.uniform(0, 2, 500)
+        ps, pc, psum = segment_pair_sums(seg, comm, w, 30)
+        oracle = {}
+        for s, c, x in zip(seg.tolist(), comm.tolist(), w.tolist()):
+            oracle[(s, c)] = oracle.get((s, c), 0.0) + x
+        got = {(int(s), int(c)): float(v) for s, c, v in zip(ps, pc, psum)}
+        assert got == pytest.approx(oracle)
+
+    def test_empty(self):
+        ps, pc, psum = segment_pair_sums(
+            np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64),
+            np.empty(0), 5,
+        )
+        assert ps.shape == (0,)
+
+
+class TestSegmentedArgmax:
+    def test_basic(self):
+        seg = np.array([0, 0, 1, 1, 1])
+        vals = np.array([1.0, 3.0, 2.0, 5.0, 4.0])
+        segs, idx = segmented_argmax(seg, vals)
+        assert segs.tolist() == [0, 1]
+        assert idx.tolist() == [1, 3]
+
+    def test_single_item_segments(self):
+        seg = np.array([3, 7])
+        vals = np.array([1.0, 2.0])
+        segs, idx = segmented_argmax(seg, vals)
+        assert segs.tolist() == [3, 7]
+        assert idx.tolist() == [0, 1]
+
+    def test_unsorted_segments(self):
+        seg = np.array([1, 0, 1, 0])
+        vals = np.array([5.0, 1.0, 3.0, 2.0])
+        segs, idx = segmented_argmax(seg, vals)
+        assert segs.tolist() == [0, 1]
+        assert vals[idx].tolist() == [2.0, 5.0]
+
+    def test_matches_oracle(self):
+        rng = np.random.default_rng(3)
+        seg = rng.integers(0, 15, 300)
+        vals = rng.uniform(-1, 1, 300)
+        segs, idx = segmented_argmax(seg, vals)
+        for s, k in zip(segs.tolist(), idx.tolist()):
+            mask = seg == s
+            assert vals[k] == pytest.approx(vals[mask].max())
+
+    def test_empty(self):
+        segs, idx = segmented_argmax(np.empty(0, dtype=np.int64), np.empty(0))
+        assert segs.shape == (0,)
+
+    def test_negative_values_still_selected(self):
+        seg = np.array([0, 0])
+        vals = np.array([-5.0, -2.0])
+        segs, idx = segmented_argmax(seg, vals)
+        assert vals[idx].tolist() == [-2.0]

@@ -1,0 +1,202 @@
+"""End-to-end tests for the Leiden driver (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import LeidenConfig
+from repro.core.leiden import leiden
+from repro.core.result import ALL_PHASES
+from repro.metrics.comparison import adjusted_rand_index
+from repro.metrics.connectivity import disconnected_communities
+from repro.metrics.modularity import modularity
+from repro.datasets.sbm import planted_partition
+from tests.conftest import (
+    path_graph,
+    random_graph,
+    ring_of_cliques_graph,
+    two_cliques_graph,
+)
+
+
+class TestBasicCorrectness:
+    @pytest.mark.parametrize("engine", ["batch", "loop"])
+    @pytest.mark.parametrize("refinement", ["greedy", "random"])
+    def test_two_cliques(self, engine, refinement):
+        g = two_cliques_graph()
+        res = leiden(g, LeidenConfig(engine=engine, refinement=refinement))
+        C = res.membership
+        assert len(np.unique(C)) == 2
+        assert len(np.unique(C[:5])) == 1
+        assert len(np.unique(C[5:])) == 1
+
+    def test_ring_of_cliques(self):
+        g = ring_of_cliques_graph(6, 5)
+        res = leiden(g)
+        assert res.num_communities == 6
+
+    def test_membership_compact_ids(self):
+        g = random_graph(n=80, avg_degree=6, seed=1)
+        res = leiden(g)
+        C = res.membership
+        assert C.min() == 0
+        assert len(np.unique(C)) == C.max() + 1
+
+    def test_recovers_planted_partition(self):
+        g, planted = planted_partition(8, 30, intra_degree=12,
+                                       inter_degree=2, seed=3)
+        res = leiden(g)
+        assert adjusted_rand_index(res.membership, planted) > 0.95
+
+    def test_no_disconnected_communities(self):
+        for seed in range(3):
+            g = random_graph(n=150, avg_degree=5, seed=seed)
+            res = leiden(g, LeidenConfig(seed=seed))
+            report = disconnected_communities(g, res.membership)
+            assert report.num_disconnected == 0, f"seed {seed}"
+
+    def test_beats_singletons_and_single_community(self):
+        g = random_graph(n=100, avg_degree=8, seed=7)
+        res = leiden(g)
+        q = modularity(g, res.membership)
+        assert q > modularity(g, np.zeros(g.num_vertices, dtype=np.int32))
+        assert q > modularity(g, np.arange(g.num_vertices, dtype=np.int32))
+
+    def test_deterministic_given_seed(self):
+        g = random_graph(n=80, avg_degree=6, seed=2)
+        a = leiden(g, LeidenConfig(seed=11))
+        b = leiden(g, LeidenConfig(seed=11))
+        assert np.array_equal(a.membership, b.membership)
+
+    def test_path_graph_contiguous_communities(self):
+        g = path_graph(40)
+        res = leiden(g)
+        C = res.membership
+        # communities on a path must be contiguous runs
+        changes = np.flatnonzero(C[1:] != C[:-1])
+        assert len(np.unique(C)) == changes.shape[0] + 1
+
+
+class TestEdgeCases:
+    def test_empty_graph(self):
+        from repro.graph.csr import empty_csr
+        res = leiden(empty_csr(0))
+        assert res.membership.shape == (0,)
+
+    def test_edgeless_vertices(self):
+        from repro.graph.csr import empty_csr
+        res = leiden(empty_csr(5))
+        assert res.membership.shape == (5,)
+        assert res.num_communities == 5
+
+    def test_single_edge(self):
+        from repro.graph.builder import build_csr_from_edges
+        g = build_csr_from_edges([0], [1])
+        res = leiden(g)
+        assert res.num_communities == 1
+
+    def test_self_loop_only(self):
+        from repro.graph.builder import build_csr_from_edges
+        g = build_csr_from_edges([0], [0])
+        res = leiden(g)
+        assert res.num_communities == 1
+
+    def test_max_passes_respected(self):
+        g = random_graph(n=100, avg_degree=4, seed=5)
+        res = leiden(g, LeidenConfig(max_passes=1))
+        assert res.num_passes == 1
+
+
+class TestVariantsAndLabels:
+    def test_refine_based_labels_finer_or_equal(self):
+        g = random_graph(n=120, avg_degree=6, seed=9)
+        move = leiden(g, LeidenConfig(vertex_label="move"))
+        refine = leiden(g, LeidenConfig(vertex_label="refine"))
+        assert refine.num_communities >= move.num_communities
+
+    def test_refine_labels_nested_in_move_labels(self):
+        g = random_graph(n=100, avg_degree=6, seed=10)
+        refine = leiden(g, LeidenConfig(vertex_label="refine", max_passes=1))
+        move = leiden(g, LeidenConfig(vertex_label="move", max_passes=1))
+        # every refined community sits inside one move community
+        for comm in np.unique(refine.membership):
+            members = np.flatnonzero(refine.membership == comm)
+            assert len(np.unique(move.membership[members])) == 1
+
+    @pytest.mark.parametrize("variant", ["default", "medium", "heavy"])
+    def test_variants_all_work(self, variant):
+        g = two_cliques_graph()
+        res = leiden(g, LeidenConfig.variant(variant))
+        assert res.num_communities == 2
+
+    def test_resolution_controls_granularity(self):
+        g = ring_of_cliques_graph(6, 5)
+        fine = leiden(g, LeidenConfig(resolution=2.0))
+        coarse = leiden(g, LeidenConfig(resolution=0.2))
+        assert fine.num_communities >= coarse.num_communities
+
+
+class TestResultStructure:
+    def test_pass_stats_populated(self):
+        g = random_graph(n=100, avg_degree=6, seed=4)
+        res = leiden(g)
+        assert res.num_passes == len(res.passes)
+        assert res.passes[0].num_vertices == g.num_vertices
+        for ps in res.passes:
+            assert ps.move_iterations >= 1
+            assert ps.ledger.total_work > 0
+
+    def test_vertex_counts_shrink(self):
+        g = random_graph(n=150, avg_degree=6, seed=6)
+        res = leiden(g)
+        counts = [ps.num_vertices for ps in res.passes]
+        assert all(a >= b for a, b in zip(counts, counts[1:]))
+
+    def test_dendrogram_flattens_to_membership(self):
+        g = random_graph(n=100, avg_degree=6, seed=8)
+        res = leiden(g)
+        flat = res.dendrogram.flatten()
+        # same partition up to renumbering
+        assert adjusted_rand_index(flat, res.membership) == pytest.approx(1.0)
+
+    def test_phase_wall_times_recorded(self):
+        g = random_graph(n=80, avg_degree=6, seed=3)
+        res = leiden(g)
+        assert set(res.wall_phase_seconds) == set(ALL_PHASES)
+        assert res.wall_seconds > 0
+        fr = res.phase_fractions_wall()
+        assert sum(fr.values()) == pytest.approx(1.0)
+
+    def test_ledger_contains_all_phases(self):
+        g = random_graph(n=150, avg_degree=6, seed=2)
+        res = leiden(g)
+        assert set(res.ledger.phases()) == set(ALL_PHASES)
+
+    def test_modeled_time_decreases_with_threads(self):
+        # At paper scale (work_scale) the chunk granularity of the small
+        # test graph no longer limits parallelism.
+        from repro.parallel.costmodel import PAPER_MACHINE
+        g = random_graph(n=200, avg_degree=8, seed=1)
+        res = leiden(g)
+        t1 = res.ledger.simulate(PAPER_MACHINE, 1, work_scale=1000).seconds
+        t8 = res.ledger.simulate(PAPER_MACHINE, 8, work_scale=1000).seconds
+        assert t8 < t1
+
+
+class TestInputValidation:
+    def test_validate_input_accepts_symmetric(self):
+        g = two_cliques_graph()
+        res = leiden(g, validate_input=True)
+        assert res.num_communities == 2
+
+    def test_validate_input_rejects_directed(self):
+        from repro.errors import GraphStructureError
+        from repro.graph.csr import CSRGraph
+        g = CSRGraph.from_coo([0, 1], [1, 2], num_vertices=3)
+        with pytest.raises(GraphStructureError):
+            leiden(g, validate_input=True)
+
+    def test_default_skips_validation(self):
+        from repro.graph.csr import CSRGraph
+        g = CSRGraph.from_coo([0, 1], [1, 2], num_vertices=3)
+        res = leiden(g)  # silently tolerated, as the paper's code would
+        assert res.membership.shape == (3,)

@@ -1,0 +1,48 @@
+"""Tests for GVE-Louvain (Leiden minus refinement)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import LeidenConfig
+from repro.core.leiden import leiden
+from repro.core.louvain import louvain
+from repro.metrics.comparison import adjusted_rand_index
+from repro.metrics.modularity import modularity
+from repro.datasets.sbm import planted_partition
+from tests.conftest import random_graph, two_cliques_graph
+
+
+class TestLouvain:
+    def test_two_cliques(self):
+        g = two_cliques_graph()
+        res = louvain(g)
+        assert res.num_communities == 2
+
+    def test_no_refinement_work_recorded(self):
+        g = random_graph(n=80, avg_degree=6, seed=1)
+        res = louvain(g)
+        assert res.ledger.work_by_phase().get("refine", 0.0) == 0.0
+        for ps in res.passes:
+            assert ps.refine_moves == 0
+
+    def test_recovers_planted(self):
+        g, planted = planted_partition(6, 40, intra_degree=12,
+                                       inter_degree=2, seed=1)
+        res = louvain(g)
+        assert adjusted_rand_index(res.membership, planted) > 0.9
+
+    def test_quality_comparable_to_leiden(self):
+        g = random_graph(n=150, avg_degree=8, seed=4)
+        ql = modularity(g, louvain(g).membership)
+        qd = modularity(g, leiden(g).membership)
+        assert abs(ql - qd) < 0.05
+
+    def test_respects_config(self):
+        g = two_cliques_graph()
+        res = louvain(g, LeidenConfig(max_passes=1))
+        assert res.num_passes == 1
+
+    def test_use_refinement_override_is_forced(self):
+        g = two_cliques_graph()
+        res = louvain(g, LeidenConfig(use_refinement=True))
+        assert all(ps.refine_moves == 0 for ps in res.passes)

@@ -1,0 +1,125 @@
+"""Tests for the refinement phase (both engines, all guards)."""
+
+import numpy as np
+import pytest
+
+from repro.core.local_move import local_move_batch
+from repro.core.refine import refine_batch, refine_loop
+from repro.metrics.connectivity import disconnected_communities
+from repro.parallel.rng import Xorshift32
+from repro.parallel.runtime import Runtime
+from repro.types import VERTEX_DTYPE
+from tests.conftest import path_graph, random_graph, two_cliques_graph
+
+
+def run_refine(graph, engine, bounds=None, refinement="greedy", **kwargs):
+    n = graph.num_vertices
+    CB = (np.zeros(n, dtype=VERTEX_DTYPE) if bounds is None
+          else np.asarray(bounds, dtype=VERTEX_DTYPE))
+    C = np.arange(n, dtype=VERTEX_DTYPE)
+    K = graph.vertex_weights().copy()
+    Sigma = K.copy()
+    rt = Runtime(seed=5)
+    fn = refine_batch if engine == "batch" else refine_loop
+    moves = fn(graph, CB, C, K, Sigma, runtime=rt,
+               rng=Xorshift32(9), refinement=refinement, **kwargs)
+    return C, Sigma, moves, rt
+
+
+@pytest.mark.parametrize("engine", ["batch", "loop"])
+class TestBothEngines:
+    def test_merges_within_single_bound(self, engine):
+        g = path_graph(20)
+        C, _, moves, _ = run_refine(g, engine)
+        assert moves > 0
+        assert len(np.unique(C)) < 20
+
+    def test_respects_bounds(self, engine):
+        g = two_cliques_graph()
+        bounds = np.array([0] * 5 + [1] * 5, dtype=VERTEX_DTYPE)
+        C, _, _, _ = run_refine(g, engine, bounds=bounds)
+        # no refined sub-community may span the two bounds
+        for comm in np.unique(C):
+            members = np.flatnonzero(C == comm)
+            assert len(np.unique(bounds[members])) == 1
+
+    def test_sigma_consistent(self, engine):
+        g = random_graph(n=50, avg_degree=6, seed=1)
+        C, Sigma, _, _ = run_refine(g, engine)
+        expect = np.bincount(C, weights=g.vertex_weights(),
+                             minlength=g.num_vertices)
+        assert Sigma == pytest.approx(expect)
+
+    def test_isolated_only_guarantee(self, engine):
+        """Once a sub-community has >= 2 members nobody leaves it, so the
+        refined sub-communities are internally connected."""
+        g = random_graph(n=60, avg_degree=5, seed=4)
+        C, _, _, _ = run_refine(g, engine)
+        report = disconnected_communities(g, C)
+        assert report.num_disconnected == 0
+
+    def test_random_refinement_merges(self, engine):
+        g = path_graph(30)
+        C, _, moves, _ = run_refine(g, engine, refinement="random")
+        assert moves > 0
+        report = disconnected_communities(g, C)
+        assert report.num_disconnected == 0
+
+    def test_empty_graph(self, engine):
+        from repro.graph.csr import empty_csr
+        g = empty_csr(0)
+        fn = refine_batch if engine == "batch" else refine_loop
+        moves = fn(g, np.empty(0, dtype=VERTEX_DTYPE),
+                   np.empty(0, dtype=VERTEX_DTYPE),
+                   np.empty(0), np.empty(0), runtime=Runtime())
+        assert moves == 0
+
+    def test_records_work(self, engine):
+        g = path_graph(10)
+        _, _, _, rt = run_refine(g, engine)
+        assert "refine" in rt.ledger.phases()
+
+
+class TestCasSemantics:
+    def test_pairs_form_on_path(self):
+        """Sequential CAS on a path yields pairwise merges."""
+        g = path_graph(8)
+        C, _, moves, _ = run_refine(g, "loop")
+        assert moves == 4
+        sizes = np.bincount(C)
+        assert sorted(sizes[sizes > 0].tolist()) == [2, 2, 2, 2]
+
+    def test_batch_matches_loop_on_path(self):
+        g = path_graph(8)
+        Cb, _, mb, _ = run_refine(g, "batch")
+        Cl, _, ml, _ = run_refine(g, "loop")
+        assert np.array_equal(Cb, Cl)
+        assert mb == ml
+
+    def test_joined_community_members_stay(self):
+        """After refinement every non-singleton sub-community's members
+        are mutually reachable through intra-community edges."""
+        g = random_graph(n=100, avg_degree=4, seed=8)
+        C, _, _, _ = run_refine(g, "batch", batch_size=8)
+        report = disconnected_communities(g, C)
+        assert report.num_disconnected == 0
+
+
+class TestGuards:
+    def test_none_guard_moves_more(self):
+        g = random_graph(n=80, avg_degree=6, seed=2)
+        _, _, moves_cas, _ = run_refine(g, "batch", guard="cas")
+        _, _, moves_none, _ = run_refine(g, "batch", guard="none")
+        assert moves_none >= moves_cas
+
+    def test_bad_guard_rejected(self):
+        g = path_graph(4)
+        with pytest.raises(ValueError):
+            run_refine(g, "batch", guard="strict")
+
+    def test_racy_guard_close_to_cas_quality(self):
+        g = random_graph(n=100, avg_degree=6, seed=3)
+        C_cas, _, _, _ = run_refine(g, "batch", guard="cas")
+        C_racy, _, _, _ = run_refine(g, "batch", guard="racy")
+        # racy merges nearly as much; community counts are close
+        assert abs(len(np.unique(C_cas)) - len(np.unique(C_racy))) <= 10

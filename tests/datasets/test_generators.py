@@ -1,0 +1,180 @@
+"""Tests for the synthetic graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.geometric import road_network
+from repro.datasets.kmer import kmer_graph
+from repro.datasets.lfr import lfr_like_graph, powerlaw_integers
+from repro.datasets.rmat import rmat_edges, rmat_graph
+from repro.datasets.sbm import planted_partition, stochastic_block_model
+from repro.errors import ConfigError
+from repro.graph.validate import validate_csr
+from repro.metrics.comparison import adjusted_rand_index
+from repro.metrics.connectivity import count_components
+from repro.core.leiden import leiden
+
+
+class TestPlantedPartition:
+    def test_structure(self):
+        g, membership = planted_partition(4, 20, seed=1)
+        assert g.num_vertices == 80
+        assert membership.shape == (80,)
+        validate_csr(g)
+
+    def test_recoverable(self):
+        g, planted = planted_partition(5, 30, intra_degree=14,
+                                       inter_degree=2, seed=2)
+        res = leiden(g)
+        assert adjusted_rand_index(res.membership, planted) > 0.9
+
+    def test_deterministic(self):
+        a, _ = planted_partition(3, 10, seed=5)
+        b, _ = planted_partition(3, 10, seed=5)
+        assert a == b
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ConfigError):
+            planted_partition(0, 10)
+        with pytest.raises(ConfigError):
+            planted_partition(2, 1)
+
+
+class TestSBM:
+    def test_block_sizes_respected(self):
+        g, membership = stochastic_block_model([10, 20, 30], seed=0)
+        assert g.num_vertices == 60
+        assert np.bincount(membership).tolist() == [10, 20, 30]
+
+    def test_zero_mixing_disconnects_blocks(self):
+        g, _ = stochastic_block_model([40, 40], mixing=0.0,
+                                      intra_degree=8, seed=1)
+        assert count_components(g) >= 2
+
+    def test_high_mixing_blurs_structure(self):
+        g_low, planted = stochastic_block_model([50] * 4, mixing=0.1, seed=2)
+        g_high, _ = stochastic_block_model([50] * 4, mixing=0.9, seed=2)
+        ari_low = adjusted_rand_index(leiden(g_low).membership, planted)
+        ari_high = adjusted_rand_index(leiden(g_high).membership, planted)
+        assert ari_low > ari_high
+
+    def test_validates_args(self):
+        with pytest.raises(ConfigError):
+            stochastic_block_model([], seed=0)
+        with pytest.raises(ConfigError):
+            stochastic_block_model([10], mixing=1.5)
+
+    def test_average_degree_roughly_matches(self):
+        g, _ = stochastic_block_model([100] * 4, intra_degree=12, seed=3)
+        davg = g.num_edges / g.num_vertices
+        assert 8 <= davg <= 14
+
+
+class TestRmat:
+    def test_edges_in_range(self):
+        src, dst = rmat_edges(8, 1000, seed=0)
+        assert src.min() >= 0 and src.max() < 256
+        assert dst.min() >= 0 and dst.max() < 256
+
+    def test_graph_size(self):
+        g = rmat_graph(8, 8.0, seed=1)
+        assert g.num_vertices == 256
+        validate_csr(g)
+
+    def test_connect_leaves_no_isolated(self):
+        g = rmat_graph(8, 4.0, seed=2, connect=True)
+        assert (g.degrees > 0).all()
+
+    def test_skewed_degrees(self):
+        g = rmat_graph(10, 16.0, seed=3)
+        degs = np.sort(g.degrees)[::-1]
+        # heavy tail: the top vertex dominates the median
+        assert degs[0] > 8 * np.median(degs)
+
+    def test_rejects_bad_probs(self):
+        with pytest.raises(ConfigError):
+            rmat_edges(4, 10, a=0.6, b=0.3, c=0.2)
+
+    def test_rejects_bad_scale(self):
+        with pytest.raises(ConfigError):
+            rmat_edges(0, 10)
+
+
+class TestRoadNetwork:
+    def test_low_degree(self):
+        g, _ = road_network(20, 100, seed=0)
+        davg = g.num_edges / g.num_vertices
+        assert 1.8 <= davg <= 2.6
+
+    def test_connected(self):
+        g, _ = road_network(10, 50, seed=1)
+        assert count_components(g) == 1
+
+    def test_blocks_recoverable(self):
+        from repro.metrics.comparison import normalized_mutual_information
+        g, planted = road_network(8, 60, seed=2)
+        res = leiden(g)
+        # Modularity's resolution splits long chains finer than the
+        # planted blocks, so compare with NMI (tolerant of refinement)
+        # rather than ARI.
+        assert normalized_mutual_information(res.membership, planted) > 0.6
+
+    def test_validates(self):
+        with pytest.raises(ConfigError):
+            road_network(0, 5)
+
+
+class TestKmer:
+    def test_low_degree_chains(self):
+        g = kmer_graph(50, 20, seed=0)
+        assert g.num_vertices == 1000
+        davg = g.num_edges / g.num_vertices
+        assert 1.8 <= davg <= 2.6
+
+    def test_chain_components(self):
+        g = kmer_graph(30, 15, link_probability=0.0, seed=1)
+        assert count_components(g) == 30
+
+    def test_validates(self):
+        with pytest.raises(ConfigError):
+            kmer_graph(1, 1)
+
+
+class TestLfr:
+    def test_powerlaw_bounds(self):
+        rng = np.random.default_rng(0)
+        vals = powerlaw_integers(1000, 2.5, 2, 50, rng)
+        assert vals.min() >= 2 and vals.max() <= 50
+
+    def test_powerlaw_is_heavy_tailed(self):
+        rng = np.random.default_rng(1)
+        vals = powerlaw_integers(5000, 2.5, 1, 1000, rng)
+        assert np.median(vals) <= 3
+        assert vals.max() > 50
+
+    def test_powerlaw_validates(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ConfigError):
+            powerlaw_integers(10, 0.5, 1, 10, rng)
+        with pytest.raises(ConfigError):
+            powerlaw_integers(10, 2.0, 5, 2, rng)
+
+    def test_graph_shape(self):
+        g, membership = lfr_like_graph(500, avg_degree=10, seed=0)
+        assert g.num_vertices == 500
+        assert membership.shape == (500,)
+        validate_csr(g)
+        davg = g.num_edges / g.num_vertices
+        assert 6 <= davg <= 14
+
+    def test_low_mixing_recoverable(self):
+        g, planted = lfr_like_graph(600, avg_degree=16, mixing=0.05,
+                                    min_community=40, seed=1)
+        res = leiden(g)
+        assert adjusted_rand_index(res.membership, planted) > 0.8
+
+    def test_validates(self):
+        with pytest.raises(ConfigError):
+            lfr_like_graph(2)
+        with pytest.raises(ConfigError):
+            lfr_like_graph(100, mixing=2.0)

@@ -1,0 +1,77 @@
+"""Tests for the 13-graph registry."""
+
+import pytest
+
+from repro.datasets.registry import (
+    REGISTRY,
+    graph_spec,
+    load_graph,
+    registry_names,
+)
+from repro.errors import ConfigError
+from repro.graph.validate import validate_csr
+
+#: The paper's Table 2 names, verbatim.
+PAPER_GRAPHS = {
+    "indochina-2004", "uk-2002", "arabic-2005", "uk-2005", "webbase-2001",
+    "it-2004", "sk-2005", "com-LiveJournal", "com-Orkut", "asia_osm",
+    "europe_osm", "kmer_A2a", "kmer_V1r",
+}
+
+
+class TestRegistry:
+    def test_all_13_graphs_present(self):
+        assert set(registry_names()) == PAPER_GRAPHS
+
+    def test_family_filter(self):
+        assert len(registry_names("web")) == 7
+        assert len(registry_names("social")) == 2
+        assert len(registry_names("road")) == 2
+        assert len(registry_names("kmer")) == 2
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigError):
+            graph_spec("facebook")
+
+    def test_specs_have_paper_stats(self):
+        for spec in REGISTRY.values():
+            assert spec.paper_vertices > 1e6
+            assert spec.paper_edges > 1e7
+            assert spec.paper_avg_degree > 1
+            assert spec.paper_communities > 10
+
+    @pytest.mark.parametrize("name", sorted(PAPER_GRAPHS))
+    def test_graphs_generate_and_validate(self, name):
+        g = load_graph(name)
+        validate_csr(g)
+        assert g.num_vertices >= 4000
+
+    @pytest.mark.parametrize("family,lo,hi", [
+        ("road", 1.8, 2.6),
+        ("kmer", 1.8, 2.6),
+        ("social", 14.0, 90.0),
+    ])
+    def test_average_degrees_match_family(self, family, lo, hi):
+        for name in registry_names(family):
+            g = load_graph(name)
+            davg = g.num_edges / g.num_vertices
+            assert lo <= davg <= hi, name
+
+    def test_web_degrees_track_paper(self):
+        for name in registry_names("web"):
+            g = load_graph(name)
+            spec = graph_spec(name)
+            davg = g.num_edges / g.num_vertices
+            # heavy-tailed sampling loses some duplicate endpoints; stay
+            # within a factor ~2 of the paper's figure.
+            assert spec.paper_avg_degree / 2.2 <= davg <= spec.paper_avg_degree * 1.3
+
+    def test_load_is_cached(self):
+        a = load_graph("asia_osm")
+        b = load_graph("asia_osm")
+        assert a is b
+
+    def test_different_seed_different_graph(self):
+        a = load_graph("asia_osm", seed=1)
+        b = load_graph("asia_osm", seed=2)
+        assert a is not b

@@ -1,0 +1,81 @@
+"""Tests for the Barabási-Albert and Watts-Strogatz generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.smallworld import barabasi_albert_graph, watts_strogatz_graph
+from repro.errors import ConfigError
+from repro.graph.validate import validate_csr
+from repro.metrics.connectivity import count_components
+
+
+class TestBarabasiAlbert:
+    def test_structure(self):
+        g = barabasi_albert_graph(300, 3, seed=0)
+        assert g.num_vertices == 300
+        validate_csr(g)
+
+    def test_connected(self):
+        g = barabasi_albert_graph(200, 2, seed=1)
+        assert count_components(g) == 1
+
+    def test_edge_count(self):
+        n, m = 200, 3
+        g = barabasi_albert_graph(n, m, seed=2)
+        seed_edges = (m + 1) * m // 2
+        expect = seed_edges + (n - m - 1) * m
+        assert g.num_edges == 2 * expect
+
+    def test_scale_free_tail(self):
+        g = barabasi_albert_graph(800, 2, seed=3)
+        degs = np.sort(g.degrees)[::-1]
+        assert degs[0] > 6 * np.median(degs)
+
+    def test_min_degree(self):
+        g = barabasi_albert_graph(100, 4, seed=4)
+        assert int(g.degrees.min()) >= 4
+
+    def test_deterministic(self):
+        assert barabasi_albert_graph(50, 2, seed=5) == \
+            barabasi_albert_graph(50, 2, seed=5)
+
+    def test_validates_args(self):
+        with pytest.raises(ConfigError):
+            barabasi_albert_graph(5, 0)
+        with pytest.raises(ConfigError):
+            barabasi_albert_graph(3, 3)
+
+
+class TestWattsStrogatz:
+    def test_no_rewire_is_ring_lattice(self):
+        g = watts_strogatz_graph(20, 2, 0.0, seed=0)
+        assert g.num_edges == 2 * 20 * 2
+        # each vertex links to its 2 nearest on both sides
+        assert sorted(g.neighbors(0).tolist()) == [1, 2, 18, 19]
+
+    def test_full_rewire_random(self):
+        g = watts_strogatz_graph(100, 3, 1.0, seed=1)
+        validate_csr(g)
+        # the lattice structure is destroyed: vertex 0's neighbors are
+        # not all within distance 3
+        nbrs = g.neighbors(0)
+        dists = np.minimum(nbrs % 100, (100 - nbrs) % 100)
+        assert (dists > 3).any()
+
+    def test_partial_rewire_keeps_most_local(self):
+        g = watts_strogatz_graph(200, 2, 0.1, seed=2)
+        src, dst, _ = g.to_coo()
+        ring_dist = np.minimum((dst - src) % 200, (src - dst) % 200)
+        assert float((ring_dist <= 2).mean()) > 0.8
+
+    def test_connected_at_low_p(self):
+        g = watts_strogatz_graph(150, 3, 0.05, seed=3)
+        assert count_components(g) == 1
+
+    def test_validates_args(self):
+        with pytest.raises(ConfigError):
+            watts_strogatz_graph(3, 1, 0.1)
+        with pytest.raises(ConfigError):
+            watts_strogatz_graph(20, 10, 0.1)
+        with pytest.raises(ConfigError):
+            watts_strogatz_graph(20, 2, 1.5)

@@ -1,0 +1,99 @@
+"""Tests for edge batches and their application."""
+
+import numpy as np
+import pytest
+
+from repro.dynamic.batch import EdgeBatch, apply_batch, random_batch
+from repro.errors import GraphStructureError
+from repro.graph.builder import build_csr_from_edges
+from repro.graph.validate import validate_csr
+from tests.conftest import two_cliques_graph
+
+
+class TestEdgeBatch:
+    def test_from_edges(self):
+        b = EdgeBatch.from_edges([(0, 1), (2, 3)], [(4, 5)])
+        assert b.num_insertions == 2
+        assert b.num_deletions == 1
+        assert b.touched_vertices().tolist() == [0, 1, 2, 3, 4, 5]
+
+    def test_empty(self):
+        b = EdgeBatch.from_edges()
+        assert b.num_insertions == 0
+        assert b.num_deletions == 0
+        assert b.touched_vertices().shape == (0,)
+
+    def test_weights(self):
+        b = EdgeBatch.from_edges([(0, 1)], insert_weights=[2.5])
+        assert b.insert_weights.tolist() == [2.5]
+
+    def test_weight_length_checked(self):
+        with pytest.raises(GraphStructureError):
+            EdgeBatch.from_edges([(0, 1)], insert_weights=[1.0, 2.0])
+
+    def test_bad_shape(self):
+        with pytest.raises(GraphStructureError):
+            EdgeBatch.from_edges([(0, 1, 2)])
+
+
+class TestApplyBatch:
+    def test_insert_edge(self):
+        g = build_csr_from_edges([0], [1], num_vertices=3)
+        b = EdgeBatch.from_edges([(1, 2)])
+        g2 = apply_batch(g, b)
+        assert g2.num_edges == 4
+        assert g2.neighbors(2).tolist() == [1]
+        validate_csr(g2)
+
+    def test_delete_edge_both_directions(self, two_cliques):
+        b = EdgeBatch.from_edges(deletions=[(0, 5)])  # the bridge
+        g2 = apply_batch(two_cliques, b)
+        assert g2.num_edges == two_cliques.num_edges - 2
+        validate_csr(g2)
+
+    def test_delete_direction_agnostic(self, two_cliques):
+        a = apply_batch(two_cliques, EdgeBatch.from_edges(deletions=[(0, 5)]))
+        b = apply_batch(two_cliques, EdgeBatch.from_edges(deletions=[(5, 0)]))
+        assert a == b
+
+    def test_insert_coalesces_with_existing(self):
+        g = build_csr_from_edges([0], [1])
+        g2 = apply_batch(g, EdgeBatch.from_edges([(0, 1)],
+                                                 insert_weights=[2.0]))
+        assert g2.num_edges == 2
+        assert g2.edge_weights(0).tolist() == [3.0]
+
+    def test_insert_grows_vertex_set(self):
+        g = build_csr_from_edges([0], [1])
+        g2 = apply_batch(g, EdgeBatch.from_edges([(1, 5)]))
+        assert g2.num_vertices == 6
+
+    def test_self_loop_insert(self):
+        g = build_csr_from_edges([0], [1])
+        g2 = apply_batch(g, EdgeBatch.from_edges([(0, 0)]))
+        assert g2.neighbors(0).tolist() == [0, 1]
+
+    def test_delete_nonexistent_noop(self, two_cliques):
+        g2 = apply_batch(two_cliques, EdgeBatch.from_edges(deletions=[(0, 9)]))
+        assert g2 == two_cliques
+
+    def test_empty_batch_identity(self, two_cliques):
+        assert apply_batch(two_cliques, EdgeBatch.from_edges()) == two_cliques
+
+
+class TestRandomBatch:
+    def test_sizes(self, two_cliques):
+        b = random_batch(two_cliques, num_insertions=5, num_deletions=3,
+                         seed=1)
+        assert 0 < b.num_insertions <= 5
+        assert b.num_deletions == 3
+
+    def test_deletions_are_existing_edges(self, two_cliques):
+        b = random_batch(two_cliques, num_deletions=4, seed=2)
+        g2 = apply_batch(two_cliques, b)
+        assert g2.num_edges == two_cliques.num_edges - 2 * b.num_deletions
+
+    def test_deterministic(self, two_cliques):
+        a = random_batch(two_cliques, num_insertions=3, seed=5)
+        b = random_batch(two_cliques, num_insertions=3, seed=5)
+        assert np.array_equal(a.insert_sources, b.insert_sources)

@@ -1,0 +1,141 @@
+"""Tests for the incremental update strategies and driver."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import LeidenConfig
+from repro.core.leiden import leiden
+from repro.dynamic import (
+    APPROACHES,
+    EdgeBatch,
+    affected_vertices,
+    apply_batch,
+    dynamic_leiden,
+)
+from repro.dynamic.batch import random_batch
+from repro.errors import ConfigError
+from repro.metrics.comparison import adjusted_rand_index
+from repro.metrics.connectivity import disconnected_communities
+from repro.metrics.modularity import modularity
+from repro.datasets.sbm import planted_partition
+from tests.conftest import two_cliques_graph
+
+
+@pytest.fixture(scope="module")
+def community_graph():
+    g, planted = planted_partition(8, 40, intra_degree=12, inter_degree=2,
+                                   seed=3)
+    base = leiden(g, LeidenConfig(seed=3))
+    return g, base, planted
+
+
+class TestAffectedVertices:
+    def test_naive_marks_all(self, community_graph):
+        g, base, _ = community_graph
+        b = EdgeBatch.from_edges([(0, 1)])
+        mask = affected_vertices(g, base.membership, b, approach="naive")
+        assert mask.all()
+
+    def test_frontier_marks_endpoints_only(self, community_graph):
+        g, base, _ = community_graph
+        b = EdgeBatch.from_edges([(0, 100)])
+        mask = affected_vertices(g, base.membership, b, approach="frontier")
+        assert mask[0] and mask[100]
+        assert mask.sum() == 2
+
+    def test_delta_screening_widens(self, community_graph):
+        g, base, _ = community_graph
+        b = EdgeBatch.from_edges([(0, 100)])
+        frontier = affected_vertices(g, base.membership, b,
+                                     approach="frontier")
+        ds = affected_vertices(g, base.membership, b,
+                               approach="delta-screening")
+        assert ds.sum() > frontier.sum()
+        # the destination community is fully marked
+        C = base.membership
+        assert ds[C == C[100]].all()
+
+    def test_intra_deletion_marks_community(self, community_graph):
+        g, base, _ = community_graph
+        C = base.membership
+        # pick an intra-community edge
+        src, dst, _ = g.to_coo()
+        same = (C[src] == C[dst]) & (src < dst)
+        u, v = int(src[same][0]), int(dst[same][0])
+        b = EdgeBatch.from_edges(deletions=[(u, v)])
+        mask = affected_vertices(g, C, b, approach="delta-screening")
+        assert mask[C == C[u]].all()
+
+    def test_unknown_approach(self, community_graph):
+        g, base, _ = community_graph
+        with pytest.raises(ConfigError):
+            affected_vertices(g, base.membership, EdgeBatch.from_edges(),
+                              approach="psychic")
+
+
+class TestDynamicLeiden:
+    @pytest.mark.parametrize("approach", APPROACHES)
+    def test_tracks_static_quality(self, community_graph, approach):
+        g, base, _ = community_graph
+        batch = random_batch(g, num_insertions=40, num_deletions=40, seed=9)
+        dyn = dynamic_leiden(g, base.membership, batch, approach=approach)
+        static = leiden(dyn.graph, LeidenConfig(seed=3))
+        q_dyn = modularity(dyn.graph, dyn.membership)
+        q_static = modularity(dyn.graph, static.membership)
+        assert q_dyn > q_static - 0.02, approach
+
+    @pytest.mark.parametrize("approach", APPROACHES)
+    def test_connectivity_guarantee_kept(self, community_graph, approach):
+        g, base, _ = community_graph
+        batch = random_batch(g, num_insertions=30, num_deletions=30, seed=4)
+        dyn = dynamic_leiden(g, base.membership, batch, approach=approach)
+        rep = disconnected_communities(dyn.graph, dyn.membership)
+        assert rep.num_disconnected == 0, approach
+
+    def test_affected_fractions_ordered(self, community_graph):
+        g, base, _ = community_graph
+        batch = random_batch(g, num_insertions=10, num_deletions=5, seed=7)
+        fracs = {
+            a: dynamic_leiden(g, base.membership, batch,
+                              approach=a).affected_fraction
+            for a in APPROACHES
+        }
+        assert fracs["naive"] == 1.0
+        assert fracs["frontier"] <= fracs["delta-screening"] <= 1.0
+
+    def test_small_change_keeps_partition(self, community_graph):
+        """One extra intra-community edge must not reshuffle communities."""
+        g, base, planted = community_graph
+        C = base.membership
+        members = np.flatnonzero(C == C[0])
+        batch = EdgeBatch.from_edges([(int(members[0]), int(members[1]))])
+        dyn = dynamic_leiden(g, C, batch, approach="frontier")
+        assert adjusted_rand_index(dyn.membership, C) > 0.95
+
+    def test_bridge_deletion_splits(self):
+        g = two_cliques_graph()
+        base = leiden(g)
+        batch = EdgeBatch.from_edges(deletions=[(0, 5)])
+        dyn = dynamic_leiden(g, base.membership, batch,
+                             approach="delta-screening")
+        assert dyn.num_communities == 2
+        assert dyn.graph.num_edges == g.num_edges - 2
+
+    def test_vertex_growth(self, community_graph):
+        g, base, _ = community_graph
+        new_v = g.num_vertices + 2
+        batch = EdgeBatch.from_edges([(0, new_v)])
+        dyn = dynamic_leiden(g, base.membership, batch, approach="frontier")
+        assert dyn.graph.num_vertices == new_v + 1
+        assert dyn.membership.shape[0] == new_v + 1
+
+    def test_frontier_cheaper_than_naive(self, community_graph):
+        """The point of DF: far less work for a small batch."""
+        g, base, _ = community_graph
+        batch = random_batch(g, num_insertions=5, seed=11)
+        naive = dynamic_leiden(g, base.membership, batch, approach="naive")
+        frontier = dynamic_leiden(g, base.membership, batch,
+                                  approach="frontier")
+        w_naive = naive.result.ledger.total_work
+        w_frontier = frontier.result.ledger.total_work
+        assert w_frontier < w_naive

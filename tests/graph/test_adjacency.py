@@ -1,0 +1,72 @@
+"""Tests for the mutable 2D-vector graph."""
+
+import pytest
+
+from repro.errors import GraphStructureError
+from repro.graph.adjacency import AdjacencyGraph
+
+
+class TestMutation:
+    def test_add_vertex(self):
+        g = AdjacencyGraph()
+        assert g.add_vertex() == 0
+        assert g.add_vertex() == 1
+        assert g.num_vertices == 2
+
+    def test_ensure_vertices(self):
+        g = AdjacencyGraph(2)
+        g.ensure_vertices(5)
+        assert g.num_vertices == 5
+        g.ensure_vertices(3)  # never shrinks
+        assert g.num_vertices == 5
+
+    def test_add_directed_edge(self):
+        g = AdjacencyGraph(3)
+        g.add_edge(0, 1, 2.0)
+        assert g.has_edge(0, 1)
+        assert not g.has_edge(1, 0)
+        assert g.edge_weight(0, 1) == 2.0
+
+    def test_add_undirected_edge(self):
+        g = AdjacencyGraph(3)
+        g.add_undirected_edge(0, 2)
+        assert g.has_edge(0, 2) and g.has_edge(2, 0)
+        assert g.num_edges == 2
+
+    def test_undirected_self_loop_single_slot(self):
+        g = AdjacencyGraph(1)
+        g.add_undirected_edge(0, 0)
+        assert g.num_edges == 1
+
+    def test_parallel_edges_accumulate_weight(self):
+        g = AdjacencyGraph(2)
+        g.add_edge(0, 1, 1.0)
+        g.add_edge(0, 1, 2.5)
+        assert g.edge_weight(0, 1) == pytest.approx(3.5)
+        assert g.degree(0) == 2
+
+    def test_out_of_range_rejected(self):
+        g = AdjacencyGraph(2)
+        with pytest.raises(GraphStructureError):
+            g.add_edge(0, 5)
+        with pytest.raises(GraphStructureError):
+            g.degree(9)
+
+
+class TestConversion:
+    def test_to_csr_roundtrip(self, small_random_weighted):
+        adj = AdjacencyGraph.from_csr(small_random_weighted)
+        assert adj.num_vertices == small_random_weighted.num_vertices
+        assert adj.num_edges == small_random_weighted.num_edges
+        back = adj.to_csr()
+        assert back == small_random_weighted
+
+    def test_to_csr_empty(self):
+        g = AdjacencyGraph(3).to_csr()
+        assert g.num_vertices == 3
+        assert g.num_edges == 0
+
+    def test_edges_iterator(self):
+        g = AdjacencyGraph(2)
+        g.add_edge(0, 1, 4.0)
+        assert list(g.edges(0)) == [(1, 4.0)]

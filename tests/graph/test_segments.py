@@ -1,0 +1,59 @@
+"""Tests for the ragged-gather helpers."""
+
+import numpy as np
+
+from repro.graph.segments import gather_rows, ragged_indices
+
+
+class TestRaggedIndices:
+    def test_basic(self):
+        seg, idx = ragged_indices(np.array([0, 5]), np.array([2, 3]))
+        assert seg.tolist() == [0, 0, 1, 1, 1]
+        assert idx.tolist() == [0, 1, 5, 6, 7]
+
+    def test_empty_rows_skipped(self):
+        seg, idx = ragged_indices(np.array([0, 2, 2]), np.array([2, 0, 1]))
+        assert seg.tolist() == [0, 0, 2]
+        assert idx.tolist() == [0, 1, 2]
+
+    def test_all_empty(self):
+        seg, idx = ragged_indices(np.array([3, 3]), np.array([0, 0]))
+        assert seg.shape == (0,)
+        assert idx.shape == (0,)
+
+    def test_no_rows(self):
+        seg, idx = ragged_indices(np.array([]), np.array([]))
+        assert seg.shape == (0,)
+
+    def test_matches_python_loop(self):
+        rng = np.random.default_rng(0)
+        starts = rng.integers(0, 100, 20)
+        lengths = rng.integers(0, 7, 20)
+        seg, idx = ragged_indices(starts, lengths)
+        expect_seg, expect_idx = [], []
+        for k, (s, l) in enumerate(zip(starts, lengths)):
+            for off in range(l):
+                expect_seg.append(k)
+                expect_idx.append(s + off)
+        assert seg.tolist() == expect_seg
+        assert idx.tolist() == expect_idx
+
+
+class TestGatherRows:
+    def test_gathers_edges(self, two_cliques):
+        g = two_cliques
+        rows = np.array([0, 5])
+        seg, dst, wgt = gather_rows(
+            g.offsets[:-1], g.degrees, g.targets, g.weights, rows
+        )
+        assert seg.shape[0] == g.degree(0) + g.degree(5)
+        assert dst[seg == 0].tolist() == g.neighbors(0).tolist()
+        assert dst[seg == 1].tolist() == g.neighbors(5).tolist()
+
+    def test_empty_rows(self, two_cliques):
+        g = two_cliques
+        seg, dst, wgt = gather_rows(
+            g.offsets[:-1], g.degrees, g.targets, g.weights,
+            np.array([], dtype=np.int64),
+        )
+        assert seg.shape == (0,)

@@ -1,0 +1,92 @@
+"""Tests for the BFS traversal substrate."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.errors import GraphStructureError
+from repro.graph.builder import build_csr_from_edges
+from repro.graph.traversal import bfs_levels, bfs_order, eccentricity_lower_bound
+from tests.conftest import path_graph, random_graph, star_graph, two_cliques_graph
+
+
+class TestBfsLevels:
+    def test_path_distances(self, path10):
+        levels = bfs_levels(path10, 0)
+        assert levels.tolist() == list(range(10))
+
+    def test_star_center(self, star8):
+        levels = bfs_levels(star8, 0)
+        assert levels[0] == 0
+        assert (levels[1:] == 1).all()
+
+    def test_unreachable_is_minus_one(self):
+        g = build_csr_from_edges([0], [1], num_vertices=4)
+        levels = bfs_levels(g, 0)
+        assert levels.tolist() == [0, 1, -1, -1]
+
+    def test_multi_source(self, path10):
+        levels = bfs_levels(path10, [0, 9])
+        assert levels[0] == 0 and levels[9] == 0
+        assert levels[5] == 4  # closest source wins
+
+    def test_out_of_range_source(self, path10):
+        with pytest.raises(GraphStructureError):
+            bfs_levels(path10, 99)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_matches_networkx(self, seed):
+        g = random_graph(n=60, avg_degree=4, seed=seed)
+        G = nx.Graph()
+        G.add_nodes_from(range(g.num_vertices))
+        src, dst, _ = g.to_coo()
+        G.add_edges_from(zip(src.tolist(), dst.tolist()))
+        levels = bfs_levels(g, 0)
+        nx_levels = nx.single_source_shortest_path_length(G, 0)
+        for v in range(g.num_vertices):
+            expect = nx_levels.get(v, -1)
+            assert levels[v] == expect, v
+
+
+class TestBfsOrder:
+    def test_is_permutation(self, two_cliques):
+        order = bfs_order(two_cliques)
+        assert sorted(order.tolist()) == list(range(10))
+
+    def test_levels_nondecreasing_within_component(self, path10):
+        order = bfs_order(path10)
+        root = order[0]
+        levels = bfs_levels(path10, int(root))
+        seq = levels[order]
+        assert all(a <= b for a, b in zip(seq, seq[1:]))
+
+    def test_isolated_vertices_included(self):
+        g = build_csr_from_edges([0], [1], num_vertices=5)
+        order = bfs_order(g)
+        assert sorted(order.tolist()) == list(range(5))
+
+    def test_deterministic(self, small_random):
+        assert np.array_equal(bfs_order(small_random),
+                              bfs_order(small_random))
+
+
+class TestEccentricity:
+    def test_path_endpoint(self, path10):
+        assert eccentricity_lower_bound(path10, 0) == 9
+
+    def test_path_middle(self, path10):
+        assert eccentricity_lower_bound(path10, 5) == 5
+
+    def test_star(self, star8):
+        assert eccentricity_lower_bound(star8, 0) == 1
+        assert eccentricity_lower_bound(star8, 1) == 2
+
+
+class TestColoringFallback:
+    def test_max_rounds_fallback_still_proper(self):
+        """Force the round cap so the distinct-fresh-color path runs."""
+        from repro.parallel.coloring import color_graph, verify_coloring
+        g = two_cliques_graph()
+        colors = color_graph(g, max_rounds=1)
+        assert verify_coloring(g, colors)
+        assert (colors >= 0).all()

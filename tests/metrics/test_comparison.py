@@ -1,0 +1,83 @@
+"""Tests for NMI / ARI partition comparison."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.comparison import (
+    adjusted_rand_index,
+    contingency_counts,
+    normalized_mutual_information,
+)
+
+
+class TestContingency:
+    def test_basic(self):
+        counts, a_idx, b_idx, a_tot, b_tot = contingency_counts(
+            [0, 0, 1, 1], [0, 1, 1, 1]
+        )
+        table = {(int(a), int(b)): int(c)
+                 for a, b, c in zip(a_idx, b_idx, counts)}
+        assert table == {(0, 0): 1, (0, 1): 1, (1, 1): 2}
+        assert a_tot.tolist() == [2, 2]
+        assert b_tot.tolist() == [1, 3]
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            contingency_counts([0], [0, 1])
+
+    def test_arbitrary_labels(self):
+        counts, *_ = contingency_counts([9, 9, 42], [7, 7, 3])
+        assert sorted(counts.tolist()) == [1, 2]
+
+
+class TestNMI:
+    def test_identical_partitions(self):
+        assert normalized_mutual_information([0, 0, 1, 1], [5, 5, 2, 2]) == \
+            pytest.approx(1.0)
+
+    def test_independent_partitions_low(self):
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 4, 2000)
+        b = rng.integers(0, 4, 2000)
+        assert normalized_mutual_information(a, b) < 0.02
+
+    def test_constant_labelings(self):
+        assert normalized_mutual_information([0, 0], [1, 1]) == 1.0
+
+    def test_symmetry(self):
+        a = [0, 0, 1, 2, 2]
+        b = [1, 1, 1, 0, 2]
+        assert normalized_mutual_information(a, b) == pytest.approx(
+            normalized_mutual_information(b, a)
+        )
+
+    def test_range(self):
+        rng = np.random.default_rng(3)
+        for _ in range(5):
+            a = rng.integers(0, 5, 100)
+            b = rng.integers(0, 3, 100)
+            v = normalized_mutual_information(a, b)
+            assert 0.0 <= v <= 1.0
+
+
+class TestARI:
+    def test_identical(self):
+        assert adjusted_rand_index([0, 1, 1], [4, 2, 2]) == pytest.approx(1.0)
+
+    def test_independent_near_zero(self):
+        rng = np.random.default_rng(1)
+        a = rng.integers(0, 4, 2000)
+        b = rng.integers(0, 4, 2000)
+        assert abs(adjusted_rand_index(a, b)) < 0.02
+
+    def test_matches_sklearn_formula_example(self):
+        # Known value: ARI([0,0,1,2],[0,0,1,1]) = 0.571428...
+        assert adjusted_rand_index([0, 0, 1, 2], [0, 0, 1, 1]) == \
+            pytest.approx(0.5714285714, abs=1e-6)
+
+    def test_symmetry(self):
+        a = [0, 0, 1, 2, 2, 1]
+        b = [1, 1, 0, 0, 2, 2]
+        assert adjusted_rand_index(a, b) == pytest.approx(
+            adjusted_rand_index(b, a)
+        )

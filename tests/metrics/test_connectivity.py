@@ -1,0 +1,118 @@
+"""Tests for connected components and disconnected-community detection."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graph.builder import build_csr_from_edges
+from repro.graph.csr import empty_csr
+from repro.metrics.connectivity import (
+    connected_components,
+    count_components,
+    disconnected_communities,
+    is_community_connected,
+)
+from tests.conftest import random_graph
+
+
+class TestConnectedComponents:
+    def test_path_single_component(self, path10):
+        assert count_components(path10) == 1
+
+    def test_two_components(self):
+        g = build_csr_from_edges([0, 2], [1, 3])
+        labels = connected_components(g)
+        assert labels[0] == labels[1]
+        assert labels[2] == labels[3]
+        assert labels[0] != labels[2]
+        assert count_components(g) == 2
+
+    def test_isolated_vertices_count(self):
+        g = build_csr_from_edges([0], [1], num_vertices=4)
+        assert count_components(g) == 3
+
+    def test_empty_graph(self):
+        assert count_components(empty_csr(0)) == 0
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_networkx(self, seed):
+        g = random_graph(n=50, avg_degree=2.0, seed=seed)
+        G = nx.Graph()
+        G.add_nodes_from(range(g.num_vertices))
+        src, dst, _ = g.to_coo()
+        G.add_edges_from(zip(src.tolist(), dst.tolist()))
+        assert count_components(g) == nx.number_connected_components(G)
+
+    def test_self_loop_single_component(self):
+        g = build_csr_from_edges([0], [0])
+        assert count_components(g) == 1
+
+
+class TestDisconnectedCommunities:
+    def test_connected_partition_clean(self, two_cliques):
+        C = np.array([0] * 5 + [1] * 5, dtype=np.int32)
+        report = disconnected_communities(two_cliques, C)
+        assert report.num_communities == 2
+        assert report.num_disconnected == 0
+        assert report.fraction == 0.0
+
+    def test_detects_split_community(self, two_cliques):
+        # Community 1 = {0, 7}: no edge between them.  Community 0 = the
+        # rest: pulling out vertex 0 removes the bridge, splitting it too.
+        C = np.zeros(10, dtype=np.int32)
+        C[0] = 1
+        C[7] = 1
+        report = disconnected_communities(two_cliques, C)
+        assert report.num_disconnected == 2
+        assert report.disconnected_ids.tolist() == [0, 1]
+
+    def test_detects_only_the_split_one(self, two_cliques):
+        # Moving just vertex 7 out: community 0 keeps the bridge and
+        # stays connected; {7} alone is a connected singleton.
+        C = np.zeros(10, dtype=np.int32)
+        C[7] = 1
+        report = disconnected_communities(two_cliques, C)
+        assert report.num_disconnected == 0
+        # But {2, 7} (no edge: different cliques, neither on the bridge)
+        # is disconnected.
+        C[2] = 1
+        report = disconnected_communities(two_cliques, C)
+        assert report.num_disconnected == 1
+        assert report.disconnected_ids.tolist() == [1]
+
+    def test_bridge_keeps_connected(self, two_cliques):
+        C = np.zeros(10, dtype=np.int32)
+        report = disconnected_communities(two_cliques, C)
+        assert report.num_disconnected == 0
+
+    def test_fraction(self):
+        g = build_csr_from_edges([0, 2, 4], [1, 3, 5])
+        C = np.array([0, 0, 1, 1, 1, 1], dtype=np.int32)
+        # community 1 = {2,3,4,5} but edges only 2-3 and 4-5 => disconnected
+        report = disconnected_communities(g, C)
+        assert report.num_disconnected == 1
+        assert report.fraction == pytest.approx(0.5)
+
+    def test_is_community_connected(self, two_cliques):
+        C = np.zeros(10, dtype=np.int32)
+        C[2] = 1
+        C[7] = 1
+        assert is_community_connected(two_cliques, C, 0)
+        assert not is_community_connected(two_cliques, C, 1)
+
+    def test_singleton_communities_connected(self, path10):
+        C = np.arange(10, dtype=np.int32)
+        report = disconnected_communities(path10, C)
+        assert report.num_disconnected == 0
+
+    def test_empty_graph(self):
+        report = disconnected_communities(empty_csr(0), np.empty(0, dtype=np.int32))
+        assert report.num_communities == 0
+        assert report.fraction == 0.0
+
+    def test_noncontiguous_community_ids(self, path10):
+        C = np.full(10, 7, dtype=np.int32)
+        C[:5] = 42
+        report = disconnected_communities(path10, C)
+        assert report.num_communities == 2
+        assert report.num_disconnected == 0

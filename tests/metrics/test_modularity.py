@@ -1,0 +1,137 @@
+"""Tests for modularity and delta-modularity, with networkx as oracle."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.errors import GraphStructureError
+from repro.graph.builder import build_csr_from_edges
+from repro.graph.csr import empty_csr
+from repro.metrics.modularity import (
+    community_weights,
+    delta_modularity,
+    intra_community_weight,
+    modularity,
+)
+from repro.metrics.partition import groups_from_membership
+from tests.conftest import random_graph
+
+
+def nx_modularity(graph, membership, resolution=1.0):
+    G = nx.Graph()
+    G.add_nodes_from(range(graph.num_vertices))
+    src, dst, wgt = graph.to_coo()
+    for u, v, w in zip(src.tolist(), dst.tolist(), wgt.tolist()):
+        if G.has_edge(u, v):
+            continue
+        G.add_edge(u, v, weight=w)
+    groups = [set(m) for m in groups_from_membership(membership).values()]
+    return nx.community.modularity(G, groups, resolution=resolution)
+
+
+class TestModularity:
+    def test_single_community_value(self, two_cliques):
+        # One community: Q = sigma/2m - 1 = 0 (all edges internal).
+        C = np.zeros(10, dtype=np.int32)
+        assert modularity(two_cliques, C) == pytest.approx(0.0)
+
+    def test_two_cliques_partition(self, two_cliques):
+        C = np.array([0] * 5 + [1] * 5, dtype=np.int32)
+        q = modularity(two_cliques, C)
+        assert q == pytest.approx(nx_modularity(two_cliques, C), abs=1e-9)
+        assert q > 0.4
+
+    def test_singletons_negative(self, two_cliques):
+        C = np.arange(10, dtype=np.int32)
+        q = modularity(two_cliques, C)
+        assert q < 0
+        assert q == pytest.approx(nx_modularity(two_cliques, C), abs=1e-9)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_networkx_random(self, seed):
+        g = random_graph(n=40, avg_degree=5, seed=seed, weighted=True)
+        rng = np.random.default_rng(seed)
+        C = rng.integers(0, 6, g.num_vertices).astype(np.int32)
+        assert modularity(g, C) == pytest.approx(
+            nx_modularity(g, C), abs=1e-6
+        )
+
+    def test_resolution_parameter(self, two_cliques):
+        C = np.array([0] * 5 + [1] * 5, dtype=np.int32)
+        q2 = modularity(two_cliques, C, resolution=2.0)
+        assert q2 == pytest.approx(
+            nx_modularity(two_cliques, C, resolution=2.0), abs=1e-9
+        )
+        assert q2 < modularity(two_cliques, C)
+
+    def test_membership_length_checked(self, two_cliques):
+        with pytest.raises(GraphStructureError):
+            modularity(two_cliques, np.zeros(3, dtype=np.int32))
+
+    def test_empty_graph(self):
+        assert modularity(empty_csr(0), np.empty(0, dtype=np.int32)) == 0.0
+
+    def test_edgeless_graph(self):
+        assert modularity(empty_csr(4), np.zeros(4, dtype=np.int32)) == 0.0
+
+    def test_self_loops_counted_once(self):
+        g = build_csr_from_edges([0, 0], [0, 1])
+        C = np.zeros(2, dtype=np.int32)
+        # sigma = loop(1) + edge both ways(2) = 3; 2m = 3 => Q = 0.
+        assert modularity(g, C) == pytest.approx(0.0)
+
+
+class TestHelpers:
+    def test_community_weights(self, two_cliques):
+        C = np.array([0] * 5 + [1] * 5, dtype=np.int32)
+        Sigma = community_weights(two_cliques, C)
+        K = two_cliques.vertex_weights()
+        assert Sigma[0] == pytest.approx(K[:5].sum())
+        assert Sigma[1] == pytest.approx(K[5:].sum())
+
+    def test_intra_weight(self, two_cliques):
+        C = np.array([0] * 5 + [1] * 5, dtype=np.int32)
+        # everything except the bridge (stored twice) is internal
+        assert intra_community_weight(two_cliques, C) == pytest.approx(
+            two_cliques.total_weight - 2.0
+        )
+
+
+class TestDeltaModularity:
+    def _brute_force_dq(self, graph, C, i, c):
+        before = modularity(graph, C)
+        C2 = C.copy()
+        C2[i] = c
+        return modularity(graph, C2) - before
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_matches_brute_force(self, seed):
+        g = random_graph(n=30, avg_degree=5, seed=seed, weighted=True)
+        rng = np.random.default_rng(seed + 100)
+        C = rng.integers(0, 5, g.num_vertices).astype(np.int32)
+        K = g.vertex_weights()
+        Sigma = community_weights(g, C)
+        m = g.m
+        for _ in range(10):
+            i = int(rng.integers(0, g.num_vertices))
+            c = int(rng.integers(0, 5))
+            d = int(C[i])
+            if c == d:
+                continue
+            dst, wgt = g.edges(i)
+            notself = dst != i
+            kic = float(wgt[notself][C[dst[notself]] == c].sum(dtype=np.float64))
+            kid = float(wgt[notself][C[dst[notself]] == d].sum(dtype=np.float64))
+            dq = delta_modularity(kic, kid, float(K[i]),
+                                  float(Sigma[c]), float(Sigma[d]), m)
+            assert dq == pytest.approx(
+                self._brute_force_dq(g, C, i, c), abs=1e-9
+            )
+
+    def test_vectorized_matches_scalar(self):
+        kic = np.array([1.0, 2.0])
+        dq = delta_modularity(kic, 0.5, 2.0, 4.0, 3.0, 10.0)
+        for k in range(2):
+            assert dq[k] == pytest.approx(
+                delta_modularity(float(kic[k]), 0.5, 2.0, 4.0, 3.0, 10.0)
+            )

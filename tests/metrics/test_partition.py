@@ -1,0 +1,83 @@
+"""Tests for partition utilities."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphStructureError
+from repro.metrics.partition import (
+    check_membership,
+    community_sizes,
+    count_communities,
+    groups_from_membership,
+    membership_from_groups,
+    renumber_membership,
+)
+
+
+class TestCheckMembership:
+    def test_accepts_valid(self):
+        C = check_membership([0, 1, 0], 3)
+        assert C.dtype == np.int32
+
+    def test_rejects_length(self):
+        with pytest.raises(GraphStructureError):
+            check_membership([0, 1], 3)
+
+    def test_rejects_negative(self):
+        with pytest.raises(GraphStructureError):
+            check_membership([0, -1], 2)
+
+
+class TestCounts:
+    def test_count_communities(self):
+        assert count_communities([5, 5, 9, 5]) == 2
+        assert count_communities([]) == 0
+
+    def test_community_sizes_dense(self):
+        sizes = community_sizes([0, 0, 1, 2, 2, 2])
+        assert sizes.tolist() == [2, 1, 3]
+
+    def test_community_sizes_sparse_ids(self):
+        sizes = community_sizes([4, 4, 9])
+        assert sizes.tolist() == [2, 1]
+
+    def test_community_sizes_empty(self):
+        assert community_sizes([]).shape == (0,)
+
+
+class TestRenumber:
+    def test_compacts(self):
+        ren, old = renumber_membership([9, 3, 9, 7])
+        assert old.tolist() == [3, 7, 9]
+        assert ren.tolist() == [2, 0, 2, 1]
+
+    def test_identity_when_dense(self):
+        ren, old = renumber_membership([0, 1, 2])
+        assert ren.tolist() == [0, 1, 2]
+
+    def test_roundtrip(self):
+        C = np.array([5, 2, 5, 8, 2], dtype=np.int32)
+        ren, old = renumber_membership(C)
+        assert np.array_equal(old[ren], C)
+
+    def test_deterministic(self):
+        a, _ = renumber_membership([3, 1, 3])
+        b, _ = renumber_membership([3, 1, 3])
+        assert np.array_equal(a, b)
+
+
+class TestGroups:
+    def test_groups_roundtrip(self):
+        C = np.array([1, 0, 1, 2], dtype=np.int32)
+        groups = groups_from_membership(C)
+        assert groups == {0: [1], 1: [0, 2], 2: [3]}
+        back = membership_from_groups(groups, 4)
+        assert np.array_equal(back, C)
+
+    def test_membership_from_groups_rejects_overlap(self):
+        with pytest.raises(GraphStructureError):
+            membership_from_groups({0: [0], 1: [0]}, 1)
+
+    def test_membership_from_groups_rejects_gap(self):
+        with pytest.raises(GraphStructureError):
+            membership_from_groups({0: [0]}, 2)

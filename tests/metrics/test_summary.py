@@ -1,0 +1,95 @@
+"""Tests for per-community structural summaries."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.modularity import modularity
+from repro.metrics.summary import summarize_partition
+from repro.types import VERTEX_DTYPE
+from tests.conftest import random_graph, two_cliques_graph
+
+
+class TestTwoCliques:
+    @pytest.fixture
+    def summary(self, two_cliques):
+        C = np.array([0] * 5 + [1] * 5, dtype=VERTEX_DTYPE)
+        return summarize_partition(two_cliques, C)
+
+    def test_counts(self, summary):
+        assert summary.num_communities == 2
+        assert [c.size for c in summary.communities] == [5, 5]
+
+    def test_internal_weight(self, summary):
+        # each clique has 10 undirected internal edges
+        assert [c.internal_weight for c in summary.communities] == \
+            [10.0, 10.0]
+
+    def test_cut_weight(self, summary):
+        # one bridge edge crosses, counted once per side
+        assert [c.cut_weight for c in summary.communities] == [1.0, 1.0]
+
+    def test_volume(self, summary, two_cliques):
+        K = two_cliques.vertex_weights()
+        assert summary.communities[0].volume == pytest.approx(K[:5].sum())
+
+    def test_internal_density(self, summary):
+        # clique of 5: all 10 pairs present
+        assert summary.communities[0].internal_density == pytest.approx(1.0)
+
+    def test_conductance(self, summary, two_cliques):
+        c = summary.communities[0]
+        assert c.conductance == pytest.approx(
+            1.0 / min(c.volume, two_cliques.total_weight - c.volume)
+        )
+
+    def test_coverage(self, summary, two_cliques):
+        # all but the bridge (stored twice) is internal
+        expect = (two_cliques.total_weight - 2.0) / two_cliques.total_weight
+        assert summary.coverage == pytest.approx(expect)
+
+    def test_modularity_matches_metric(self, summary, two_cliques):
+        C = np.array([0] * 5 + [1] * 5, dtype=VERTEX_DTYPE)
+        assert summary.modularity == pytest.approx(
+            modularity(two_cliques, C)
+        )
+
+
+class TestAggregates:
+    def test_sizes_and_percentiles(self, small_random):
+        rng = np.random.default_rng(0)
+        C = rng.integers(0, 5, small_random.num_vertices)
+        s = summarize_partition(small_random, C)
+        assert s.sizes().sum() == small_random.num_vertices
+        pct = s.size_percentiles()
+        assert pct[0] <= pct[50] <= pct[100]
+
+    def test_worst_conductance_ordering(self, small_random):
+        rng = np.random.default_rng(1)
+        C = rng.integers(0, 6, small_random.num_vertices)
+        s = summarize_partition(small_random, C)
+        worst = s.worst_conductance(3)
+        conds = [c.conductance for c in worst]
+        assert conds == sorted(conds, reverse=True)
+
+    def test_internal_plus_cut_consistency(self):
+        g = random_graph(n=50, avg_degree=6, seed=4, weighted=True)
+        rng = np.random.default_rng(4)
+        C = rng.integers(0, 4, g.num_vertices)
+        s = summarize_partition(g, C)
+        total = sum(2 * c.internal_weight + c.cut_weight
+                    for c in s.communities)
+        # loops counted once internally but stored once => adjust
+        src, dst, wgt = g.to_coo()
+        loops = float(wgt[src == dst].sum(dtype=np.float64))
+        assert total == pytest.approx(g.total_weight + loops, rel=1e-5)
+
+    def test_singleton_partition(self, two_cliques):
+        C = np.arange(10, dtype=VERTEX_DTYPE)
+        s = summarize_partition(two_cliques, C)
+        assert all(c.internal_weight == 0 for c in s.communities)
+        assert s.coverage == 0.0
+
+    def test_empty_graph(self):
+        from repro.graph.csr import empty_csr
+        s = summarize_partition(empty_csr(0), np.empty(0, dtype=VERTEX_DTYPE))
+        assert s.num_communities == 0

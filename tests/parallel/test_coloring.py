@@ -1,0 +1,85 @@
+"""Tests for the parallel graph coloring."""
+
+import numpy as np
+import pytest
+
+from repro.graph.builder import build_csr_from_edges
+from repro.parallel.coloring import color_classes, color_graph, verify_coloring
+from tests.conftest import random_graph
+
+
+class TestColoring:
+    def test_path_is_properly_colored(self, path10):
+        colors = color_graph(path10)
+        assert verify_coloring(path10, colors)
+
+    def test_path_uses_few_colors(self, path10):
+        colors = color_graph(path10)
+        assert colors.max() <= 4  # chromatic number 2; greedy stays small
+
+    def test_clique_needs_n_colors(self):
+        n = 6
+        src, dst = zip(*[(i, j) for i in range(n) for j in range(i + 1, n)])
+        g = build_csr_from_edges(src, dst)
+        colors = color_graph(g)
+        assert verify_coloring(g, colors)
+        assert len(np.unique(colors)) == n
+
+    def test_star_few_colors(self, star8):
+        # Chromatic number is 2; the MIS rounds may spend one extra color
+        # on the spokes that lost the first round to the hub.
+        colors = color_graph(star8)
+        assert verify_coloring(star8, colors)
+        assert len(np.unique(colors)) <= 3
+
+    def test_random_graphs_proper(self):
+        for seed in range(5):
+            g = random_graph(n=80, avg_degree=8, seed=seed)
+            colors = color_graph(g, seed=seed)
+            assert verify_coloring(g, colors), f"seed {seed}"
+
+    def test_self_loops_ignored(self):
+        g = build_csr_from_edges([0, 0], [0, 1])
+        colors = color_graph(g)
+        assert verify_coloring(g, colors)
+
+    def test_deterministic(self, small_random):
+        a = color_graph(small_random, seed=3)
+        b = color_graph(small_random, seed=3)
+        assert np.array_equal(a, b)
+
+    def test_empty_graph(self):
+        from repro.graph.csr import empty_csr
+        assert color_graph(empty_csr(0)).shape == (0,)
+
+    def test_isolated_vertices_colored(self):
+        from repro.graph.csr import empty_csr
+        colors = color_graph(empty_csr(5))
+        assert (colors >= 0).all()
+
+    def test_all_vertices_colored(self, small_random):
+        colors = color_graph(small_random)
+        assert (colors >= 0).all()
+
+
+class TestColorClasses:
+    def test_partition_of_vertices(self, small_random):
+        colors = color_graph(small_random)
+        classes = color_classes(colors)
+        flat = np.concatenate(classes)
+        assert sorted(flat.tolist()) == list(range(small_random.num_vertices))
+
+    def test_classes_are_independent_sets(self, small_random):
+        g = small_random
+        colors = color_graph(g)
+        member = {}
+        for k, cls in enumerate(color_classes(colors)):
+            for v in cls.tolist():
+                member[v] = k
+        src, dst, _ = g.to_coo()
+        for u, v in zip(src.tolist(), dst.tolist()):
+            if u != v:
+                assert member[u] != member[v]
+
+    def test_empty(self):
+        assert color_classes(np.empty(0, dtype=np.int64)) == []

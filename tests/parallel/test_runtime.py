@@ -1,0 +1,84 @@
+"""Tests for the runtime facade."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.parallel.runtime import Runtime
+from repro.parallel.schedule import Schedule
+
+
+class TestConstruction:
+    def test_defaults(self):
+        rt = Runtime()
+        assert rt.num_threads == 1
+        assert rt.schedule.kind == "dynamic"
+
+    def test_rejects_bad_threads(self):
+        with pytest.raises(ConfigError):
+            Runtime(0)
+
+    def test_rejects_bad_executor(self):
+        with pytest.raises(ConfigError):
+            Runtime(executor="gpu")
+
+    def test_thread_rngs_spawned(self):
+        rt = Runtime(4, seed=9)
+        assert len(rt.thread_rngs) == 4
+        assert len({r.state for r in rt.thread_rngs}) == 4
+
+    def test_hashtables_per_thread(self):
+        rt = Runtime(3)
+        tables = rt.hashtables(10)
+        assert len(tables) == 3
+        assert all(t.capacity == 10 for t in tables)
+
+
+class TestMapChunks:
+    def test_serial_covers_all(self):
+        rt = Runtime(2, schedule=Schedule("dynamic", 3))
+        seen = []
+        rt.map_chunks(10, lambda lo, hi, t: seen.extend(range(lo, hi)))
+        assert seen == list(range(10))
+
+    def test_threads_executor_covers_all(self):
+        rt = Runtime(4, executor="threads", schedule=Schedule("dynamic", 5))
+        seen = set()
+        lock = threading.Lock()
+
+        def body(lo, hi, tid):
+            with lock:
+                seen.update(range(lo, hi))
+
+        with rt:
+            rt.map_chunks(100, body)
+        assert seen == set(range(100))
+
+    def test_empty_loop(self):
+        rt = Runtime()
+        rt.map_chunks(0, lambda *a: pytest.fail("must not be called"))
+
+    def test_thread_ids_within_range(self):
+        rt = Runtime(3, schedule=Schedule("dynamic", 2))
+        tids = []
+        rt.map_chunks(12, lambda lo, hi, t: tids.append(t))
+        assert all(0 <= t < 3 for t in tids)
+
+
+class TestAccounting:
+    def test_record_and_simulate(self):
+        rt = Runtime(8)
+        rt.record_parallel(np.ones(10000), phase="p")
+        rt.record_serial(100, phase="s")
+        sim1 = rt.simulate(num_threads=1)
+        sim8 = rt.simulate()
+        assert sim8.seconds < sim1.seconds
+        assert set(sim8.phase_seconds) == {"p", "s"}
+
+    def test_batch_order_covers_items(self):
+        rt = Runtime(2, schedule=Schedule("dynamic", 4))
+        batches = rt.batch_order(10)
+        flat = np.concatenate(batches)
+        assert flat.tolist() == list(range(10))

@@ -1,0 +1,160 @@
+"""Tests for the work ledger and modelled-time simulation."""
+
+import numpy as np
+import pytest
+
+from repro.parallel.costmodel import MachineModel, PAPER_MACHINE
+from repro.parallel.schedule import Schedule
+from repro.parallel.simthread import WorkLedger, scaling_curve
+
+
+def flat_machine():
+    """A machine with no contention/NUMA/overheads for exact arithmetic."""
+    return MachineModel(
+        contention_beta=0.0, numa_factor=1.0, smt_pressure=1.0,
+        smt_gain=1.0, time_per_unit=1.0, chunk_overhead_units=0.0,
+        atomic_seconds=0.0, barrier_base_seconds=0.0,
+    )
+
+
+class TestRecording:
+    def test_parallel_region_chunks(self):
+        led = WorkLedger()
+        led.parallel(np.ones(5000), phase="p", schedule=Schedule("dynamic", 2048))
+        region = led.regions[0]
+        assert region.kind == "parallel"
+        assert region.chunk_costs.shape[0] == 3
+        assert region.total_work == pytest.approx(5000)
+
+    def test_chunk_cap(self):
+        led = WorkLedger()
+        led.parallel(np.ones(200000), phase="p", schedule=Schedule("dynamic", 1))
+        assert led.regions[0].chunk_costs.shape[0] <= 16384
+        assert led.regions[0].total_work == pytest.approx(200000)
+
+    def test_empty_region_skipped(self):
+        led = WorkLedger()
+        led.parallel(np.empty(0), phase="p")
+        led.serial(0.0, phase="p")
+        assert led.regions == []
+
+    def test_serial(self):
+        led = WorkLedger()
+        led.serial(100.0, phase="s")
+        assert led.regions[0].kind == "serial"
+        assert led.total_work == pytest.approx(100.0)
+
+    def test_atomics_counted_in_work(self):
+        led = WorkLedger()
+        led.parallel(np.ones(10), phase="p", atomics=7.0)
+        assert led.total_work == pytest.approx(17.0)
+
+    def test_merge_and_phases(self):
+        a, b = WorkLedger(), WorkLedger()
+        a.serial(1.0, phase="x")
+        b.serial(2.0, phase="y")
+        a.merge(b)
+        assert a.phases() == ["x", "y"]
+        assert a.work_by_phase() == {"x": 1.0, "y": 2.0}
+
+    def test_clear(self):
+        led = WorkLedger()
+        led.serial(1.0, phase="x")
+        led.clear()
+        assert led.total_work == 0.0
+
+
+class TestSimulate:
+    def test_serial_unaffected_by_threads(self):
+        led = WorkLedger()
+        led.serial(100.0, phase="s")
+        m = flat_machine()
+        assert led.simulate(m, 1).seconds == pytest.approx(100.0)
+        assert led.simulate(m, 64).seconds == pytest.approx(100.0)
+
+    def test_parallel_ideal_speedup_on_flat_machine(self):
+        led = WorkLedger()
+        led.parallel(np.ones(64 * 2048), phase="p")
+        m = flat_machine()
+        t1 = led.simulate(m, 1).seconds
+        t64 = led.simulate(m, 64).seconds
+        assert t1 / t64 == pytest.approx(64.0, rel=0.01)
+
+    def test_monotone_in_threads(self):
+        led = WorkLedger()
+        led.parallel(np.random.default_rng(0).uniform(1, 4, 50000), phase="p")
+        led.serial(1000, phase="s")
+        times = [led.simulate(PAPER_MACHINE, t).seconds for t in (1, 2, 4, 8, 16, 32)]
+        assert all(a >= b for a, b in zip(times, times[1:]))
+
+    def test_phase_seconds_sum_to_total(self):
+        led = WorkLedger()
+        led.parallel(np.ones(1000), phase="a")
+        led.serial(50, phase="b")
+        sim = led.simulate(PAPER_MACHINE, 8)
+        assert sum(sim.phase_seconds.values()) == pytest.approx(sim.seconds)
+
+    def test_phase_fraction(self):
+        led = WorkLedger()
+        led.serial(30, phase="a")
+        led.serial(70, phase="b")
+        sim = led.simulate(flat_machine(), 1)
+        assert sim.phase_fraction("a") == pytest.approx(0.3)
+        assert sim.phase_fraction("missing") == 0.0
+
+    def test_work_scale_scales_serial(self):
+        led = WorkLedger()
+        led.serial(10.0, phase="s")
+        m = flat_machine()
+        assert led.simulate(m, 1, work_scale=100.0).seconds == pytest.approx(1000.0)
+
+    def test_work_scale_parallel_approaches_linear(self):
+        # At scale, chunk-granularity ceases to limit parallelism.
+        led = WorkLedger()
+        led.parallel(np.ones(4096), phase="p")  # only 2 chunks
+        m = flat_machine()
+        unscaled = led.simulate(m, 64).seconds
+        scaled = led.simulate(m, 64, work_scale=1000.0).seconds
+        # unscaled: 2 chunks cap speedup at 2; scaled: near 64.
+        assert unscaled == pytest.approx(2048.0)
+        assert scaled == pytest.approx(4096.0 * 1000 / 64, rel=0.05)
+
+    def test_scaling_curve_helper(self):
+        led = WorkLedger()
+        led.parallel(np.ones(100000), phase="p")
+        curve = scaling_curve(led, PAPER_MACHINE, [1, 2, 4])
+        assert set(curve) == {1, 2, 4}
+        assert curve[1].seconds > curve[4].seconds
+
+
+class TestRegionSpanBound:
+    def test_analytic_bound_close_to_exact(self):
+        """The Graham-bound fast path used at scale must agree with the
+        exact greedy makespan within its (1 - 1/T) * max_chunk slack."""
+        from repro.parallel.schedule import Schedule, makespan
+        from repro.parallel.simthread import WorkLedger
+
+        rng = np.random.default_rng(5)
+        costs = rng.uniform(1, 50, 400)
+        led = WorkLedger()
+        led.parallel(costs, phase="p", schedule=Schedule("dynamic", 8))
+        region = led.regions[0]
+        chunk_costs = region.chunk_costs
+        for threads in (2, 4, 8, 16):
+            exact = makespan(chunk_costs, threads, region.schedule)
+            analytic = (
+                float(chunk_costs.sum()) / threads
+                + (1 - 1 / threads) * float(chunk_costs.max())
+            )
+            assert exact <= analytic + 1e-9
+            assert analytic <= exact + float(chunk_costs.max())
+
+    def test_scaled_simulation_monotone_in_scale(self):
+        led = WorkLedger()
+        led.parallel(np.ones(5000), phase="p")
+        m = flat_machine()
+        t_small = led.simulate(m, 8, work_scale=10.0).seconds
+        t_big = led.simulate(m, 8, work_scale=100.0).seconds
+        # Work scales 10x; the constant imbalance term (max chunk) does
+        # not, so the ratio sits just below 10.
+        assert t_small * 7 < t_big < t_small * 10

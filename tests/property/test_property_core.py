@@ -1,0 +1,91 @@
+"""Property-based tests for algorithm-level invariants.
+
+These encode the paper's correctness claims as properties over random
+graphs: memberships are valid partitions, Σ bookkeeping is exact,
+aggregation preserves modularity, and Leiden never emits an
+internally-disconnected community.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.aggregate import aggregate_batch
+from repro.core.config import LeidenConfig
+from repro.core.leiden import leiden
+from repro.metrics.connectivity import disconnected_communities
+from repro.metrics.modularity import modularity
+from repro.metrics.partition import renumber_membership
+from repro.parallel.runtime import Runtime
+from repro.graph.builder import build_csr_from_edges
+from repro.types import VERTEX_DTYPE
+
+
+@st.composite
+def random_csr(draw):
+    n = draw(st.integers(2, 40))
+    m = draw(st.integers(0, 120))
+    rng = np.random.default_rng(draw(st.integers(0, 2**31)))
+    src = rng.integers(0, n, m)
+    dst = rng.integers(0, n, m)
+    return build_csr_from_edges(src, dst, num_vertices=n)
+
+
+class TestLeidenInvariants:
+    @given(random_csr(), st.sampled_from(["greedy", "random"]))
+    @settings(max_examples=40, deadline=None)
+    def test_membership_is_valid_partition(self, graph, refinement):
+        res = leiden(graph, LeidenConfig(refinement=refinement))
+        C = res.membership
+        assert C.shape[0] == graph.num_vertices
+        if C.shape[0]:
+            assert C.min() >= 0
+            # compact ids
+            assert len(np.unique(C)) == C.max() + 1
+
+    @given(random_csr())
+    @settings(max_examples=30, deadline=None)
+    def test_no_disconnected_communities(self, graph):
+        res = leiden(graph)
+        report = disconnected_communities(graph, res.membership)
+        assert report.num_disconnected == 0
+
+    @given(random_csr())
+    @settings(max_examples=30, deadline=None)
+    def test_quality_at_least_singletons(self, graph):
+        res = leiden(graph)
+        q = modularity(graph, res.membership)
+        singletons = np.arange(graph.num_vertices, dtype=VERTEX_DTYPE)
+        assert q >= modularity(graph, singletons) - 1e-9
+
+    @given(random_csr())
+    @settings(max_examples=25, deadline=None)
+    def test_dendrogram_consistent_with_membership(self, graph):
+        from repro.metrics.comparison import adjusted_rand_index
+        res = leiden(graph)
+        if graph.num_vertices == 0:
+            return
+        flat = res.dendrogram.flatten()
+        assert adjusted_rand_index(flat, res.membership) == 1.0
+
+
+class TestAggregationInvariants:
+    @given(random_csr(), st.integers(1, 8))
+    @settings(max_examples=40, deadline=None)
+    def test_modularity_preserved(self, graph, k):
+        rng = np.random.default_rng(k)
+        C = rng.integers(0, k, graph.num_vertices)
+        Cren, ids = renumber_membership(C)
+        sup = aggregate_batch(graph, Cren, len(ids), runtime=Runtime())
+        q1 = modularity(graph, Cren)
+        q2 = modularity(sup, np.arange(len(ids), dtype=VERTEX_DTYPE))
+        assert abs(q1 - q2) < 1e-6
+
+    @given(random_csr(), st.integers(1, 8))
+    @settings(max_examples=40, deadline=None)
+    def test_weight_preserved(self, graph, k):
+        rng = np.random.default_rng(k + 1)
+        C = rng.integers(0, k, graph.num_vertices)
+        Cren, ids = renumber_membership(C)
+        sup = aggregate_batch(graph, Cren, len(ids), runtime=Runtime())
+        assert abs(sup.total_weight - graph.total_weight) < 1e-3

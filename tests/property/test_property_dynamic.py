@@ -1,0 +1,102 @@
+"""Property-based tests for the dynamic-update substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dynamic.batch import EdgeBatch, apply_batch
+from repro.graph.builder import build_csr_from_edges
+from repro.graph.validate import validate_csr
+
+
+@st.composite
+def graph_and_batch(draw):
+    n = draw(st.integers(3, 25))
+    rng = np.random.default_rng(draw(st.integers(0, 2**31)))
+    m = draw(st.integers(1, 60))
+    src = rng.integers(0, n, m)
+    dst = rng.integers(0, n, m)
+    keep = src != dst
+    g = build_csr_from_edges(src[keep], dst[keep], num_vertices=n)
+
+    # insertions: random pairs; deletions: a sample of existing edges
+    n_ins = draw(st.integers(0, 10))
+    ins = None
+    if n_ins:
+        u = rng.integers(0, n, n_ins)
+        v = rng.integers(0, n, n_ins)
+        sel = u != v
+        ins = np.stack([u[sel], v[sel]], axis=1) if sel.any() else None
+    gs, gd, _ = g.to_coo()
+    fwd = gs < gd
+    dels = None
+    if fwd.any() and draw(st.booleans()):
+        count = draw(st.integers(1, min(5, int(fwd.sum()))))
+        pick = rng.choice(int(fwd.sum()), size=count, replace=False)
+        dels = np.stack([gs[fwd][pick], gd[fwd][pick]], axis=1)
+    return g, EdgeBatch.from_edges(ins, dels)
+
+
+class TestApplyBatchProperties:
+    @given(graph_and_batch())
+    @settings(max_examples=50, deadline=None)
+    def test_result_is_valid_symmetric(self, gb):
+        g, batch = gb
+        g2 = apply_batch(g, batch)
+        validate_csr(g2)
+
+    @given(graph_and_batch())
+    @settings(max_examples=50, deadline=None)
+    def test_deleted_pairs_absent(self, gb):
+        g, batch = gb
+        g2 = apply_batch(g, batch)
+        # a deleted pair may be re-inserted by the same batch; only check
+        # pairs not also inserted
+        ins = set()
+        for u, v in zip(batch.insert_sources.tolist(),
+                        batch.insert_targets.tolist()):
+            ins.add((min(u, v), max(u, v)))
+        src, dst, _ = g2.to_coo()
+        present = set(zip(np.minimum(src, dst).tolist(),
+                          np.maximum(src, dst).tolist()))
+        for u, v in zip(batch.delete_sources.tolist(),
+                        batch.delete_targets.tolist()):
+            key = (min(u, v), max(u, v))
+            if key not in ins:
+                assert key not in present
+
+    @given(graph_and_batch())
+    @settings(max_examples=50, deadline=None)
+    def test_inserted_pairs_present(self, gb):
+        g, batch = gb
+        g2 = apply_batch(g, batch)
+        src, dst, _ = g2.to_coo()
+        present = set(zip(src.tolist(), dst.tolist()))
+        for u, v in zip(batch.insert_sources.tolist(),
+                        batch.insert_targets.tolist()):
+            assert (u, v) in present
+            assert (v, u) in present or u == v
+
+    @given(graph_and_batch())
+    @settings(max_examples=30, deadline=None)
+    def test_empty_batch_is_identity(self, gb):
+        g, _ = gb
+        assert apply_batch(g, EdgeBatch.from_edges()) == g
+
+    @given(graph_and_batch())
+    @settings(max_examples=30, deadline=None)
+    def test_insert_then_delete_roundtrip(self, gb):
+        """Inserting fresh edges then deleting them restores the graph."""
+        g, _ = gb
+        n = g.num_vertices
+        src, dst, _ = g.to_coo()
+        existing = set(zip(np.minimum(src, dst).tolist(),
+                           np.maximum(src, dst).tolist()))
+        fresh = [(u, v) for u in range(n) for v in range(u + 1, n)
+                 if (u, v) not in existing][:4]
+        if not fresh:
+            return
+        added = apply_batch(g, EdgeBatch.from_edges(fresh))
+        restored = apply_batch(added, EdgeBatch.from_edges(deletions=fresh))
+        assert restored == g

@@ -1,0 +1,128 @@
+"""Property-based tests for the graph substrate."""
+
+import io
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.builder import build_csr_from_edges
+from repro.graph.io_edgelist import read_edgelist, write_edgelist
+from repro.graph.io_mtx import read_mtx, write_mtx
+from repro.graph.ops import coalesce_edges, symmetrize_edges
+from repro.graph.segments import ragged_indices
+from repro.graph.validate import validate_csr
+
+edge_lists = st.lists(
+    st.tuples(st.integers(0, 30), st.integers(0, 30),
+              st.floats(0.1, 100.0, allow_nan=False)),
+    min_size=0, max_size=120,
+)
+
+
+@st.composite
+def coo_arrays(draw):
+    edges = draw(edge_lists)
+    if not edges:
+        return (np.empty(0, np.int32), np.empty(0, np.int32),
+                np.empty(0, np.float32))
+    src, dst, wgt = zip(*edges)
+    return (np.array(src, np.int32), np.array(dst, np.int32),
+            np.array(wgt, np.float32))
+
+
+class TestBuildInvariants:
+    @given(coo_arrays())
+    @settings(max_examples=60, deadline=None)
+    def test_build_produces_valid_symmetric_csr(self, coo):
+        src, dst, wgt = coo
+        g = build_csr_from_edges(src, dst, wgt)
+        validate_csr(g)
+
+    @given(coo_arrays())
+    @settings(max_examples=60, deadline=None)
+    def test_total_weight_preserved_up_to_symmetrization(self, coo):
+        src, dst, wgt = coo
+        g = build_csr_from_edges(src, dst, wgt)
+        loops = src == dst
+        expected = (2 * wgt[~loops].sum(dtype=np.float64)
+                    + wgt[loops].sum(dtype=np.float64))
+        assert abs(g.total_weight - expected) <= 1e-3 * max(1.0, expected)
+
+    @given(coo_arrays())
+    @settings(max_examples=40, deadline=None)
+    def test_build_idempotent(self, coo):
+        src, dst, wgt = coo
+        g1 = build_csr_from_edges(src, dst, wgt)
+        s, d, w = g1.to_coo()
+        g2 = build_csr_from_edges(s, d, w, symmetrize=False,
+                                  num_vertices=g1.num_vertices)
+        assert g1 == g2
+
+
+class TestOpsProperties:
+    @given(coo_arrays())
+    @settings(max_examples=50, deadline=None)
+    def test_symmetrize_doubles_nonloop_edges(self, coo):
+        src, dst, wgt = coo
+        s2, d2, _ = symmetrize_edges(src, dst, wgt)
+        loops = int((src == dst).sum())
+        assert s2.shape[0] == 2 * (src.shape[0] - loops) + loops
+
+    @given(coo_arrays())
+    @settings(max_examples=50, deadline=None)
+    def test_coalesce_preserves_sum(self, coo):
+        src, dst, wgt = coo
+        _, _, w2 = coalesce_edges(src, dst, wgt)
+        np.testing.assert_allclose(
+            w2.sum(dtype=np.float64), wgt.sum(dtype=np.float64), rtol=1e-4
+        )
+
+    @given(coo_arrays())
+    @settings(max_examples=50, deadline=None)
+    def test_coalesce_unique_pairs(self, coo):
+        src, dst, wgt = coo
+        s, d, _ = coalesce_edges(src, dst, wgt)
+        pairs = set(zip(s.tolist(), d.tolist()))
+        assert len(pairs) == s.shape[0]
+
+
+class TestIoRoundtrip:
+    @given(coo_arrays())
+    @settings(max_examples=30, deadline=None)
+    def test_edgelist_roundtrip(self, coo):
+        src, dst, wgt = coo
+        g = build_csr_from_edges(src, dst, wgt)
+        buf = io.StringIO()
+        write_edgelist(g, buf, directed=True)
+        buf.seek(0)
+        back = read_edgelist(buf, symmetrize=False,
+                             num_vertices=g.num_vertices)
+        assert back == g
+
+    @given(coo_arrays())
+    @settings(max_examples=30, deadline=None)
+    def test_mtx_roundtrip(self, coo):
+        src, dst, wgt = coo
+        g = build_csr_from_edges(src, dst, wgt)
+        buf = io.StringIO()
+        write_mtx(g, buf)
+        buf.seek(0)
+        assert read_mtx(buf, symmetrize=False) == g
+
+
+class TestSegments:
+    @given(st.lists(st.tuples(st.integers(0, 50), st.integers(0, 6)),
+                    max_size=40))
+    @settings(max_examples=50, deadline=None)
+    def test_ragged_indices_match_loop(self, rows):
+        starts = np.array([r[0] for r in rows], dtype=np.int64)
+        lengths = np.array([r[1] for r in rows], dtype=np.int64)
+        seg, idx = ragged_indices(starts, lengths)
+        expect_seg, expect_idx = [], []
+        for k, (s, l) in enumerate(rows):
+            for off in range(l):
+                expect_seg.append(k)
+                expect_idx.append(s + off)
+        assert seg.tolist() == expect_seg
+        assert idx.tolist() == expect_idx

@@ -1,0 +1,91 @@
+"""Property-based tests for the quality metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.builder import build_csr_from_edges
+from repro.metrics.comparison import (
+    adjusted_rand_index,
+    normalized_mutual_information,
+)
+from repro.metrics.modularity import community_weights, modularity
+from repro.metrics.partition import renumber_membership
+from repro.types import VERTEX_DTYPE
+
+
+@st.composite
+def graph_with_membership(draw):
+    n = draw(st.integers(2, 30))
+    m = draw(st.integers(1, 80))
+    k = draw(st.integers(1, 6))
+    rng = np.random.default_rng(draw(st.integers(0, 2**31)))
+    src = rng.integers(0, n, m)
+    dst = rng.integers(0, n, m)
+    g = build_csr_from_edges(src, dst, num_vertices=n)
+    C = rng.integers(0, k, n).astype(VERTEX_DTYPE)
+    return g, C
+
+
+class TestModularityProperties:
+    @given(graph_with_membership())
+    @settings(max_examples=60, deadline=None)
+    def test_range(self, gc):
+        g, C = gc
+        q = modularity(g, C)
+        assert -0.5 - 1e-9 <= q <= 1.0 + 1e-9
+
+    @given(graph_with_membership())
+    @settings(max_examples=60, deadline=None)
+    def test_equation1_identity(self, gc):
+        """Dense pairwise form equals community form of Equation 1:
+        Q = (1/2m) Σ_ij [A_ij − K_i K_j / 2m] δ(C_i, C_j)."""
+        g, C = gc
+        two_m = g.total_weight
+        if two_m == 0:
+            return
+        n = g.num_vertices
+        A = np.zeros((n, n))
+        src, dst, wgt = g.to_coo()
+        np.add.at(A, (src, dst), wgt.astype(np.float64))
+        K = g.vertex_weights()
+        delta = C[:, None] == C[None, :]
+        dense_form = float(
+            ((A - np.outer(K, K) / two_m) * delta).sum() / two_m
+        )
+        assert abs(dense_form - modularity(g, C)) < 1e-6
+
+    @given(graph_with_membership())
+    @settings(max_examples=40, deadline=None)
+    def test_invariant_under_renumbering(self, gc):
+        g, C = gc
+        ren, _ = renumber_membership(C)
+        assert modularity(g, ren) == modularity(g, C)
+
+    @given(graph_with_membership())
+    @settings(max_examples=40, deadline=None)
+    def test_community_weights_total(self, gc):
+        g, C = gc
+        np.testing.assert_allclose(
+            community_weights(g, C).sum(), g.total_weight, rtol=1e-6
+        )
+
+
+class TestComparisonProperties:
+    memberships = st.lists(st.integers(0, 5), min_size=2, max_size=60)
+
+    @given(memberships)
+    @settings(max_examples=60, deadline=None)
+    def test_self_similarity(self, labels):
+        assert normalized_mutual_information(labels, labels) == \
+            pytest.approx(1.0)
+        assert adjusted_rand_index(labels, labels) == pytest.approx(1.0)
+
+    @given(memberships, st.permutations(range(6)))
+    @settings(max_examples=40, deadline=None)
+    def test_invariant_under_relabeling(self, labels, perm):
+        relabeled = [perm[c] for c in labels]
+        assert normalized_mutual_information(labels, relabeled) == \
+            pytest.approx(1.0)
+        assert adjusted_rand_index(labels, relabeled) == pytest.approx(1.0)

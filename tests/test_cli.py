@@ -1,0 +1,88 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.graph.io_edgelist import write_edgelist
+from tests.conftest import two_cliques_graph
+
+
+@pytest.fixture
+def graph_file(tmp_path):
+    path = tmp_path / "g.txt"
+    write_edgelist(two_cliques_graph(), path)
+    return path
+
+
+class TestCli:
+    def test_list_datasets(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "asia_osm" in out and "sk-2005" in out
+
+    def test_run_on_file(self, graph_file, capsys):
+        assert main([str(graph_file)]) == 0
+        out = capsys.readouterr().out
+        assert "communities: 2" in out
+        assert "modularity:" in out
+
+    def test_run_on_dataset_name(self, capsys):
+        assert main(["asia_osm", "--max-passes", "2"]) == 0
+        assert "vertices: 12000" in capsys.readouterr().out
+
+    def test_louvain(self, graph_file, capsys):
+        assert main([str(graph_file), "--algorithm", "louvain"]) == 0
+        assert "louvain" in capsys.readouterr().out
+
+    def test_output_membership(self, graph_file, tmp_path, capsys):
+        out_file = tmp_path / "members.txt"
+        assert main([str(graph_file), "--output", str(out_file)]) == 0
+        lines = out_file.read_text().splitlines()
+        assert len(lines) == 10
+        assert set(lines) == {"0", "1"}
+
+    def test_check_connectivity(self, graph_file, capsys):
+        assert main([str(graph_file), "--check-connectivity"]) == 0
+        assert "disconnected communities: 0" in capsys.readouterr().out
+
+    def test_variant_and_refinement_flags(self, graph_file, capsys):
+        assert main([str(graph_file), "--variant", "heavy",
+                     "--refinement", "random", "--seed", "3"]) == 0
+        assert "random, heavy" in capsys.readouterr().out
+
+    def test_missing_file(self):
+        with pytest.raises(SystemExit):
+            main(["/nonexistent/file.txt"])
+
+    def test_missing_input(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_quality_cpm(self, graph_file, capsys):
+        assert main([str(graph_file), "--quality", "cpm",
+                     "--resolution", "0.3"]) == 0
+        assert "communities: 2" in capsys.readouterr().out
+
+    def test_engine_loop(self, graph_file, capsys):
+        assert main([str(graph_file), "--engine", "loop"]) == 0
+        assert "communities: 2" in capsys.readouterr().out
+
+    def test_summary_flag(self, graph_file, capsys):
+        assert main([str(graph_file), "--summary"]) == 0
+        out = capsys.readouterr().out
+        assert "coverage:" in out
+        assert "community sizes" in out
+
+    def test_mtx_input(self, tmp_path, capsys):
+        from repro.graph.io_mtx import write_mtx
+        p = tmp_path / "g.mtx"
+        write_mtx(two_cliques_graph(), p)
+        assert main([str(p)]) == 0
+        assert "communities: 2" in capsys.readouterr().out
+
+    def test_metis_input(self, tmp_path, capsys):
+        from repro.graph.io_metis import write_metis
+        p = tmp_path / "g.graph"
+        write_metis(two_cliques_graph(), p)
+        assert main([str(p)]) == 0
+        assert "communities: 2" in capsys.readouterr().out

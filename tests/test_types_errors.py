@@ -1,0 +1,61 @@
+"""Tests for the shared dtype helpers and the exception hierarchy."""
+
+import numpy as np
+import pytest
+
+from repro import errors
+from repro.types import (
+    ACCUM_DTYPE,
+    OFFSET_DTYPE,
+    VERTEX_DTYPE,
+    WEIGHT_DTYPE,
+    as_accum_array,
+    as_vertex_array,
+    as_weight_array,
+)
+
+
+class TestDtypes:
+    def test_paper_configuration(self):
+        """Section 5.1.2: 32-bit ids, 32-bit weights, 64-bit accumulation."""
+        assert VERTEX_DTYPE == np.int32
+        assert WEIGHT_DTYPE == np.float32
+        assert ACCUM_DTYPE == np.float64
+        assert OFFSET_DTYPE == np.int64
+
+    def test_as_vertex_array(self):
+        arr = as_vertex_array([1, 2, 3])
+        assert arr.dtype == VERTEX_DTYPE
+        assert arr.flags["C_CONTIGUOUS"]
+
+    def test_as_vertex_array_copy(self):
+        src = np.array([1, 2], dtype=VERTEX_DTYPE)
+        assert as_vertex_array(src, copy=True) is not src
+
+    def test_as_weight_array(self):
+        arr = as_weight_array([1.5])
+        assert arr.dtype == WEIGHT_DTYPE
+
+    def test_as_accum_array(self):
+        arr = as_accum_array(np.array([1], dtype=np.int32))
+        assert arr.dtype == ACCUM_DTYPE
+
+
+class TestErrors:
+    def test_hierarchy(self):
+        for exc in (errors.GraphFormatError, errors.GraphStructureError,
+                    errors.ConfigError, errors.ConvergenceError,
+                    errors.SimulatedOutOfMemory):
+            assert issubclass(exc, errors.ReproError)
+        assert issubclass(errors.ReproError, Exception)
+
+    def test_oom_carries_sizes(self):
+        exc = errors.SimulatedOutOfMemory(200, 100, what="test-graph")
+        assert exc.required_bytes == 200
+        assert exc.capacity_bytes == 100
+        assert "test-graph" in str(exc)
+        assert "200" in str(exc)
+
+    def test_catchable_as_repro_error(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.SimulatedOutOfMemory(2, 1)
