@@ -10,10 +10,8 @@ else at the default configuration:
 - and the incremental (dynamic) update strategies built on top.
 """
 
-import pytest
-
-from repro.bench.harness import paper_scale, run_leiden_config
 from repro.baselines.registry import IMPLEMENTATIONS
+from repro.bench.harness import paper_scale, run_leiden_config
 from repro.core.config import LeidenConfig
 from repro.core.leiden import leiden
 from repro.datasets.registry import load_graph

@@ -5,7 +5,6 @@ Sub-panels reproduced: (a) runtime, (b) speedups, (c) modularity,
 out-of-memory failures on the five largest web crawls.
 """
 
-import math
 
 from repro.bench.experiments import fig6_comparison
 

@@ -21,16 +21,16 @@ Constant-factor efficiency differences (C++ vs CUDA vs our counting) live
 in :data:`repro.parallel.costmodel.IMPLEMENTATION_PROFILES`.
 """
 
+from repro.baselines.cugraph_leiden import A100_DEVICE, cugraph_leiden
+from repro.baselines.igraph_leiden import igraph_leiden
+from repro.baselines.networkit_leiden import networkit_leiden
+from repro.baselines.original_leiden import original_leiden
 from repro.baselines.registry import (
     IMPLEMENTATIONS,
     Implementation,
-    implementation_names,
     get_implementation,
+    implementation_names,
 )
-from repro.baselines.original_leiden import original_leiden
-from repro.baselines.igraph_leiden import igraph_leiden
-from repro.baselines.networkit_leiden import networkit_leiden
-from repro.baselines.cugraph_leiden import cugraph_leiden, A100_DEVICE
 
 __all__ = [
     "IMPLEMENTATIONS",

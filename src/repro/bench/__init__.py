@@ -5,14 +5,14 @@ one table or figure of the paper's evaluation section and prints the same
 rows/series the paper reports.  ``python -m repro.bench`` runs them all.
 """
 
-from repro.bench.timing import time_call, repeat_measure, Measurement
-from repro.bench.harness import RunRecord, run_once, run_matrix, paper_scale
+from repro.bench.harness import RunRecord, paper_scale, run_matrix, run_once
 from repro.bench.tables import (
-    format_table,
     format_series,
+    format_table,
     geometric_mean,
     ratio_summary,
 )
+from repro.bench.timing import Measurement, repeat_measure, time_call
 
 __all__ = [
     "time_call",

@@ -1,22 +1,35 @@
-"""Run the evaluation: ``python -m repro.bench``.
+"""Run the evaluation: ``python -m repro.bench`` / ``repro bench``.
 
 With no arguments, prints every experiment in paper order.  Positional
 arguments filter by label ("table 1", "figure 9", ...).  ``--output`` /
 ``--json`` additionally write the consolidated report artifacts.
+
+Observability / CI flags:
+
+- ``--check`` re-runs the committed smoke baselines
+  (``benchmarks/baselines/*.json``) and exits non-zero when wall time,
+  simulated-clock cost, total work or modularity regress past their
+  thresholds — the CI perf gate;
+- ``--trace PATH`` runs the same smoke experiments with the tracing
+  layer enabled and writes the span/counter JSON bundle — the CI
+  artifact;
+- ``--update-baselines`` re-records the baseline files after an
+  intentional performance or quality change.
 """
 
 from __future__ import annotations
 
 import argparse
-import sys
+import json
 import time
+from pathlib import Path
 
 from repro.bench.experiments import ALL_EXPERIMENTS
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
-        prog="python -m repro.bench",
+        prog="repro bench",
         description="Regenerate the paper's tables and figures",
     )
     parser.add_argument("filters", nargs="*",
@@ -26,7 +39,43 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--json", default=None, dest="json_path",
                         help="write a JSON summary here")
     parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--check", action="store_true",
+                        help="compare smoke runs against the committed "
+                             "baselines; exit 1 on regression")
+    parser.add_argument("--trace", default=None, dest="trace_path",
+                        metavar="PATH",
+                        help="write the traced smoke-run JSON bundle here")
+    parser.add_argument("--baselines", default=None, dest="baseline_dir",
+                        metavar="DIR",
+                        help="baseline directory (default: "
+                             "benchmarks/baselines)")
+    parser.add_argument("--update-baselines", action="store_true",
+                        help="re-record the baseline files from the "
+                             "current code")
     args = parser.parse_args(argv)
+
+    if args.check or args.trace_path or args.update_baselines:
+        from repro.observability import regression
+
+        baseline_dir = (Path(args.baseline_dir) if args.baseline_dir
+                        else regression.default_baseline_dir())
+        if args.update_baselines:
+            baselines = regression.record_baselines(
+                baseline_dir, seed=args.seed,
+            )
+            for b in baselines:
+                print(f"recorded baseline {b.name} "
+                      f"(modeled {b.metrics.modeled_seconds:.4f}s, "
+                      f"Q={b.metrics.modularity:.4f})")
+        if args.trace_path:
+            bundle = regression.run_trace(seed=args.seed)
+            Path(args.trace_path).write_text(
+                json.dumps(bundle, indent=2, sort_keys=True) + "\n"
+            )
+            print(f"trace bundle written to {args.trace_path}")
+        if args.check:
+            return regression.run_check(baseline_dir)
+        return 0
 
     if args.output or args.json_path:
         from repro.bench.report import generate_report, write_report

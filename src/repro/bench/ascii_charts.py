@@ -9,7 +9,7 @@ output is visually comparable to the paper at a glance.
 from __future__ import annotations
 
 import math
-from typing import Dict, Mapping, Sequence
+from typing import Dict, Mapping
 
 __all__ = ["bar_chart", "grouped_bar_chart", "line_chart"]
 

@@ -11,7 +11,7 @@ thread counts come from one run per graph.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, Sequence
 
 from repro.bench.harness import paper_scale, run_leiden_config
 from repro.bench.instruments import phase_scaling_curves, scaling_curve

@@ -11,7 +11,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, List
 
 from repro.core.result import ALL_PHASES, LeidenResult
-from repro.parallel.costmodel import MachineModel, PAPER_MACHINE
+from repro.parallel.costmodel import PAPER_MACHINE, MachineModel
 
 __all__ = [
     "phase_split",

@@ -1,8 +1,18 @@
-"""Command-line interface: ``gve-leiden`` / ``python -m repro``.
+"""Command-line interface: ``repro`` / ``gve-leiden`` / ``python -m repro``.
 
-Detect communities in a graph file (MatrixMarket or edge list) or a named
-registry dataset and print a summary, optionally writing the membership
-vector to a file — mirroring how the paper's artifact is driven.
+Subcommands:
+
+- ``repro run <input>`` (also the default when the first argument is not
+  a subcommand name, so ``gve-leiden graph.mtx`` keeps working) — detect
+  communities in a graph file (MatrixMarket, METIS or edge list) or a
+  named registry dataset and print a summary, optionally writing the
+  membership vector to a file;
+- ``repro trace <input>`` — run GVE-Leiden with the observability layer
+  enabled and emit the span/counter trace as JSON
+  (see docs/OBSERVABILITY.md for the schema);
+- ``repro bench …`` — the evaluation harness
+  (:mod:`repro.bench.__main__`), including the ``--check`` perf-
+  regression gate and ``--trace`` artifact writer used by CI.
 """
 
 from __future__ import annotations
@@ -74,7 +84,88 @@ def _load(arg: str):
     return read_edgelist(path)
 
 
+def build_trace_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro trace",
+        description="Run GVE-Leiden with tracing enabled; emit JSON "
+                    "(spans: run → pass → phase; counters: atomics, "
+                    "barriers, pruning rate, clock skew, batch sizes)",
+    )
+    p.add_argument("input",
+                   help="graph file (.mtx, .graph or edge list) or a "
+                        "registry dataset name")
+    p.add_argument("--engine", choices=["batch", "loop", "threads"],
+                   default="batch")
+    p.add_argument("--quality", choices=["modularity", "cpm"],
+                   default="modularity")
+    p.add_argument("--max-passes", type=int, default=10)
+    p.add_argument("--seed", type=int, default=42)
+    p.add_argument("--threads", type=int, default=64,
+                   help="thread count for the modelled-runtime summary")
+    p.add_argument("--output", type=Path, default=None,
+                   help="write the trace JSON here instead of stdout")
+    p.add_argument("--compact", action="store_true",
+                   help="single-line JSON (default: indented)")
+    return p
+
+
+def trace_main(argv: list[str] | None = None) -> int:
+    """``repro trace`` — run once with tracing on, emit the JSON trace."""
+    from repro.observability.tracer import Tracer
+    from repro.parallel.costmodel import PAPER_MACHINE
+    from repro.parallel.runtime import Runtime
+
+    args = build_trace_parser().parse_args(argv)
+    graph = _load(args.input)
+    config = LeidenConfig(
+        engine=args.engine,
+        quality=args.quality,
+        max_passes=args.max_passes,
+        seed=args.seed,
+    )
+    tracer = Tracer()
+    rt = Runtime(num_threads=1, seed=args.seed, tracer=tracer)
+    result = leiden(graph, config, runtime=rt)
+    sim = result.ledger.simulate(PAPER_MACHINE, args.threads)
+    q = modularity(graph, result.membership)
+    doc = tracer.to_json(
+        indent=None if args.compact else 2,
+        experiment=str(args.input),
+        seed=args.seed,
+        num_threads=args.threads,
+        machine=PAPER_MACHINE.as_dict(),
+        metrics={
+            "wall_seconds": result.wall_seconds,
+            "modeled_seconds": sim.seconds,
+            "modeled_phase_seconds": sim.phase_seconds,
+            "total_work": result.ledger.total_work,
+            "modularity": q,
+            "num_passes": result.num_passes,
+            "num_communities": result.num_communities,
+        },
+    )
+    if args.output is not None:
+        args.output.write_text(doc + "\n")
+        print(f"trace written to {args.output}")
+    else:
+        print(doc)
+    return 0
+
+
+#: First-token subcommands understood by :func:`main`.
+_SUBCOMMANDS = ("run", "trace", "bench")
+
+
 def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "bench":
+        from repro.bench.__main__ import main as bench_main
+
+        return bench_main(argv[1:])
+    if argv and argv[0] == "trace":
+        return trace_main(argv[1:])
+    if argv and argv[0] == "run":
+        argv = argv[1:]
     parser = build_parser()
     args = parser.parse_args(argv)
 

@@ -12,7 +12,6 @@
 """
 
 from repro.core.config import LeidenConfig
-from repro.core.result import LeidenResult, PassStats
 from repro.core.dendrogram import Dendrogram
 from repro.core.io_result import (
     load_membership_text,
@@ -22,6 +21,7 @@ from repro.core.io_result import (
 )
 from repro.core.leiden import leiden
 from repro.core.louvain import louvain
+from repro.core.result import LeidenResult, PassStats
 
 __all__ = [
     "LeidenConfig",

@@ -23,11 +23,11 @@ from typing import Tuple
 
 import numpy as np
 
+from repro.core.local_move import scan_communities
 from repro.core.result import PHASE_AGGREGATE
 from repro.graph.csr import CSRGraph
 from repro.parallel.runtime import Runtime
 from repro.parallel.scan import csr_offsets_from_counts
-from repro.core.local_move import scan_communities
 from repro.types import ACCUM_DTYPE, OFFSET_DTYPE, VERTEX_DTYPE, WEIGHT_DTYPE
 
 __all__ = ["aggregate_batch", "aggregate_loop", "community_vertices_csr"]
@@ -135,6 +135,9 @@ def aggregate_batch(
         atomics=float(usrc.shape[0]),
     )
     runtime.record_serial(float(k), phase=phase)
+    if runtime.tracer.enabled:
+        runtime.tracer.count("aggregate_super_vertices", k)
+        runtime.tracer.count("aggregate_edge_writes", usrc.shape[0])
 
     return CSRGraph(offsets, targets, weights, degrees=degrees, validate=False)
 
@@ -185,5 +188,8 @@ def aggregate_loop(
     )
     runtime.record_parallel(work, phase=phase, atomics=float(edge_writes))
     runtime.record_serial(float(2 * k), phase=phase)
+    if runtime.tracer.enabled:
+        runtime.tracer.count("aggregate_super_vertices", k)
+        runtime.tracer.count("aggregate_edge_writes", edge_writes)
 
     return CSRGraph(offsets, targets, weights, degrees=degrees, validate=False)

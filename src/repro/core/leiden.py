@@ -87,6 +87,7 @@ def leiden(
         validate_csr(graph, require_positive_weights=False)
     cfg = config or LeidenConfig()
     rt = runtime or Runtime(num_threads=1, seed=cfg.seed)
+    tracer = rt.tracer
     rng = Xorshift32(cfg.seed)
     qual = Quality(cfg.quality, cfg.resolution)
 
@@ -112,101 +113,111 @@ def leiden(
     # original vertices they contain); modularity ignores them.
     sizes = np.ones(n0, dtype=np.float64)
 
+    run_span = tracer.push(
+        "leiden", vertices=int(n0), edges=int(graph.num_edges),
+        engine=cfg.engine, quality=cfg.quality,
+    )
     for pass_index in range(cfg.max_passes):
         pass_ledger = WorkLedger()
         saved_ledger = rt.ledger
         rt.ledger = pass_ledger
         pw: Dict[str, float] = {p: 0.0 for p in wall_phase}
         n = G.num_vertices
+        pass_span = tracer.push("pass", index=pass_index, vertices=int(n))
 
         # -- initialization (line 4) -------------------------------------
         t0 = time.perf_counter()
-        K = G.vertex_weights().copy()
-        Qv = qual.vertex_quantity(K, sizes)
-        if init_membership is None:
-            C = np.arange(n, dtype=VERTEX_DTYPE)
-            Sigma = Qv.copy()
-        else:
-            C = init_membership.copy()
-            Sigma = np.bincount(C, weights=Qv, minlength=n)
-        rt.record_parallel(np.ones(n), phase=PHASE_OTHER)
+        with tracer.span("init"):
+            K = G.vertex_weights().copy()
+            Qv = qual.vertex_quantity(K, sizes)
+            if init_membership is None:
+                C = np.arange(n, dtype=VERTEX_DTYPE)
+                Sigma = Qv.copy()
+            else:
+                C = init_membership.copy()
+                Sigma = np.bincount(C, weights=Qv, minlength=n)
+            rt.record_parallel(np.ones(n), phase=PHASE_OTHER)
         pw[PHASE_OTHER] += time.perf_counter() - t0
 
         # -- local-moving phase (line 5) ----------------------------------
         t0 = time.perf_counter()
-        if cfg.vertex_order != "natural":
-            order = _vertex_order(G, cfg.vertex_order, seed=cfg.seed)
-            ranks = _order_ranks(order)
-        else:
-            order = ranks = None
-        if cfg.engine == "threads":
-            li, _dq = local_move_threads(
-                G, C, K, Sigma, tau,
-                runtime=rt,
-                max_iterations=cfg.max_iterations,
-                quality=qual,
-                quantities=Qv,
-                unprocessed_mask=(first_unprocessed if pass_index == 0
-                                  else None),
-                pruning=cfg.vertex_pruning,
-            )
-        elif cfg.engine == "batch":
-            li, _dq = local_move_batch(
-                G, C, K, Sigma, tau,
-                runtime=rt,
-                max_iterations=cfg.max_iterations,
-                batch_size=cfg.batch_size,
-                quality=qual,
-                quantities=Qv,
-                unprocessed_mask=(first_unprocessed if pass_index == 0
-                                  else None),
-                pruning=cfg.vertex_pruning,
-                order_ranks=ranks,
-            )
-        else:
-            li, _dq = local_move_loop(
-                G, C, K, Sigma, tau,
-                runtime=rt,
-                max_iterations=cfg.max_iterations,
-                quality=qual,
-                quantities=Qv,
-                unprocessed_mask=(first_unprocessed if pass_index == 0
-                                  else None),
-                pruning=cfg.vertex_pruning,
-                order=order,
-            )
+        with tracer.span("local_move", engine=cfg.engine) as mv_span:
+            if cfg.vertex_order != "natural":
+                order = _vertex_order(G, cfg.vertex_order, seed=cfg.seed)
+                ranks = _order_ranks(order)
+            else:
+                order = ranks = None
+            if cfg.engine == "threads":
+                li, _dq = local_move_threads(
+                    G, C, K, Sigma, tau,
+                    runtime=rt,
+                    max_iterations=cfg.max_iterations,
+                    quality=qual,
+                    quantities=Qv,
+                    unprocessed_mask=(first_unprocessed if pass_index == 0
+                                      else None),
+                    pruning=cfg.vertex_pruning,
+                )
+            elif cfg.engine == "batch":
+                li, _dq = local_move_batch(
+                    G, C, K, Sigma, tau,
+                    runtime=rt,
+                    max_iterations=cfg.max_iterations,
+                    batch_size=cfg.batch_size,
+                    quality=qual,
+                    quantities=Qv,
+                    unprocessed_mask=(first_unprocessed if pass_index == 0
+                                      else None),
+                    pruning=cfg.vertex_pruning,
+                    order_ranks=ranks,
+                )
+            else:
+                li, _dq = local_move_loop(
+                    G, C, K, Sigma, tau,
+                    runtime=rt,
+                    max_iterations=cfg.max_iterations,
+                    quality=qual,
+                    quantities=Qv,
+                    unprocessed_mask=(first_unprocessed if pass_index == 0
+                                      else None),
+                    pruning=cfg.vertex_pruning,
+                    order=order,
+                )
+            mv_span.set(iterations=li)
         pw[PHASE_LOCAL_MOVE] += time.perf_counter() - t0
 
         # -- refinement phase (lines 6-7) -----------------------------------
         t0 = time.perf_counter()
-        C_B = C.copy()
-        if cfg.use_refinement:
-            C_ref = np.arange(n, dtype=VERTEX_DTYPE)
-            Sigma_ref = Qv.copy()
-            if cfg.engine == "batch":
-                lj = refine_batch(
-                    G, C_B, C_ref, K, Sigma_ref,
-                    runtime=rt,
-                    rng=rng,
-                    refinement=cfg.refinement,
-                    batch_size=cfg.batch_size,
-                    guard=cfg.refine_guard,
-                    quality=qual,
-                    quantities=Qv,
-                )
+        with tracer.span("refine", enabled=cfg.use_refinement) as rf_span:
+            C_B = C.copy()
+            if cfg.use_refinement:
+                C_ref = np.arange(n, dtype=VERTEX_DTYPE)
+                Sigma_ref = Qv.copy()
+                if cfg.engine == "batch":
+                    lj = refine_batch(
+                        G, C_B, C_ref, K, Sigma_ref,
+                        runtime=rt,
+                        rng=rng,
+                        refinement=cfg.refinement,
+                        batch_size=cfg.batch_size,
+                        guard=cfg.refine_guard,
+                        quality=qual,
+                        quantities=Qv,
+                    )
+                else:
+                    lj = refine_loop(
+                        G, C_B, C_ref, K, Sigma_ref,
+                        runtime=rt,
+                        rng=rng,
+                        refinement=cfg.refinement,
+                        quality=qual,
+                        quantities=Qv,
+                    )
             else:
-                lj = refine_loop(
-                    G, C_B, C_ref, K, Sigma_ref,
-                    runtime=rt,
-                    rng=rng,
-                    refinement=cfg.refinement,
-                    quality=qual,
-                    quantities=Qv,
-                )
-        else:
-            # GVE-Louvain: aggregation follows the move phase directly.
-            C_ref = C_B
-            lj = 0
+                # GVE-Louvain: aggregation follows the move phase directly.
+                C_ref = C_B
+                lj = 0
+            rf_span.set(moves=lj)
         pw[PHASE_REFINE] += time.perf_counter() - t0
 
         # -- convergence / shrink checks (lines 8-10) ------------------------
@@ -236,6 +247,11 @@ def leiden(
             rt.ledger.merge(pass_ledger)
             for p, s in pw.items():
                 wall_phase[p] += s
+            pass_span.set(
+                communities=num_comms, move_iterations=li, refine_moves=lj,
+                converged=bool(converged), low_shrink=bool(low_shrink),
+            )
+            tracer.pop()
             break
 
         # -- dendrogram lookup (lines 11-12) ----------------------------------
@@ -246,11 +262,14 @@ def leiden(
 
         # -- aggregation phase (line 13) ------------------------------------------
         t0 = time.perf_counter()
-        if cfg.engine == "batch":
-            G = aggregate_batch(G, C_ref_ren, num_comms, runtime=rt)
-        else:
-            G = aggregate_loop(G, C_ref_ren, num_comms, runtime=rt)
-        sizes = np.bincount(C_ref_ren, weights=sizes, minlength=num_comms)
+        with tracer.span("aggregate") as ag_span:
+            if cfg.engine == "batch":
+                G = aggregate_batch(G, C_ref_ren, num_comms, runtime=rt)
+            else:
+                G = aggregate_loop(G, C_ref_ren, num_comms, runtime=rt)
+            sizes = np.bincount(C_ref_ren, weights=sizes, minlength=num_comms)
+            ag_span.set(super_vertices=int(num_comms),
+                        super_edges=int(G.num_edges))
         pw[PHASE_AGGREGATE] += time.perf_counter() - t0
 
         # -- next pass's initial membership (line 14) -------------------------------
@@ -274,6 +293,11 @@ def leiden(
         rt.ledger.merge(pass_ledger)
         for p, s in pw.items():
             wall_phase[p] += s
+        pass_span.set(
+            communities=num_comms, move_iterations=li, refine_moves=lj,
+            converged=False, low_shrink=False,
+        )
+        tracer.pop()
     else:
         # Pass budget exhausted: the dendrogram currently maps onto the
         # *refined* communities of the last pass; move-based labelling
@@ -286,6 +310,9 @@ def leiden(
     # Final renumbering keeps ids compact regardless of the exit path.
     C_top, _ = renumber_membership(C_top)
     wall = time.perf_counter() - t_start
+    run_span.set(passes=len(passes),
+                 communities=int(np.unique(C_top).shape[0]))
+    tracer.pop()
     return LeidenResult(
         membership=C_top,
         dendrogram=dendrogram,

@@ -101,11 +101,16 @@ def local_move_batch(
     qual = quality or Quality("modularity", resolution)
     Q = K if quantities is None else quantities
 
+    tracer = runtime.tracer
     classes = color_classes(color_graph(graph, seed=color_seed))
     if order_ranks is not None:
         classes = [cls[np.argsort(order_ranks[cls], kind="stable")]
                    for cls in classes]
     runtime.record_parallel(degrees.astype(np.float64), phase=phase)
+    if tracer.enabled:
+        tracer.count("color_classes", len(classes))
+        for cls in classes:
+            tracer.observe("color_class_size", cls.shape[0])
 
     if unprocessed_mask is None:
         processed = np.zeros(n, dtype=bool)
@@ -122,8 +127,14 @@ def local_move_batch(
         iter_costs = []
         for cls in classes:
             pending = cls[~processed[cls]]
+            if tracer.enabled:
+                tracer.count("pruning_visited", pending.shape[0])
+                tracer.count("pruning_skipped",
+                             cls.shape[0] - pending.shape[0])
             for lo in range(0, pending.shape[0], batch_size):
                 vs = pending[lo : lo + batch_size]
+                if tracer.enabled:
+                    tracer.observe("batch_size", vs.shape[0])
                 processed[vs] = True  # prune (Algorithm 2, line 6)
                 iter_costs.append(degrees[vs].astype(np.float64) + VERTEX_COST)
                 seg, dst, w = gather_rows(offsets, degrees, targets, weights, vs)
@@ -172,6 +183,9 @@ def local_move_batch(
             runtime.record_parallel(
                 np.concatenate(iter_costs), phase=phase, atomics=2.0 * moves
             )
+        if tracer.enabled:
+            tracer.count("move_iterations")
+            tracer.count("local_moves", moves)
         if total_dq <= tolerance:
             break
     return iterations, total_dq
@@ -226,6 +240,7 @@ def local_move_loop(
     K = vertex_weights
     Sigma = AtomicArray(community_weights)
     tables = runtime.hashtables(n)
+    tracer = runtime.tracer
     qual = quality or Quality("modularity", resolution)
     Q = K if quantities is None else quantities
 
@@ -278,6 +293,12 @@ def local_move_loop(
         runtime.record_parallel(
             work[work > 0], phase=phase, atomics=2.0 * moves
         )
+        if tracer.enabled:
+            visited = int(np.count_nonzero(work))
+            tracer.count("move_iterations")
+            tracer.count("local_moves", moves)
+            tracer.count("pruning_visited", visited)
+            tracer.count("pruning_skipped", n - visited)
         if total_dq <= tolerance:
             break
     return iterations, total_dq

@@ -18,13 +18,13 @@ from typing import Tuple
 
 import numpy as np
 
+from repro.core.local_move import VERTEX_COST, scan_communities
 from repro.core.quality import Quality
 from repro.core.result import PHASE_LOCAL_MOVE
 from repro.graph.csr import CSRGraph
 from repro.parallel.atomics import AtomicArray
 from repro.parallel.coloring import color_classes, color_graph
 from repro.parallel.runtime import Runtime
-from repro.core.local_move import VERTEX_COST, scan_communities
 
 __all__ = ["local_move_threads"]
 

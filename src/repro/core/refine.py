@@ -100,15 +100,19 @@ def refine_batch(
     # Once any vertex joins community c, c's members must not leave —
     # that is the CAS guarantee.  Across batches Σ'[c] > K'[v] encodes it;
     # within a batch we serialize commits in ascending-id order.
+    tracer = runtime.tracer
     joined = np.zeros(n, dtype=bool)
     vacated = np.zeros(n, dtype=bool)
     total_moves = 0
+    decided_moves = 0
     batch_size = max(32, min(batch_size, n // 32)) if n > 64 else n
     for lo in range(0, n, batch_size):
         vs = np.arange(lo, min(lo + batch_size, n), dtype=np.int64)
         if guard != "none":
             iso = Sigma[C[vs]] == Q[vs]  # isolation test (line 4)
             vs = vs[iso]
+        if tracer.enabled:
+            tracer.count("refine_isolated", vs.shape[0])
         if vs.shape[0] == 0:
             continue
         seg, dst, w = gather_rows(offsets, degrees, targets, weights, vs)
@@ -188,6 +192,7 @@ def refine_batch(
             # vacated label at all.
             for own in vacated_marks:
                 vacated[own] = False
+        decided_moves += int(movers.shape[0])
         if commit.any():
             cv = movers[commit]
             cown = mown[commit]
@@ -200,6 +205,9 @@ def refine_batch(
     runtime.record_parallel(
         degrees + VERTEX_COST, phase=phase, atomics=float(n + 2 * total_moves)
     )
+    if tracer.enabled:
+        tracer.count("refine_moves", total_moves)
+        tracer.count("refine_cas_rejects", decided_moves - total_moves)
     return total_moves
 
 
@@ -250,6 +258,7 @@ def refine_loop(
     K = vertex_weights
     Sigma = AtomicArray(community_weights)
     tables = runtime.hashtables(n)
+    tracer = runtime.tracer
     qual = quality or Quality("modularity", resolution)
     Q = K if quantities is None else quantities
     random = refinement == "random"
@@ -257,12 +266,15 @@ def refine_loop(
         rng = Xorshift32()
 
     moves = 0
+    isolated = 0
+    cas_rejects = 0
     for i in range(n):
         c = int(C[i])
         ki = float(K[i])
         qi = float(Q[i])
         if float(Sigma[c]) != qi:  # isolation test (line 4)
             continue
+        isolated += 1
         table = tables[i % len(tables)]
         table.clear()
         scan_bounded(table, graph, CB, C, i, include_self=False)
@@ -284,9 +296,15 @@ def refine_loop(
             Sigma.add(best_c, qi)
             C[i] = best_c
             moves += 1
+        else:
+            cas_rejects += 1
     runtime.record_parallel(
         graph.degrees + VERTEX_COST, phase=phase, atomics=float(n + 2 * moves)
     )
+    if tracer.enabled:
+        tracer.count("refine_isolated", isolated)
+        tracer.count("refine_moves", moves)
+        tracer.count("refine_cas_rejects", cas_rejects)
     return moves
 
 

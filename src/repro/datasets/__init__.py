@@ -10,19 +10,19 @@ class; the per-class observations the paper makes (phase splits, runtime
 per edge, community counts) are driven by exactly those properties.
 """
 
-from repro.datasets.rmat import rmat_graph
-from repro.datasets.sbm import planted_partition, stochastic_block_model
-from repro.datasets.lfr import lfr_like_graph
 from repro.datasets.geometric import road_network
 from repro.datasets.kmer import kmer_graph
-from repro.datasets.smallworld import barabasi_albert_graph, watts_strogatz_graph
+from repro.datasets.lfr import lfr_like_graph
 from repro.datasets.registry import (
-    GraphSpec,
     REGISTRY,
-    registry_names,
-    load_graph,
+    GraphSpec,
     graph_spec,
+    load_graph,
+    registry_names,
 )
+from repro.datasets.rmat import rmat_graph
+from repro.datasets.sbm import planted_partition, stochastic_block_model
+from repro.datasets.smallworld import barabasi_albert_graph, watts_strogatz_graph
 
 __all__ = [
     "rmat_graph",

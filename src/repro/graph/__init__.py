@@ -7,22 +7,22 @@ produced by the aggregation phase in a *weighted holey CSR with degree*
 usual conversion, symmetrization and file I/O plumbing around them.
 """
 
-from repro.graph.csr import CSRGraph, empty_csr
 from repro.graph.adjacency import AdjacencyGraph
 from repro.graph.builder import GraphBuilder, build_csr_from_edges
-from repro.graph.ops import (
-    symmetrize_edges,
-    coalesce_edges,
-    remove_self_loops,
-    relabel_compact,
-    degree_histogram,
-    induced_subgraph,
-)
-from repro.graph.reorder import vertex_order, order_ranks
-from repro.graph.traversal import bfs_levels, bfs_order
+from repro.graph.csr import CSRGraph, empty_csr
 from repro.graph.io_edgelist import read_edgelist, write_edgelist
 from repro.graph.io_metis import read_metis, write_metis
 from repro.graph.io_mtx import read_mtx, write_mtx
+from repro.graph.ops import (
+    coalesce_edges,
+    degree_histogram,
+    induced_subgraph,
+    relabel_compact,
+    remove_self_loops,
+    symmetrize_edges,
+)
+from repro.graph.reorder import order_ranks, vertex_order
+from repro.graph.traversal import bfs_levels, bfs_order
 from repro.graph.validate import validate_csr
 
 __all__ = [

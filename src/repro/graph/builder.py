@@ -89,7 +89,9 @@ class GraphBuilder:
         self._wgt.append(float(weight))
         return self
 
-    def add_edges(self, edges: Iterable[Tuple[int, int] | Tuple[int, int, float]]) -> "GraphBuilder":
+    def add_edges(
+        self, edges: Iterable[Tuple[int, int] | Tuple[int, int, float]]
+    ) -> "GraphBuilder":
         """Buffer many edges; tuples may omit the weight."""
         for edge in edges:
             if len(edge) == 2:

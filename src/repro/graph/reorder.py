@@ -17,7 +17,6 @@ import numpy as np
 
 from repro.errors import ConfigError
 from repro.graph.csr import CSRGraph
-from repro.types import VERTEX_DTYPE
 
 __all__ = ["vertex_order", "ORDERINGS", "order_ranks"]
 

@@ -8,7 +8,6 @@ graphs) and as a general substrate for reachability queries.
 
 from __future__ import annotations
 
-from typing import Tuple
 
 import numpy as np
 

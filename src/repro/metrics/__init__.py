@@ -1,10 +1,10 @@
 """Community-quality metrics: modularity, connectivity, partition tools."""
 
-from repro.metrics.modularity import (
-    modularity,
-    delta_modularity,
-    community_weights,
-    intra_community_weight,
+from repro.core.quality import cpm_quality
+from repro.metrics.comparison import (
+    adjusted_rand_index,
+    contingency_counts,
+    normalized_mutual_information,
 )
 from repro.metrics.connectivity import (
     connected_components,
@@ -12,24 +12,24 @@ from repro.metrics.connectivity import (
     disconnected_communities,
     is_community_connected,
 )
+from repro.metrics.modularity import (
+    community_weights,
+    delta_modularity,
+    intra_community_weight,
+    modularity,
+)
 from repro.metrics.partition import (
+    check_membership,
     community_sizes,
     count_communities,
-    renumber_membership,
-    check_membership,
     groups_from_membership,
+    renumber_membership,
 )
-from repro.core.quality import cpm_quality
 from repro.metrics.stability import StabilityReport, seed_stability
 from repro.metrics.summary import (
     CommunitySummary,
     PartitionSummary,
     summarize_partition,
-)
-from repro.metrics.comparison import (
-    contingency_counts,
-    normalized_mutual_information,
-    adjusted_rand_index,
 )
 
 __all__ = [

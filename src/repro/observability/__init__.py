@@ -1,0 +1,70 @@
+"""Phase-level observability: tracing spans, runtime counters, baselines.
+
+The paper's evaluation is built on knowing *where time goes* — per-phase
+splits (Figure 7), pruning rates (the flag-based pruning optimization),
+aggregation tolerance effects — and the reproduction needs the same
+signals as first-class, machine-readable data rather than ad-hoc bench
+prints.  This package provides:
+
+- :mod:`repro.observability.tracer` — nested spans (run → pass → phase)
+  with attached counters, recorded behind a zero-cost-when-disabled API
+  (the :data:`~repro.observability.tracer.NULL_TRACER` singleton), and
+  emitted as stable JSON (``repro.trace/1`` schema);
+- :mod:`repro.observability.regression` — per-experiment performance
+  baselines (``benchmarks/baselines/*.json``) and the comparison logic
+  behind ``repro bench --check``, the CI perf-regression gate.
+"""
+
+from repro.observability.tracer import (
+    NULL_TRACER,
+    TRACE_SCHEMA,
+    Span,
+    Tracer,
+)
+
+#: Symbols re-exported lazily from :mod:`repro.observability.regression`.
+#: (Lazy because regression imports the core algorithm and the runtime,
+#: while the runtime imports :mod:`repro.observability.tracer` — eager
+#: package-level imports would form a cycle.)
+_REGRESSION_EXPORTS = frozenset({
+    "BASELINE_SCHEMA",
+    "Baseline",
+    "MetricCheck",
+    "RunMetrics",
+    "Thresholds",
+    "compare_metrics",
+    "default_baseline_dir",
+    "format_checks",
+    "measure_experiment",
+    "record_baselines",
+    "run_check",
+    "run_trace",
+})
+
+
+def __getattr__(name: str):
+    if name in _REGRESSION_EXPORTS:
+        from repro.observability import regression
+
+        return getattr(regression, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = [
+    "NULL_TRACER",
+    "Span",
+    "Tracer",
+    "TRACE_SCHEMA",
+    "BASELINE_SCHEMA",
+    "Baseline",
+    "MetricCheck",
+    "RunMetrics",
+    "Thresholds",
+    "compare_metrics",
+    "default_baseline_dir",
+    "format_checks",
+    "measure_experiment",
+    "record_baselines",
+    "run_check",
+    "run_trace",
+]

@@ -1,0 +1,376 @@
+"""Performance baselines and the ``repro bench --check`` regression gate.
+
+A *baseline* pins the expected outcome of one smoke experiment — one
+(graph, config, seed) triple — as a JSON file under
+``benchmarks/baselines/``.  Four metrics are compared:
+
+- ``wall_seconds`` — Python wall clock (noisy across machines, so the
+  committed baselines carry a generous threshold);
+- ``modeled_seconds`` — simulated-clock cost on the paper machine at the
+  baseline's thread count (deterministic: counted work through the
+  machine model, so the threshold is tight);
+- ``total_work`` — raw work units recorded by the ledger (deterministic);
+- ``modularity`` — solution quality (deterministic given the seed; gated
+  on *drops* only).
+
+``run_check`` re-runs every committed baseline and exits non-zero when
+any metric regresses past its threshold, printing a readable diff — the
+artifact CI gates on.  ``record_baselines`` refreshes the files after an
+intentional perf or quality change (see docs/OBSERVABILITY.md).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import asdict, dataclass, field, replace
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro._version import __version__
+from repro.core.config import LeidenConfig
+from repro.core.leiden import leiden
+from repro.core.result import LeidenResult
+from repro.datasets.registry import load_graph
+from repro.metrics.modularity import modularity
+from repro.observability.tracer import NULL_TRACER, Tracer
+from repro.parallel.costmodel import PAPER_MACHINE
+from repro.parallel.runtime import Runtime
+
+__all__ = [
+    "BASELINE_SCHEMA",
+    "Baseline",
+    "MetricCheck",
+    "RunMetrics",
+    "Thresholds",
+    "compare_metrics",
+    "default_baseline_dir",
+    "format_checks",
+    "measure_experiment",
+    "record_baselines",
+    "run_check",
+    "run_trace",
+]
+
+#: Version tag embedded in every baseline file.
+BASELINE_SCHEMA = "repro.baseline/1"
+
+#: Version tag of the multi-experiment bundle written by ``bench --trace``.
+TRACE_BUNDLE_SCHEMA = "repro.trace-bundle/1"
+
+#: Smoke-experiment graphs the committed baselines cover: one road
+#: network (sparse, many passes), one web graph, one social network —
+#: small enough for CI, diverse enough to exercise every phase.
+DEFAULT_BASELINE_GRAPHS = ("asia_osm", "uk-2002", "com-Orkut")
+
+
+def default_baseline_dir() -> Path:
+    """``benchmarks/baselines`` relative to the repo root (or cwd)."""
+    cwd = Path.cwd() / "benchmarks" / "baselines"
+    if cwd.is_dir():
+        return cwd
+    return Path(__file__).resolve().parents[3] / "benchmarks" / "baselines"
+
+
+@dataclass(frozen=True)
+class Thresholds:
+    """Maximum tolerated relative change per metric.
+
+    ``wall_seconds``/``modeled_seconds``/``total_work`` gate on relative
+    *increases*; ``modularity_drop`` gates on a relative *decrease* of
+    solution quality.  The committed baseline files override the wall
+    threshold generously (hardware varies across CI runners) and rely on
+    the deterministic modelled metrics for the tight gate.
+    """
+
+    wall_seconds: float = 0.15
+    modeled_seconds: float = 0.10
+    total_work: float = 0.10
+    modularity_drop: float = 0.02
+
+    def to_dict(self) -> Dict[str, float]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, d: Optional[dict]) -> "Thresholds":
+        if not d:
+            return cls()
+        return replace(cls(), **{k: float(v) for k, v in d.items()})
+
+
+#: Thresholds written into the committed baseline files.  The wall-clock
+#: gate is deliberately loose — CI runners differ from the recording
+#: machine — while the deterministic metrics (modelled seconds, work
+#: units, modularity) carry the tight gate.
+COMMITTED_THRESHOLDS = Thresholds(
+    wall_seconds=1.0,
+    modeled_seconds=0.05,
+    total_work=0.05,
+    modularity_drop=0.02,
+)
+
+
+@dataclass(frozen=True)
+class RunMetrics:
+    """The gated metrics of one experiment execution."""
+
+    wall_seconds: float
+    modeled_seconds: float
+    total_work: float
+    modularity: float
+    num_passes: int
+    num_communities: int
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "RunMetrics":
+        return cls(
+            wall_seconds=float(d["wall_seconds"]),
+            modeled_seconds=float(d["modeled_seconds"]),
+            total_work=float(d["total_work"]),
+            modularity=float(d["modularity"]),
+            num_passes=int(d["num_passes"]),
+            num_communities=int(d["num_communities"]),
+        )
+
+
+@dataclass(frozen=True)
+class Baseline:
+    """One committed smoke experiment: inputs, expectations, tolerances."""
+
+    name: str
+    graph: str
+    seed: int
+    num_threads: int
+    config: Dict[str, object] = field(default_factory=dict)
+    metrics: RunMetrics = None  # type: ignore[assignment]
+    thresholds: Thresholds = field(default_factory=Thresholds)
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": BASELINE_SCHEMA,
+            "name": self.name,
+            "graph": self.graph,
+            "seed": self.seed,
+            "num_threads": self.num_threads,
+            "config": dict(self.config),
+            "metrics": self.metrics.to_dict(),
+            "thresholds": self.thresholds.to_dict(),
+            "recorded_with": __version__,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "Baseline":
+        schema = d.get("schema")
+        if schema != BASELINE_SCHEMA:
+            raise ValueError(
+                f"unsupported baseline schema {schema!r} "
+                f"(expected {BASELINE_SCHEMA!r})"
+            )
+        return cls(
+            name=str(d["name"]),
+            graph=str(d["graph"]),
+            seed=int(d["seed"]),
+            num_threads=int(d["num_threads"]),
+            config=dict(d.get("config", {})),
+            metrics=RunMetrics.from_dict(d["metrics"]),
+            thresholds=Thresholds.from_dict(d.get("thresholds")),
+        )
+
+    @classmethod
+    def load(cls, path: Path | str) -> "Baseline":
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+    def save(self, path: Path | str) -> None:
+        Path(path).write_text(
+            json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+        )
+
+
+def measure_experiment(
+    graph_name: str,
+    *,
+    seed: int = 42,
+    num_threads: int = 64,
+    config: Optional[dict] = None,
+    tracer: Optional[Tracer] = None,
+) -> Tuple[RunMetrics, LeidenResult]:
+    """Run one smoke experiment and collect its gated metrics.
+
+    ``num_threads`` selects the thread count the *modelled* runtime is
+    evaluated at (the execution itself is the deterministic simulated
+    runtime).  Pass a :class:`Tracer` to also capture the span tree.
+    """
+    graph = load_graph(graph_name)
+    cfg = LeidenConfig(**{"seed": seed, **(config or {})})
+    rt = Runtime(num_threads=1, seed=cfg.seed, tracer=tracer or NULL_TRACER)
+    t0 = time.perf_counter()
+    result = leiden(graph, cfg, runtime=rt)
+    wall = time.perf_counter() - t0
+    sim = result.ledger.simulate(PAPER_MACHINE, num_threads)
+    metrics = RunMetrics(
+        wall_seconds=wall,
+        modeled_seconds=sim.seconds,
+        total_work=result.ledger.total_work,
+        modularity=modularity(graph, result.membership),
+        num_passes=result.num_passes,
+        num_communities=result.num_communities,
+    )
+    return metrics, result
+
+
+@dataclass(frozen=True)
+class MetricCheck:
+    """Outcome of one metric comparison against its baseline."""
+
+    metric: str
+    baseline: float
+    current: float
+    #: Relative change, signed so that positive means "worse".
+    regression: float
+    threshold: float
+    ok: bool
+
+    def describe(self) -> str:
+        arrow = "OK " if self.ok else "REG"
+        return (
+            f"  [{arrow}] {self.metric:<16} "
+            f"baseline={self.baseline:.6g}  current={self.current:.6g}  "
+            f"change={self.regression:+.1%} (limit {self.threshold:+.0%})"
+        )
+
+
+def compare_metrics(
+    baseline: Baseline,
+    current: RunMetrics,
+    *,
+    thresholds: Optional[Thresholds] = None,
+) -> List[MetricCheck]:
+    """Compare a fresh run against a baseline; one check per gated metric.
+
+    ``thresholds`` overrides the baseline's own tolerances (used by tests
+    and by callers that want a uniformly stricter gate).
+    """
+    th = thresholds or baseline.thresholds
+    checks: List[MetricCheck] = []
+    for metric, limit in (
+        ("wall_seconds", th.wall_seconds),
+        ("modeled_seconds", th.modeled_seconds),
+        ("total_work", th.total_work),
+    ):
+        base = getattr(baseline.metrics, metric)
+        cur = getattr(current, metric)
+        reg = (cur - base) / base if base > 0 else 0.0
+        checks.append(MetricCheck(metric, base, cur, reg, limit, reg <= limit))
+    base_q = baseline.metrics.modularity
+    cur_q = current.modularity
+    drop = (base_q - cur_q) / abs(base_q) if base_q != 0 else 0.0
+    checks.append(
+        MetricCheck("modularity", base_q, cur_q, drop, th.modularity_drop,
+                    drop <= th.modularity_drop)
+    )
+    return checks
+
+
+def format_checks(name: str, checks: Sequence[MetricCheck]) -> str:
+    """Readable per-experiment diff, one line per metric."""
+    ok = all(c.ok for c in checks)
+    head = f"{'PASS' if ok else 'FAIL'} {name}"
+    return "\n".join([head] + [c.describe() for c in checks])
+
+
+def record_baselines(
+    directory: Path | str,
+    graphs: Sequence[str] = DEFAULT_BASELINE_GRAPHS,
+    *,
+    seed: int = 42,
+    num_threads: int = 64,
+    thresholds: Optional[Thresholds] = None,
+) -> List[Baseline]:
+    """(Re)write one baseline file per graph; returns the new baselines."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    out: List[Baseline] = []
+    for graph_name in graphs:
+        metrics, _ = measure_experiment(
+            graph_name, seed=seed, num_threads=num_threads
+        )
+        baseline = Baseline(
+            name=graph_name,
+            graph=graph_name,
+            seed=seed,
+            num_threads=num_threads,
+            config={},
+            metrics=metrics,
+            thresholds=thresholds or COMMITTED_THRESHOLDS,
+        )
+        baseline.save(directory / f"{graph_name}.json")
+        out.append(baseline)
+    return out
+
+
+def run_check(
+    baseline_dir: Path | str | None = None,
+    *,
+    thresholds: Optional[Thresholds] = None,
+    print_fn=print,
+) -> int:
+    """Re-run every committed baseline and compare; 0 = all pass.
+
+    This is the body of ``repro bench --check``: the exit code is the CI
+    gate, the printed diff is the human-readable artifact.
+    """
+    directory = Path(baseline_dir) if baseline_dir else default_baseline_dir()
+    paths = sorted(directory.glob("*.json"))
+    if not paths:
+        print_fn(f"no baselines found under {directory}")
+        return 2
+    failures = 0
+    for path in paths:
+        baseline = Baseline.load(path)
+        current, _ = measure_experiment(
+            baseline.graph,
+            seed=baseline.seed,
+            num_threads=baseline.num_threads,
+            config=baseline.config,
+        )
+        checks = compare_metrics(baseline, current, thresholds=thresholds)
+        print_fn(format_checks(baseline.name, checks))
+        if not all(c.ok for c in checks):
+            failures += 1
+    total = len(paths)
+    print_fn(f"{total - failures}/{total} baselines within thresholds")
+    return 1 if failures else 0
+
+
+def run_trace(
+    graphs: Sequence[str] = DEFAULT_BASELINE_GRAPHS,
+    *,
+    seed: int = 42,
+    num_threads: int = 64,
+) -> dict:
+    """Traced smoke runs: one ``repro.trace/1`` document per graph.
+
+    The body of ``repro bench --trace``; the result is written as the CI
+    trace artifact.
+    """
+    experiments: Dict[str, dict] = {}
+    for graph_name in graphs:
+        tracer = Tracer()
+        metrics, _ = measure_experiment(
+            graph_name, seed=seed, num_threads=num_threads, tracer=tracer
+        )
+        experiments[graph_name] = tracer.to_dict(
+            experiment=graph_name,
+            seed=seed,
+            num_threads=num_threads,
+            machine=PAPER_MACHINE.as_dict(),
+            metrics=metrics.to_dict(),
+        )
+    return {
+        "schema": TRACE_BUNDLE_SCHEMA,
+        "version": __version__,
+        "experiments": experiments,
+    }

@@ -1,0 +1,259 @@
+"""Nested tracing spans and counters with a zero-cost disabled path.
+
+A :class:`Tracer` records a tree of :class:`Span` objects — typically
+``leiden → pass → phase`` — each holding wall-clock seconds, free-form
+attributes, additive counters and min/max/sum observations.  The
+instrumented code never checks "is tracing on?" for span entry: it calls
+``runtime.tracer.span(...)`` and the disabled singleton
+:data:`NULL_TRACER` answers with a shared no-op context manager.  Hot
+loops that would have to *compute* something extra to feed a counter
+guard on :attr:`Tracer.enabled` instead, so the disabled path costs one
+attribute read.
+
+The JSON emission (:meth:`Tracer.to_dict` / :meth:`Tracer.to_json`) is a
+stable schema, versioned as :data:`TRACE_SCHEMA`; consumers (the CI
+artifact, the regression harness, external tooling) key on it.
+"""
+
+from __future__ import annotations
+
+import json
+from contextlib import contextmanager
+from time import perf_counter
+from typing import Dict, Iterator, List, Optional
+
+__all__ = ["TRACE_SCHEMA", "Span", "Tracer", "NullTracer", "NULL_TRACER"]
+
+#: Version tag embedded in every emitted trace document.
+TRACE_SCHEMA = "repro.trace/1"
+
+
+class Span:
+    """One timed region of the trace tree."""
+
+    __slots__ = ("name", "attrs", "counters", "stats", "children", "seconds",
+                 "_start")
+
+    def __init__(self, name: str, attrs: Optional[dict] = None) -> None:
+        self.name = name
+        self.attrs: Dict[str, object] = dict(attrs) if attrs else {}
+        self.counters: Dict[str, float] = {}
+        self.stats: Dict[str, Dict[str, float]] = {}
+        self.children: List["Span"] = []
+        self.seconds = 0.0
+        self._start: Optional[float] = None
+
+    def set(self, **attrs) -> None:
+        """Attach attributes to the span (no-op on the null span)."""
+        self.attrs.update(attrs)
+
+    def count(self, name: str, value: float = 1.0) -> None:
+        self.counters[name] = self.counters.get(name, 0.0) + float(value)
+
+    def observe(self, name: str, value: float) -> None:
+        v = float(value)
+        s = self.stats.get(name)
+        if s is None:
+            self.stats[name] = {"count": 1.0, "sum": v, "min": v, "max": v}
+        else:
+            s["count"] += 1.0
+            s["sum"] += v
+            if v < s["min"]:
+                s["min"] = v
+            if v > s["max"]:
+                s["max"] = v
+
+    # -- aggregation ---------------------------------------------------------
+
+    def counter_totals(self, into: Optional[Dict[str, float]] = None) -> Dict[str, float]:
+        """Counters summed over this span and its whole subtree."""
+        totals = {} if into is None else into
+        for k, v in self.counters.items():
+            totals[k] = totals.get(k, 0.0) + v
+        for child in self.children:
+            child.counter_totals(totals)
+        return totals
+
+    def to_dict(self) -> dict:
+        out: Dict[str, object] = {"name": self.name, "seconds": self.seconds}
+        if self.attrs:
+            out["attrs"] = dict(self.attrs)
+        if self.counters:
+            out["counters"] = dict(self.counters)
+        if self.stats:
+            out["stats"] = {k: dict(v) for k, v in self.stats.items()}
+        if self.children:
+            out["children"] = [c.to_dict() for c in self.children]
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"Span({self.name!r}, {self.seconds:.4f}s, "
+                f"{len(self.children)} children)")
+
+
+class Tracer:
+    """Collects a span tree plus counters for one traced execution."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.root = Span("trace")
+        self._stack: List[Span] = [self.root]
+
+    # -- recording -----------------------------------------------------------
+
+    @contextmanager
+    def span(self, name: str, **attrs) -> Iterator[Span]:
+        """Open a nested span; yields it so callers may :meth:`Span.set`."""
+        s = Span(name, attrs)
+        self._stack[-1].children.append(s)
+        self._stack.append(s)
+        s._start = perf_counter()
+        try:
+            yield s
+        finally:
+            s.seconds += perf_counter() - s._start
+            s._start = None
+            self._stack.pop()
+
+    def push(self, name: str, **attrs) -> Span:
+        """Open a span without a ``with`` block (close via :meth:`pop`).
+
+        For call sites whose span outlives one lexical block — e.g. the
+        per-pass span in :func:`repro.core.leiden.leiden`, which closes
+        on both the convergence ``break`` and the normal pass end.
+        """
+        s = Span(name, attrs)
+        self._stack[-1].children.append(s)
+        self._stack.append(s)
+        s._start = perf_counter()
+        return s
+
+    def pop(self) -> None:
+        """Close the innermost span opened by :meth:`push`."""
+        if len(self._stack) <= 1:
+            return
+        s = self._stack.pop()
+        if s._start is not None:
+            s.seconds += perf_counter() - s._start
+            s._start = None
+
+    def count(self, name: str, value: float = 1.0) -> None:
+        """Add ``value`` to counter ``name`` on the innermost open span."""
+        self._stack[-1].count(name, value)
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one sample of distribution ``name`` on the open span."""
+        self._stack[-1].observe(name, value)
+
+    # -- inspection / emission ------------------------------------------------
+
+    @property
+    def current(self) -> Span:
+        return self._stack[-1]
+
+    def counter_totals(self) -> Dict[str, float]:
+        """All counters, summed over the entire trace."""
+        return self.root.counter_totals()
+
+    def derived_metrics(self) -> Dict[str, float]:
+        """Ratios computed from raw counters (pruning hit rate etc.)."""
+        totals = self.counter_totals()
+        out: Dict[str, float] = {}
+        visited = totals.get("pruning_visited", 0.0)
+        skipped = totals.get("pruning_skipped", 0.0)
+        if visited + skipped > 0:
+            out["pruning_hit_rate"] = skipped / (visited + skipped)
+        regions = totals.get("parallel_regions", 0.0)
+        if regions > 0:
+            out["atomics_per_region"] = totals.get("atomic_ops", 0.0) / regions
+            out["skew_units_per_region"] = (
+                totals.get("clock_skew_units", 0.0) / regions
+            )
+        return out
+
+    def to_dict(self, **meta) -> dict:
+        """The trace as a JSON-ready document (``repro.trace/1``)."""
+        return {
+            "schema": TRACE_SCHEMA,
+            "meta": meta,
+            "counters": self.counter_totals(),
+            "derived": self.derived_metrics(),
+            "spans": [c.to_dict() for c in self.root.children],
+        }
+
+    def to_json(self, *, indent: int | None = 2, **meta) -> str:
+        return json.dumps(self.to_dict(**meta), indent=indent, sort_keys=True)
+
+
+class _NullSpan:
+    """Shared no-op span/context-manager returned by :class:`NullTracer`."""
+
+    __slots__ = ()
+    name = "null"
+    seconds = 0.0
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+    def set(self, **attrs) -> None:
+        return None
+
+    def count(self, name: str, value: float = 1.0) -> None:
+        return None
+
+    def observe(self, name: str, value: float) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """Disabled tracer: every operation is a no-op.
+
+    ``runtime.tracer.span(...)`` returns a shared context manager and
+    allocates nothing; counter calls return immediately.  Code that must
+    *compute* values for counters should guard on :attr:`enabled`.
+    """
+
+    enabled = False
+
+    def span(self, name: str, **attrs) -> _NullSpan:
+        return _NULL_SPAN
+
+    def push(self, name: str, **attrs) -> _NullSpan:
+        return _NULL_SPAN
+
+    def pop(self) -> None:
+        return None
+
+    def count(self, name: str, value: float = 1.0) -> None:
+        return None
+
+    def observe(self, name: str, value: float) -> None:
+        return None
+
+    @property
+    def current(self) -> _NullSpan:
+        return _NULL_SPAN
+
+    def counter_totals(self) -> Dict[str, float]:
+        return {}
+
+    def derived_metrics(self) -> Dict[str, float]:
+        return {}
+
+    def to_dict(self, **meta) -> dict:
+        return {"schema": TRACE_SCHEMA, "meta": meta, "counters": {},
+                "derived": {}, "spans": []}
+
+    def to_json(self, *, indent: int | None = 2, **meta) -> str:
+        return json.dumps(self.to_dict(**meta), indent=indent, sort_keys=True)
+
+
+#: Module-level disabled tracer; the default everywhere.
+NULL_TRACER = NullTracer()

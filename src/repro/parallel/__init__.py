@@ -19,19 +19,19 @@ provides the equivalent abstractions for a pure-Python reproduction:
 - :mod:`repro.parallel.runtime` — the facade tying it all together.
 """
 
-from repro.parallel.rng import Xorshift32
-from repro.parallel.hashtable import CollisionFreeHashtable
-from repro.parallel.scan import exclusive_scan, inclusive_scan, blocked_exclusive_scan
-from repro.parallel.schedule import Schedule, chunk_spans, assign_chunks, makespan
-from repro.parallel.simthread import WorkLedger, Region
-from repro.parallel.costmodel import (
-    MachineModel,
-    ImplementationProfile,
-    PAPER_MACHINE,
-    IMPLEMENTATION_PROFILES,
-)
 from repro.parallel.atomics import AtomicArray
+from repro.parallel.costmodel import (
+    IMPLEMENTATION_PROFILES,
+    PAPER_MACHINE,
+    ImplementationProfile,
+    MachineModel,
+)
+from repro.parallel.hashtable import CollisionFreeHashtable
+from repro.parallel.rng import Xorshift32
 from repro.parallel.runtime import Runtime
+from repro.parallel.scan import blocked_exclusive_scan, exclusive_scan, inclusive_scan
+from repro.parallel.schedule import Schedule, assign_chunks, chunk_spans, makespan
+from repro.parallel.simthread import Region, WorkLedger
 
 __all__ = [
     "Xorshift32",

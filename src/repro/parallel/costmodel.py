@@ -110,6 +110,21 @@ class MachineModel:
         t = max(1, int(num_threads))
         return t / self.parallel_slowdown(t)
 
+    def as_dict(self) -> dict:
+        """JSON-ready description (embedded in trace document metadata)."""
+        return {
+            "name": self.name,
+            "cores_per_socket": self.cores_per_socket,
+            "sockets": self.sockets,
+            "smt": self.smt,
+            "physical_cores": self.physical_cores,
+            "max_threads": self.max_threads,
+            "time_per_unit": self.time_per_unit,
+            "atomic_seconds": self.atomic_seconds,
+            "barrier_base_seconds": self.barrier_base_seconds,
+            "chunk_overhead_units": self.chunk_overhead_units,
+        }
+
     def scaled(self, work_scale: float) -> "MachineModel":
         """Model a ``work_scale``-times larger input on this machine.
 

@@ -16,7 +16,8 @@ from typing import Callable, List, Sequence
 import numpy as np
 
 from repro.errors import ConfigError
-from repro.parallel.costmodel import MachineModel, PAPER_MACHINE
+from repro.observability.tracer import NULL_TRACER
+from repro.parallel.costmodel import PAPER_MACHINE, MachineModel
 from repro.parallel.hashtable import CollisionFreeHashtable
 from repro.parallel.rng import Xorshift32
 from repro.parallel.schedule import DEFAULT_CHUNK, Schedule, chunk_spans
@@ -42,6 +43,10 @@ class Runtime:
     machine:
         Machine model used by :meth:`simulate`; defaults to the paper's
         dual-Xeon testbed.
+    tracer:
+        Observability tracer the phases report spans and counters to;
+        defaults to the disabled :data:`~repro.observability.tracer.NULL_TRACER`
+        (zero cost).
     """
 
     def __init__(
@@ -52,6 +57,7 @@ class Runtime:
         seed: int = 12345,
         executor: str = "serial",
         machine: MachineModel | None = None,
+        tracer=None,
     ) -> None:
         if num_threads < 1:
             raise ConfigError("num_threads must be >= 1")
@@ -62,6 +68,7 @@ class Runtime:
         self.executor = executor
         self.machine = machine or PAPER_MACHINE
         self.ledger = WorkLedger()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.master_rng = Xorshift32(seed)
         self.thread_rngs: List[Xorshift32] = self.master_rng.spawn(self.num_threads)
         self._pool: ThreadPoolExecutor | None = None
@@ -130,17 +137,43 @@ class Runtime:
         atomics: float = 0.0,
         schedule: Schedule | None = None,
     ) -> None:
-        """Record one parallel region's per-item work in the ledger."""
+        """Record one parallel region's per-item work in the ledger.
+
+        With tracing enabled, the region is also reported to the tracer:
+        atomic-op and barrier counts, total work units, and the modelled
+        per-thread clock skew (slowest-thread minus mean work at the
+        machine's full thread count — the load-imbalance signal).
+        """
+        n_before = len(self.ledger.regions)
         self.ledger.parallel(
             item_costs,
             phase=phase,
             schedule=schedule or self.schedule,
             atomics=atomics,
         )
+        tracer = self.tracer
+        if tracer.enabled and len(self.ledger.regions) > n_before:
+            region = self.ledger.regions[-1]
+            tracer.count("parallel_regions")
+            # Every modelled parallel-for ends in an implicit barrier.
+            tracer.count("barriers")
+            tracer.count("atomic_ops", region.atomics)
+            tracer.count("work_units", float(region.chunk_costs.sum()))
+            t = self.machine.max_threads
+            span = WorkLedger._region_span(region, self.machine, t, 1.0)
+            mean = (
+                float(region.chunk_costs.sum())
+                + self.machine.chunk_overhead_units * region.chunk_costs.shape[0]
+            ) / t
+            tracer.count("clock_skew_units", max(0.0, span - mean))
 
     def record_serial(self, cost: float, *, phase: str) -> None:
         """Record sequential work in the ledger."""
         self.ledger.serial(cost, phase=phase)
+        tracer = self.tracer
+        if tracer.enabled and cost > 0:
+            tracer.count("serial_regions")
+            tracer.count("serial_work_units", float(cost))
 
     def simulate(
         self,

@@ -1,6 +1,5 @@
 """Tests for the competitor reimplementations."""
 
-import numpy as np
 import pytest
 
 from repro.baselines import (
@@ -11,11 +10,11 @@ from repro.baselines import (
     networkit_leiden,
     original_leiden,
 )
+from repro.datasets.geometric import road_network
+from repro.datasets.sbm import planted_partition
 from repro.errors import ConfigError
 from repro.metrics.connectivity import disconnected_communities
 from repro.metrics.modularity import modularity
-from repro.datasets.sbm import planted_partition
-from repro.datasets.geometric import road_network
 from tests.conftest import random_graph, two_cliques_graph
 
 

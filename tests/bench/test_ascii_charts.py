@@ -1,6 +1,5 @@
 """Tests for the text-mode chart rendering."""
 
-import pytest
 
 from repro.bench.ascii_charts import bar_chart, grouped_bar_chart, line_chart
 

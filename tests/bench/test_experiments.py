@@ -4,7 +4,6 @@ Full-registry runs live in ``benchmarks/``; here each driver is run on
 one or two small graphs to validate structure and reporting.
 """
 
-import math
 
 import pytest
 

@@ -1,6 +1,5 @@
 """Tests for the ``python -m repro.bench`` entry point."""
 
-import pytest
 
 import repro.bench.__main__ as bench_main
 

@@ -43,6 +43,42 @@ class TestSegmentPairSums:
             np.empty(0), 5,
         )
         assert ps.shape == (0,)
+        assert pc.shape == (0,)
+        assert psum.shape == (0,)
+
+    def test_single_segment(self):
+        """A batch where every edge belongs to one vertex."""
+        seg = np.zeros(6, dtype=np.int64)
+        comm = np.array([4, 1, 4, 1, 4, 0])
+        w = np.array([1.0, 2.0, 3.0, 4.0, 5.0, 6.0])
+        ps, pc, psum = segment_pair_sums(seg, comm, w, 5)
+        assert ps.tolist() == [0, 0, 0]
+        assert pc.tolist() == [0, 1, 4]
+        assert psum.tolist() == [6.0, 6.0, 9.0]
+
+    def test_community_id_at_upper_boundary(self):
+        """ids == num_communities - 1 must not collide across segments.
+
+        The kernel packs (seg, comm) into seg * k + comm; the largest
+        community id of segment s must stay distinct from community 0 of
+        segment s + 1.
+        """
+        k = 7
+        seg = np.array([0, 1, 1, 2])
+        comm = np.array([k - 1, 0, k - 1, 0])
+        w = np.array([1.0, 2.0, 4.0, 8.0])
+        ps, pc, psum = segment_pair_sums(seg, comm, w, k)
+        got = {(int(s), int(c)): float(v) for s, c, v in zip(ps, pc, psum)}
+        assert got == {(0, k - 1): 1.0, (1, 0): 2.0, (1, k - 1): 4.0, (2, 0): 8.0}
+
+    def test_single_pair_many_duplicates(self):
+        seg = np.zeros(100, dtype=np.int64)
+        comm = np.full(100, 3, dtype=np.int64)
+        w = np.ones(100)
+        ps, pc, psum = segment_pair_sums(seg, comm, w, 4)
+        assert ps.tolist() == [0]
+        assert pc.tolist() == [3]
+        assert psum.tolist() == [100.0]
 
 
 class TestSegmentedArgmax:
@@ -85,3 +121,36 @@ class TestSegmentedArgmax:
         vals = np.array([-5.0, -2.0])
         segs, idx = segmented_argmax(seg, vals)
         assert vals[idx].tolist() == [-2.0]
+
+    def test_single_segment_whole_input(self):
+        seg = np.zeros(5, dtype=np.int64)
+        vals = np.array([0.5, 3.0, 2.0, 3.0, 1.0])
+        segs, idx = segmented_argmax(seg, vals)
+        assert segs.tolist() == [0]
+        assert vals[int(idx[0])] == 3.0
+
+    def test_tie_breaks_toward_last_among_equals(self):
+        """All-equal values: the documented winner is the last entry."""
+        seg = np.array([0, 0, 0])
+        vals = np.array([1.0, 1.0, 1.0])
+        segs, idx = segmented_argmax(seg, vals)
+        assert segs.tolist() == [0]
+        assert idx.tolist() == [2]
+
+    def test_tie_break_is_stable_per_segment(self):
+        """Ties resolve to the last-sorted equal entry in every segment."""
+        seg = np.array([0, 0, 1, 1, 1])
+        vals = np.array([7.0, 7.0, 2.0, 9.0, 9.0])
+        segs, idx = segmented_argmax(seg, vals)
+        assert segs.tolist() == [0, 1]
+        assert idx.tolist() == [1, 4]
+
+    def test_tie_break_independent_of_input_order(self):
+        """Lexsort is stable, so equal values keep input order within a
+        segment even when segments arrive interleaved."""
+        seg = np.array([1, 0, 1, 0])
+        vals = np.array([4.0, 6.0, 4.0, 6.0])
+        segs, idx = segmented_argmax(seg, vals)
+        assert segs.tolist() == [0, 1]
+        # last among equals in *input* order: positions 3 (seg 0), 2 (seg 1)
+        assert idx.tolist() == [3, 2]

@@ -6,10 +6,10 @@ import pytest
 from repro.core.config import LeidenConfig
 from repro.core.leiden import leiden
 from repro.core.result import ALL_PHASES
+from repro.datasets.sbm import planted_partition
 from repro.metrics.comparison import adjusted_rand_index
 from repro.metrics.connectivity import disconnected_communities
 from repro.metrics.modularity import modularity
-from repro.datasets.sbm import planted_partition
 from tests.conftest import (
     path_graph,
     random_graph,

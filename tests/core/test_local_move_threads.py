@@ -7,7 +7,7 @@ from repro.core.config import LeidenConfig
 from repro.core.leiden import leiden
 from repro.core.local_move_threads import local_move_threads
 from repro.metrics.connectivity import disconnected_communities
-from repro.metrics.modularity import community_weights, modularity
+from repro.metrics.modularity import modularity
 from repro.parallel.runtime import Runtime
 from repro.types import VERTEX_DTYPE
 from tests.conftest import random_graph, two_cliques_graph

@@ -1,14 +1,11 @@
 """Tests for GVE-Louvain (Leiden minus refinement)."""
 
-import numpy as np
-import pytest
-
 from repro.core.config import LeidenConfig
 from repro.core.leiden import leiden
 from repro.core.louvain import louvain
+from repro.datasets.sbm import planted_partition
 from repro.metrics.comparison import adjusted_rand_index
 from repro.metrics.modularity import modularity
-from repro.datasets.sbm import planted_partition
 from tests.conftest import random_graph, two_cliques_graph
 
 

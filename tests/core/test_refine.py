@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.core.local_move import local_move_batch
 from repro.core.refine import refine_batch, refine_loop
 from repro.metrics.connectivity import disconnected_communities
 from repro.parallel.rng import Xorshift32

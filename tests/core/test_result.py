@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.core.config import LeidenConfig
 from repro.core.leiden import leiden
 from repro.core.result import ALL_PHASES, PassStats
 from repro.parallel.simthread import WorkLedger

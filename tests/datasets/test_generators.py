@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.core.leiden import leiden
 from repro.datasets.geometric import road_network
 from repro.datasets.kmer import kmer_graph
 from repro.datasets.lfr import lfr_like_graph, powerlaw_integers
@@ -12,7 +13,6 @@ from repro.errors import ConfigError
 from repro.graph.validate import validate_csr
 from repro.metrics.comparison import adjusted_rand_index
 from repro.metrics.connectivity import count_components
-from repro.core.leiden import leiden
 
 
 class TestPlantedPartition:

@@ -7,7 +7,6 @@ from repro.dynamic.batch import EdgeBatch, apply_batch, random_batch
 from repro.errors import GraphStructureError
 from repro.graph.builder import build_csr_from_edges
 from repro.graph.validate import validate_csr
-from tests.conftest import two_cliques_graph
 
 
 class TestEdgeBatch:

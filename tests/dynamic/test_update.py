@@ -5,11 +5,11 @@ import pytest
 
 from repro.core.config import LeidenConfig
 from repro.core.leiden import leiden
+from repro.datasets.sbm import planted_partition
 from repro.dynamic import (
     APPROACHES,
     EdgeBatch,
     affected_vertices,
-    apply_batch,
     dynamic_leiden,
 )
 from repro.dynamic.batch import random_batch
@@ -17,7 +17,6 @@ from repro.errors import ConfigError
 from repro.metrics.comparison import adjusted_rand_index
 from repro.metrics.connectivity import disconnected_communities
 from repro.metrics.modularity import modularity
-from repro.datasets.sbm import planted_partition
 from tests.conftest import two_cliques_graph
 
 

@@ -6,7 +6,7 @@ import pytest
 
 from repro.errors import GraphFormatError
 from repro.graph.io_metis import read_metis, write_metis
-from tests.conftest import random_graph, two_cliques_graph
+from tests.conftest import random_graph
 
 
 def read_text(text: str):

@@ -1,10 +1,8 @@
 """Tests for COO edge transforms and subgraph extraction."""
 
-import numpy as np
 import pytest
 
 from repro.errors import GraphStructureError
-from repro.graph.builder import build_csr_from_edges
 from repro.graph.ops import (
     coalesce_edges,
     degree_histogram,

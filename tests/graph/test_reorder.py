@@ -9,7 +9,7 @@ from repro.errors import ConfigError
 from repro.graph.reorder import ORDERINGS, order_ranks, vertex_order
 from repro.metrics.connectivity import disconnected_communities
 from repro.metrics.modularity import modularity
-from tests.conftest import random_graph, star_graph, two_cliques_graph
+from tests.conftest import random_graph, two_cliques_graph
 
 
 class TestVertexOrder:

@@ -7,7 +7,7 @@ import pytest
 from repro.errors import GraphStructureError
 from repro.graph.builder import build_csr_from_edges
 from repro.graph.traversal import bfs_levels, bfs_order, eccentricity_lower_bound
-from tests.conftest import path_graph, random_graph, star_graph, two_cliques_graph
+from tests.conftest import random_graph, two_cliques_graph
 
 
 class TestBfsLevels:

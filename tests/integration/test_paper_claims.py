@@ -4,14 +4,13 @@ Each test encodes one sentence from the evaluation section; the full
 registry-scale versions live in ``benchmarks/``.
 """
 
-import numpy as np
 import pytest
 
 from repro.baselines import IMPLEMENTATIONS
 from repro.bench.harness import run_once
+from repro.bench.harness import run_leiden_config
 from repro.core.config import LeidenConfig
 from repro.core.leiden import leiden
-from repro.bench.harness import run_leiden_config
 from repro.datasets.registry import load_graph
 from repro.metrics.modularity import modularity
 

@@ -3,10 +3,9 @@
 import numpy as np
 import pytest
 
-from repro.core.config import LeidenConfig
 from repro.core.louvain import louvain
-from repro.metrics.stability import seed_stability
 from repro.datasets.sbm import planted_partition
+from repro.metrics.stability import seed_stability
 from tests.conftest import random_graph, two_cliques_graph
 
 

@@ -6,7 +6,7 @@ import pytest
 from repro.metrics.modularity import modularity
 from repro.metrics.summary import summarize_partition
 from repro.types import VERTEX_DTYPE
-from tests.conftest import random_graph, two_cliques_graph
+from tests.conftest import random_graph
 
 
 class TestTwoCliques:

@@ -1,0 +1,1 @@
+"""Tests for the tracing and perf-regression layer."""

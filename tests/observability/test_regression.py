@@ -1,0 +1,186 @@
+"""Tests for the baseline store and the ``bench --check`` perf gate."""
+
+import json
+
+import pytest
+
+from repro.observability import regression
+from repro.observability.regression import (
+    BASELINE_SCHEMA,
+    Baseline,
+    RunMetrics,
+    Thresholds,
+    compare_metrics,
+    format_checks,
+    measure_experiment,
+    record_baselines,
+    run_check,
+    run_trace,
+)
+from repro.observability.tracer import Tracer
+
+GRAPH = "asia_osm"  # smallest smoke graph in the registry
+
+
+def _metrics(**overrides):
+    base = dict(wall_seconds=1.0, modeled_seconds=0.5, total_work=1000.0,
+                modularity=0.9, num_passes=3, num_communities=10)
+    base.update(overrides)
+    return RunMetrics(**base)
+
+
+def _baseline(metrics=None, thresholds=None):
+    return Baseline(
+        name="synthetic", graph=GRAPH, seed=42, num_threads=64,
+        metrics=metrics or _metrics(),
+        thresholds=thresholds or Thresholds(),
+    )
+
+
+class TestBaselineRoundTrip:
+    def test_save_load(self, tmp_path):
+        b = _baseline()
+        path = tmp_path / "b.json"
+        b.save(path)
+        loaded = Baseline.load(path)
+        assert loaded == b
+        assert json.loads(path.read_text())["schema"] == BASELINE_SCHEMA
+
+    def test_rejects_unknown_schema(self, tmp_path):
+        doc = _baseline().to_dict()
+        doc["schema"] = "repro.baseline/999"
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps(doc))
+        with pytest.raises(ValueError, match="schema"):
+            Baseline.load(path)
+
+
+class TestCompareMetrics:
+    def test_identical_run_passes(self):
+        checks = compare_metrics(_baseline(), _metrics())
+        assert all(c.ok for c in checks)
+        assert {c.metric for c in checks} == {
+            "wall_seconds", "modeled_seconds", "total_work", "modularity"
+        }
+
+    def test_wall_regression_past_threshold_fails(self):
+        """The satellite case: a synthetic 20% slowdown must be caught
+        by the default 15% wall threshold."""
+        checks = compare_metrics(_baseline(), _metrics(wall_seconds=1.2))
+        bad = {c.metric: c for c in checks if not c.ok}
+        assert set(bad) == {"wall_seconds"}
+        assert bad["wall_seconds"].regression == pytest.approx(0.2)
+
+    def test_faster_run_passes(self):
+        checks = compare_metrics(_baseline(), _metrics(wall_seconds=0.5))
+        assert all(c.ok for c in checks)
+
+    def test_modularity_gates_on_drop_only(self):
+        up = compare_metrics(_baseline(), _metrics(modularity=0.95))
+        assert all(c.ok for c in up)
+        down = compare_metrics(_baseline(), _metrics(modularity=0.85))
+        bad = [c for c in down if not c.ok]
+        assert [c.metric for c in bad] == ["modularity"]
+
+    def test_threshold_override(self):
+        strict = Thresholds(wall_seconds=0.01)
+        checks = compare_metrics(
+            _baseline(), _metrics(wall_seconds=1.05), thresholds=strict
+        )
+        assert not all(c.ok for c in checks)
+
+    def test_format_mentions_failure(self):
+        checks = compare_metrics(_baseline(), _metrics(wall_seconds=1.2))
+        text = format_checks("synthetic", checks)
+        assert text.startswith("FAIL synthetic")
+        assert "[REG] wall_seconds" in text
+        assert "+20.0%" in text
+
+
+class TestMeasureExperiment:
+    def test_deterministic_modeled_metrics(self):
+        a, _ = measure_experiment(GRAPH, seed=42)
+        b, _ = measure_experiment(GRAPH, seed=42)
+        assert a.modeled_seconds == b.modeled_seconds
+        assert a.total_work == b.total_work
+        assert a.modularity == b.modularity
+
+    def test_tracer_capture(self):
+        tracer = Tracer()
+        metrics, result = measure_experiment(GRAPH, seed=42, tracer=tracer)
+        assert metrics.num_passes == result.num_passes
+        assert tracer.root.children[0].name == "leiden"
+
+
+class TestRunCheck:
+    def test_clean_tree_passes(self, tmp_path, capsys):
+        record_baselines(tmp_path, [GRAPH])
+        assert run_check(tmp_path) == 0
+        out = capsys.readouterr().out
+        assert "PASS asia_osm" in out
+        assert "1/1 baselines within thresholds" in out
+
+    def test_injected_slowdown_fails_with_readable_diff(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        """A synthetic 20% wall-clock slowdown must exit non-zero and
+        print which metric regressed by how much."""
+        (recorded,) = record_baselines(tmp_path, [GRAPH],
+                                       thresholds=Thresholds())
+        real = regression.measure_experiment
+
+        def slowed(*args, **kwargs):
+            # Exactly 20% slower than the recorded baseline — independent
+            # of this machine's wall-clock noise between the two runs.
+            _, result = real(*args, **kwargs)
+            base = recorded.metrics
+            slow = RunMetrics(**{**base.to_dict(),
+                                 "wall_seconds": base.wall_seconds * 1.2})
+            return slow, result
+
+        monkeypatch.setattr(regression, "measure_experiment", slowed)
+        assert run_check(tmp_path) == 1
+        out = capsys.readouterr().out
+        assert "FAIL asia_osm" in out
+        assert "[REG] wall_seconds" in out
+        assert "change=+20.0% (limit +15%)" in out
+        assert "0/1 baselines within thresholds" in out
+
+    def test_modeled_work_regression_fails(self, tmp_path, capsys, monkeypatch):
+        record_baselines(tmp_path, [GRAPH], thresholds=Thresholds())
+        real = regression.measure_experiment
+
+        def heavier(*args, **kwargs):
+            metrics, result = real(*args, **kwargs)
+            heavy = RunMetrics(**{**metrics.to_dict(),
+                                  "total_work": metrics.total_work * 1.5})
+            return heavy, result
+
+        monkeypatch.setattr(regression, "measure_experiment", heavier)
+        assert run_check(tmp_path) == 1
+        assert "[REG] total_work" in capsys.readouterr().out
+
+    def test_missing_baseline_dir(self, tmp_path, capsys):
+        assert run_check(tmp_path / "nowhere") == 2
+        assert "no baselines" in capsys.readouterr().out
+
+
+class TestRunTrace:
+    def test_bundle_schema(self):
+        bundle = run_trace([GRAPH], seed=42)
+        assert bundle["schema"] == regression.TRACE_BUNDLE_SCHEMA
+        doc = bundle["experiments"][GRAPH]
+        assert doc["schema"] == "repro.trace/1"
+        assert doc["meta"]["experiment"] == GRAPH
+        assert doc["meta"]["metrics"]["num_passes"] >= 1
+        assert doc["spans"][0]["name"] == "leiden"
+        assert doc["counters"]["parallel_regions"] > 0
+
+
+class TestCommittedBaselines:
+    """The real gate: the files under benchmarks/baselines must pass."""
+
+    def test_committed_baselines_pass_on_clean_tree(self):
+        directory = regression.default_baseline_dir()
+        assert directory.is_dir(), directory
+        assert run_check(directory, print_fn=lambda *_: None) == 0

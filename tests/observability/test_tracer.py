@@ -1,0 +1,199 @@
+"""Tests for the span/counter tracer and its disabled twin."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.config import LeidenConfig
+from repro.core.leiden import leiden
+from repro.observability.tracer import NULL_TRACER, TRACE_SCHEMA, NullTracer, Tracer
+from repro.parallel.runtime import Runtime
+from tests.conftest import ring_of_cliques_graph
+
+
+class TestSpanTree:
+    def test_nesting(self):
+        t = Tracer()
+        with t.span("outer"):
+            with t.span("inner"):
+                pass
+            with t.span("inner2"):
+                pass
+        (outer,) = t.root.children
+        assert outer.name == "outer"
+        assert [c.name for c in outer.children] == ["inner", "inner2"]
+
+    def test_span_records_seconds(self):
+        t = Tracer()
+        with t.span("s"):
+            pass
+        (s,) = t.root.children
+        assert s.seconds >= 0.0
+        assert s._start is None  # closed
+
+    def test_attrs_via_kwargs_and_set(self):
+        t = Tracer()
+        with t.span("s", engine="batch") as s:
+            s.set(iterations=3)
+        (s,) = t.root.children
+        assert s.attrs == {"engine": "batch", "iterations": 3}
+
+    def test_push_pop_equivalent_to_with(self):
+        t = Tracer()
+        s = t.push("pass", index=0)
+        t.count("inside", 2)
+        t.pop()
+        assert t.current is t.root
+        assert s.counters == {"inside": 2.0}
+        assert s.seconds >= 0.0
+
+    def test_pop_on_empty_stack_is_safe(self):
+        t = Tracer()
+        t.pop()  # nothing pushed; must not raise or pop the root
+        assert t.current is t.root
+
+    def test_span_closes_on_exception(self):
+        t = Tracer()
+        with pytest.raises(RuntimeError):
+            with t.span("s"):
+                raise RuntimeError("boom")
+        assert t.current is t.root
+        assert t.root.children[0].seconds >= 0.0
+
+
+class TestCounters:
+    def test_count_lands_on_innermost_span(self):
+        t = Tracer()
+        with t.span("a"):
+            t.count("x")
+            with t.span("b"):
+                t.count("x", 5)
+        a = t.root.children[0]
+        b = a.children[0]
+        assert a.counters == {"x": 1.0}
+        assert b.counters == {"x": 5.0}
+        assert t.counter_totals() == {"x": 6.0}
+
+    def test_observe_tracks_min_max_sum(self):
+        t = Tracer()
+        for v in (4.0, 1.0, 7.0):
+            t.observe("batch_size", v)
+        s = t.root.stats["batch_size"]
+        assert s == {"count": 3.0, "sum": 12.0, "min": 1.0, "max": 7.0}
+
+    def test_derived_pruning_hit_rate(self):
+        t = Tracer()
+        t.count("pruning_visited", 30)
+        t.count("pruning_skipped", 70)
+        assert t.derived_metrics()["pruning_hit_rate"] == pytest.approx(0.7)
+
+    def test_derived_per_region_ratios(self):
+        t = Tracer()
+        t.count("parallel_regions", 4)
+        t.count("atomic_ops", 40)
+        t.count("clock_skew_units", 2.0)
+        d = t.derived_metrics()
+        assert d["atomics_per_region"] == pytest.approx(10.0)
+        assert d["skew_units_per_region"] == pytest.approx(0.5)
+
+    def test_derived_empty_without_counters(self):
+        assert Tracer().derived_metrics() == {}
+
+
+class TestJsonEmission:
+    def test_schema_and_shape(self):
+        t = Tracer()
+        with t.span("leiden"):
+            t.count("c", 1)
+        doc = json.loads(t.to_json(experiment="x", seed=42))
+        assert doc["schema"] == TRACE_SCHEMA
+        assert doc["meta"] == {"experiment": "x", "seed": 42}
+        assert doc["counters"] == {"c": 1.0}
+        assert doc["spans"][0]["name"] == "leiden"
+
+    def test_json_is_sorted_and_stable(self):
+        t = Tracer()
+        t.count("b", 1)
+        t.count("a", 1)
+        one = t.to_json(z=1, a=2)
+        two = t.to_json(z=1, a=2)
+        assert one == two
+        assert one.index('"a"') < one.index('"b"')
+
+    def test_empty_sections_omitted_per_span(self):
+        t = Tracer()
+        with t.span("bare"):
+            pass
+        span = t.to_dict()["spans"][0]
+        assert "counters" not in span
+        assert "stats" not in span
+        assert "children" not in span
+
+
+class TestNullTracer:
+    def test_disabled_flag(self):
+        assert NULL_TRACER.enabled is False
+        assert Tracer.enabled is True
+
+    def test_span_is_shared_noop(self):
+        t = NullTracer()
+        with t.span("a") as s1:
+            s1.set(x=1)
+            s1.count("c")
+            s1.observe("o", 2.0)
+        assert t.span("b") is s1  # one shared instance, no allocation
+        assert t.push("c") is s1
+        t.pop()
+
+    def test_collects_nothing(self):
+        t = NullTracer()
+        with t.span("a"):
+            t.count("x", 5)
+            t.observe("y", 1.0)
+        assert t.counter_totals() == {}
+        assert t.derived_metrics() == {}
+        doc = t.to_dict(meta_key="v")
+        assert doc["spans"] == [] and doc["counters"] == {}
+
+
+class TestLeidenIntegration:
+    @pytest.fixture(scope="class")
+    def traced(self):
+        graph = ring_of_cliques_graph()
+        tracer = Tracer()
+        rt = Runtime(num_threads=1, seed=1, tracer=tracer)
+        result = leiden(graph, LeidenConfig(seed=1), runtime=rt)
+        return tracer, result
+
+    def test_span_tree_is_run_pass_phase(self, traced):
+        tracer, result = traced
+        (run,) = tracer.root.children
+        assert run.name == "leiden"
+        passes = [c for c in run.children if c.name == "pass"]
+        assert len(passes) == result.num_passes
+        phases = {c.name for c in passes[0].children}
+        assert {"init", "local_move", "refine", "aggregate"} <= phases
+
+    def test_runtime_counters_flow_through(self, traced):
+        tracer, _ = traced
+        totals = tracer.counter_totals()
+        assert totals["parallel_regions"] > 0
+        assert totals["barriers"] > 0
+        assert totals["atomic_ops"] > 0
+        assert totals["work_units"] > 0
+        assert totals["local_moves"] > 0
+
+    def test_pass_spans_carry_attrs(self, traced):
+        tracer, _ = traced
+        (run,) = tracer.root.children
+        first = next(c for c in run.children if c.name == "pass")
+        assert first.attrs["index"] == 0
+        assert "communities" in first.attrs
+
+    def test_membership_identical_with_and_without_tracing(self):
+        graph = ring_of_cliques_graph()
+        plain = leiden(graph, LeidenConfig(seed=7))
+        rt = Runtime(num_threads=1, seed=7, tracer=Tracer())
+        traced = leiden(graph, LeidenConfig(seed=7), runtime=rt)
+        assert np.array_equal(plain.membership, traced.membership)

@@ -1,7 +1,6 @@
 """Tests for the parallel graph coloring."""
 
 import numpy as np
-import pytest
 
 from repro.graph.builder import build_csr_from_edges
 from repro.parallel.coloring import color_classes, color_graph, verify_coloring

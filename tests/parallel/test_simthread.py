@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.parallel.costmodel import MachineModel, PAPER_MACHINE
+from repro.parallel.costmodel import PAPER_MACHINE, MachineModel
 from repro.parallel.schedule import Schedule
 from repro.parallel.simthread import WorkLedger, scaling_curve
 

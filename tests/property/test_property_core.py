@@ -13,11 +13,11 @@ from hypothesis import strategies as st
 from repro.core.aggregate import aggregate_batch
 from repro.core.config import LeidenConfig
 from repro.core.leiden import leiden
+from repro.graph.builder import build_csr_from_edges
 from repro.metrics.connectivity import disconnected_communities
 from repro.metrics.modularity import modularity
 from repro.metrics.partition import renumber_membership
 from repro.parallel.runtime import Runtime
-from repro.graph.builder import build_csr_from_edges
 from repro.types import VERTEX_DTYPE
 
 

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -86,3 +88,70 @@ class TestCli:
         write_metis(two_cliques_graph(), p)
         assert main([str(p)]) == 0
         assert "communities: 2" in capsys.readouterr().out
+
+    def test_run_subcommand_alias(self, graph_file, capsys):
+        """`repro run <input>` behaves exactly like the bare form."""
+        assert main(["run", str(graph_file)]) == 0
+        assert "communities: 2" in capsys.readouterr().out
+
+
+class TestTraceSubcommand:
+    def test_trace_to_stdout(self, graph_file, capsys):
+        assert main(["trace", str(graph_file)]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"] == "repro.trace/1"
+        assert doc["spans"][0]["name"] == "leiden"
+        pass_spans = [c for c in doc["spans"][0]["children"]
+                      if c["name"] == "pass"]
+        assert pass_spans
+        phase_names = {c["name"] for c in pass_spans[0]["children"]}
+        assert {"local_move", "refine", "aggregate"} <= phase_names
+        assert doc["counters"]["barriers"] > 0
+        assert doc["meta"]["metrics"]["num_communities"] == 2
+
+    def test_trace_to_file_compact(self, graph_file, tmp_path, capsys):
+        out_file = tmp_path / "trace.json"
+        assert main(["trace", str(graph_file), "--compact",
+                     "--output", str(out_file)]) == 0
+        assert "trace written to" in capsys.readouterr().out
+        text = out_file.read_text()
+        assert len(text.strip().splitlines()) == 1  # compact = one line
+        assert json.loads(text)["schema"] == "repro.trace/1"
+
+    def test_trace_dataset_name(self, capsys):
+        assert main(["trace", "asia_osm", "--max-passes", "2",
+                     "--seed", "1"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["meta"]["experiment"] == "asia_osm"
+        assert doc["derived"]["pruning_hit_rate"] >= 0.0
+
+
+class TestBenchSubcommand:
+    def test_bench_check_passes_on_clean_tree(self, capsys):
+        assert main(["bench", "--check"]) == 0
+        out = capsys.readouterr().out
+        assert "baselines within thresholds" in out
+        assert "FAIL" not in out
+
+    def test_bench_check_custom_dir(self, tmp_path, capsys):
+        """--baselines pointing at an empty dir exits 2 (no baselines)."""
+        assert main(["bench", "--check",
+                     "--baselines", str(tmp_path)]) == 2
+        assert "no baselines" in capsys.readouterr().out
+
+    def test_bench_update_then_check_roundtrip(self, tmp_path, capsys):
+        assert main(["bench", "--update-baselines",
+                     "--baselines", str(tmp_path)]) == 0
+        assert "recorded baseline" in capsys.readouterr().out
+        assert main(["bench", "--check",
+                     "--baselines", str(tmp_path)]) == 0
+        assert "3/3 baselines within thresholds" in capsys.readouterr().out
+
+    def test_bench_trace_writes_bundle(self, tmp_path, capsys):
+        out_file = tmp_path / "bundle.json"
+        assert main(["bench", "--trace", str(out_file)]) == 0
+        bundle = json.loads(out_file.read_text())
+        assert bundle["schema"] == "repro.trace-bundle/1"
+        assert set(bundle["experiments"]) == {
+            "asia_osm", "uk-2002", "com-Orkut"
+        }
