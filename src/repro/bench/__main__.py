@@ -14,7 +14,10 @@ Observability / CI flags:
   layer enabled and writes the span/counter JSON bundle — the CI
   artifact;
 - ``--update-baselines`` re-records the baseline files after an
-  intentional performance or quality change.
+  intentional performance or quality change;
+- ``--kernels`` runs the sort-vs-count kernel microbenchmarks
+  (``--quick`` for the smaller CI smoke variant) and verifies both
+  kernel engines return identical memberships.
 """
 
 from __future__ import annotations
@@ -52,7 +55,17 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--update-baselines", action="store_true",
                         help="re-record the baseline files from the "
                              "current code")
+    parser.add_argument("--kernels", action="store_true",
+                        help="run the sort-vs-count kernel "
+                             "microbenchmarks")
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller/faster --kernels run (CI smoke)")
     args = parser.parse_args(argv)
+
+    if args.kernels:
+        from repro.bench.kernels import main as kernels_main
+
+        return kernels_main(seed=args.seed, quick=args.quick)
 
     if args.check or args.trace_path or args.update_baselines:
         from repro.observability import regression

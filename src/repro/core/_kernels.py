@@ -2,24 +2,136 @@
 
 The batch engine processes a *batch* of vertices at once — the set of
 vertices the OpenMP threads would have in flight concurrently.  Per batch
-it needs two primitives, both implemented with sort + ``reduceat`` so no
-Python-level loop touches edges:
+it needs two primitives:
 
 - :func:`segment_pair_sums` — the vectorized equivalent of filling the
   per-thread hashtables: total edge weight from each batch vertex to each
   adjacent community (``K_{i→c}`` for all *c* at once);
 - :func:`segmented_argmax` — "best community linked to i" across a batch.
+
+Two interchangeable kernel families implement them:
+
+- the **sort** family (``*_sort`` / the historical default) builds
+  ``seg * n + comm`` int64 keys and pays an O(E log E) ``argsort`` /
+  ``lexsort`` per batch — the reference implementation and
+  differential-testing oracle;
+- the **count** family (``*_count`` / ``*_sorted``) is the faithful
+  analogue of the paper's preallocated collision-free hashtables: the
+  ≤E distinct adjacent communities of a batch are first *compacted* to a
+  dense ``0..u`` range through a scatter map (:func:`compact_keys`),
+  weights then accumulate with ``bincount`` over the small
+  ``num_segments * u`` grid — O(E + grid), no comparison sort — falling
+  back to a stable counting/radix argsort on the *compacted* key (far
+  smaller magnitude, hence fewer radix passes) when the grid would
+  outgrow the edge count.
+
+Both families are element-exact equivalents: same pairs, same order
+(ascending ``(seg, comm)``), bitwise-identical sums (``bincount`` and the
+stable sort + ``reduceat`` add same-key weights in input order) and the
+same tie-breaking.  The count family expects its scratch map from a
+:class:`repro.core.workspace.KernelWorkspace`, which preallocates it once
+per Leiden pass exactly like the paper allocates its per-thread
+hashtables once up front.
 """
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
 from repro.types import ACCUM_DTYPE
 
-__all__ = ["segment_pair_sums", "segmented_argmax"]
+__all__ = [
+    "DENSE_GRID_LIMIT",
+    "compact_keys",
+    "group_starts",
+    "scatter_add",
+    "segment_pair_sums",
+    "segment_pair_sums_count",
+    "segment_pair_sums_sort",
+    "segmented_argmax",
+    "segmented_argmax_sorted",
+]
+
+#: Hard cap on the dense ``bincount`` accumulation grid (entries).  Above
+#: it the count kernels switch to the compacted-key stable sort, keeping
+#: peak scratch memory bounded regardless of batch shape.
+DENSE_GRID_LIMIT = 1 << 23
+
+#: Dense accumulation is used while ``grid <= DENSE_GRID_FACTOR * E``:
+#: below that the zero/scan cost of the grid is dominated by the O(E)
+#: scatter passes, exactly like a collision-free hashtable whose capacity
+#: is a small multiple of its occupancy.
+DENSE_GRID_FACTOR = 4
+
+
+def group_starts(sorted_keys: np.ndarray) -> np.ndarray:
+    """Indices where each run of equal values starts (``sorted_keys`` sorted)."""
+    boundary = np.empty(sorted_keys.shape[0], dtype=bool)
+    boundary[0] = True
+    np.not_equal(sorted_keys[1:], sorted_keys[:-1], out=boundary[1:])
+    return np.flatnonzero(boundary)
+
+
+def compact_keys(
+    keys: np.ndarray,
+    scratch_map: Optional[np.ndarray] = None,
+    *,
+    domain: Optional[int] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Map ``keys`` onto a dense ``0..u-1`` range, ascending-order preserving.
+
+    Returns ``(compact, uniques)`` with ``uniques`` sorted ascending and
+    ``uniques[compact] == keys``.  ``scratch_map`` is an int64 scratch
+    array covering the key domain (one slot per possible key — the
+    collision-free-hashtable "keys" array); when omitted, a fresh one of
+    ``domain`` (default ``keys.max() + 1``) slots is allocated.  Only the
+    ≤E slots named by ``keys`` are ever touched, so a preallocated map
+    never needs clearing between calls: cost is O(E + u log u).
+    """
+    num = keys.shape[0]
+    if num == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    if scratch_map is None:
+        size = int(domain) if domain is not None else int(keys.max()) + 1
+        scratch_map = np.empty(size, dtype=np.int64)
+    positions = np.arange(num, dtype=np.int64)
+    scratch_map[keys] = positions  # last occurrence of each key wins
+    uniques = np.sort(keys[scratch_map[keys] == positions])
+    scratch_map[uniques] = np.arange(uniques.shape[0], dtype=np.int64)
+    return scratch_map[keys], uniques
+
+
+def scatter_add(
+    target: np.ndarray,
+    idx: np.ndarray,
+    weights: np.ndarray,
+    scratch_map: Optional[np.ndarray] = None,
+) -> None:
+    """``target[idx] += weights`` with repeated indices, via ``bincount``.
+
+    The bincount-based replacement for the hot-path ``np.add.at``
+    scatter.  When the target is small relative to the update count the
+    sums accumulate over the whole target directly (one ``bincount``, no
+    compaction); for large sparse targets the duplicate indices are
+    first compacted to a dense range so only the ≤len(idx) distinct
+    slots are touched.
+    """
+    if idx.shape[0] == 0:
+        return
+    if target.shape[0] <= max(DENSE_GRID_FACTOR * idx.shape[0], 1024):
+        target += np.bincount(
+            idx, weights=weights, minlength=target.shape[0]
+        )
+        return
+    compact, uniques = compact_keys(
+        idx, scratch_map, domain=target.shape[0]
+    )
+    target[uniques] += np.bincount(
+        compact, weights=weights, minlength=uniques.shape[0]
+    )
 
 
 def segment_pair_sums(
@@ -28,12 +140,22 @@ def segment_pair_sums(
     weights: np.ndarray,
     num_communities: int,
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """Sum ``weights`` grouped by ``(seg, comm)`` pairs.
+    """Sum ``weights`` grouped by ``(seg, comm)`` pairs (sort kernel).
 
     Returns ``(pair_seg, pair_comm, pair_sum)`` sorted by ``(seg, comm)``.
     ``seg`` values must be small non-negative ints (batch positions);
     ``comm`` values must be < ``num_communities``.
     """
+    return segment_pair_sums_sort(seg, comm, weights, num_communities)
+
+
+def segment_pair_sums_sort(
+    seg: np.ndarray,
+    comm: np.ndarray,
+    weights: np.ndarray,
+    num_communities: int,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """O(E log E) reference implementation over ``seg * n + comm`` keys."""
     if seg.shape[0] == 0:
         empty = np.empty(0, dtype=np.int64)
         return empty, empty, np.empty(0, dtype=ACCUM_DTYPE)
@@ -41,19 +163,70 @@ def segment_pair_sums(
     order = np.argsort(key, kind="stable")
     ksort = key[order]
     wsort = weights[order].astype(ACCUM_DTYPE)
-    boundary = np.empty(ksort.shape[0], dtype=bool)
-    boundary[0] = True
-    np.not_equal(ksort[1:], ksort[:-1], out=boundary[1:])
-    starts = np.flatnonzero(boundary)
+    starts = group_starts(ksort)
     sums = np.add.reduceat(wsort, starts)
     ukey = ksort[starts]
     return ukey // num_communities, ukey % num_communities, sums
 
 
+def segment_pair_sums_count(
+    seg: np.ndarray,
+    comm: np.ndarray,
+    weights: np.ndarray,
+    num_segments: int,
+    scratch_map: Optional[np.ndarray] = None,
+    *,
+    num_communities: Optional[int] = None,
+    dense_grid_limit: int = DENSE_GRID_LIMIT,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """O(E) counting-sort implementation over *compacted* community keys.
+
+    Element-exact equivalent of :func:`segment_pair_sums_sort` (same
+    pairs, same order, bitwise-identical sums).  ``seg`` need not be
+    sorted; ``num_segments`` bounds its values.  ``scratch_map`` is the
+    workspace compaction map (int64, one slot per community id); pass
+    ``num_communities`` instead to let the kernel allocate one.
+    """
+    num = seg.shape[0]
+    if num == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty, np.empty(0, dtype=ACCUM_DTYPE)
+    compact, uniques = compact_keys(
+        comm, scratch_map, domain=num_communities
+    )
+    u = uniques.shape[0]
+    key = seg.astype(np.int64) * np.int64(u) + compact
+    grid = int(num_segments) * u
+    if grid <= max(DENSE_GRID_FACTOR * num, 1024) and grid <= dense_grid_limit:
+        # Dense accumulation: the batch's collision-free hashtables, all
+        # at once.  Occupancy (not the sum) selects live pairs so that
+        # zero-weight groups survive exactly as they do under the sort.
+        occupancy = np.bincount(key, minlength=grid)
+        sums = np.bincount(key, weights=weights, minlength=grid)
+        live = np.flatnonzero(occupancy)
+        pair_seg = live // u
+        pair_comm = uniques[live - pair_seg * u].astype(np.int64)
+        return pair_seg, pair_comm, sums[live]
+    # Counting-sort fallback: a stable radix argsort over the *compacted*
+    # key — far smaller magnitude than seg * n + comm, so fewer passes —
+    # keeps worst-case batches (huge distinct-community counts) bounded.
+    if grid <= np.iinfo(np.int32).max:
+        key = key.astype(np.int32)
+    order = np.argsort(key, kind="stable")
+    ksort = key[order]
+    wsort = weights[order].astype(ACCUM_DTYPE)
+    starts = group_starts(ksort)
+    sums = np.add.reduceat(wsort, starts)
+    ukey = ksort[starts].astype(np.int64)
+    pair_seg = ukey // u
+    pair_comm = uniques[ukey - pair_seg * u].astype(np.int64)
+    return pair_seg, pair_comm, sums
+
+
 def segmented_argmax(
     seg: np.ndarray, values: np.ndarray
 ) -> Tuple[np.ndarray, np.ndarray]:
-    """Argmax of ``values`` within each segment.
+    """Argmax of ``values`` within each segment (sort kernel).
 
     ``seg`` need not be sorted.  Returns ``(segments, argmax_indices)``:
     for each distinct segment id (ascending), the index into the input
@@ -70,3 +243,30 @@ def segmented_argmax(
     np.not_equal(seg_sorted[1:], seg_sorted[:-1], out=is_last[:-1])
     last_pos = np.flatnonzero(is_last)
     return seg_sorted[last_pos], order[last_pos]
+
+
+def segmented_argmax_sorted(
+    seg: np.ndarray, values: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """O(E) argmax for *sorted* ``seg`` — no lexsort.
+
+    Exact equivalent of :func:`segmented_argmax` when ``seg`` is
+    non-decreasing (which the pair-sum outputs guarantee): one
+    ``maximum.reduceat`` finds each segment's maximum, a second picks the
+    last input position attaining it — the identical tie-break.
+    """
+    num = seg.shape[0]
+    if num == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    boundary = np.empty(num, dtype=bool)
+    boundary[0] = True
+    np.not_equal(seg[1:], seg[:-1], out=boundary[1:])
+    starts = np.flatnonzero(boundary)
+    group_id = np.cumsum(boundary) - 1
+    maxima = np.maximum.reduceat(values, starts)
+    at_max = np.where(
+        values == maxima[group_id], np.arange(num, dtype=np.int64), -1
+    )
+    best = np.maximum.reduceat(at_max, starts)
+    return seg[starts].astype(np.int64), best

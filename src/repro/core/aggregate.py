@@ -10,11 +10,14 @@ all present:
    (count + exclusive scan), so edges can be written without a second
    compaction pass — rows keep slack at their tail;
 3. per-community neighbor weights accumulate in per-thread collision-free
-   hashtables (loop engine) or one segmented sort-reduce (batch engine,
-   the algebraic equivalent of all threads' hashtables at once).
+   hashtables (loop engine), a counting-sort/bincount grouping by source
+   community over compacted destination-community keys (batch engine with
+   a counting workspace — the prefix-sum-CSR analogue), or one segmented
+   sort-reduce (batch engine with a sort workspace, the oracle).
 
-Both engines return the same graph (identical offsets/degrees; edge order
-within a row may differ).
+All engines return the same graph (identical offsets/degrees; edge order
+within a row may differ between loop and batch).  The two batch kernel
+families are bitwise-identical to each other.
 """
 
 from __future__ import annotations
@@ -23,12 +26,14 @@ from typing import Tuple
 
 import numpy as np
 
+from repro.core._kernels import segment_pair_sums_count, segment_pair_sums_sort
 from repro.core.local_move import scan_communities
 from repro.core.result import PHASE_AGGREGATE
+from repro.core.workspace import KernelWorkspace
 from repro.graph.csr import CSRGraph
 from repro.parallel.runtime import Runtime
 from repro.parallel.scan import csr_offsets_from_counts
-from repro.types import ACCUM_DTYPE, OFFSET_DTYPE, VERTEX_DTYPE, WEIGHT_DTYPE
+from repro.types import OFFSET_DTYPE, VERTEX_DTYPE, WEIGHT_DTYPE
 
 __all__ = ["aggregate_batch", "aggregate_loop", "community_vertices_csr"]
 
@@ -54,18 +59,26 @@ def aggregate_batch(
     num_communities: int,
     *,
     runtime: Runtime,
+    workspace: KernelWorkspace | None = None,
     phase: str = PHASE_AGGREGATE,
 ) -> CSRGraph:
     """Vectorized aggregation; returns the holey-CSR super-vertex graph.
 
     ``membership`` must be renumbered to compact ids ``0..k-1``.
+    ``workspace`` selects the kernel family and supplies the preallocated
+    scratch buffers; by default a fresh counting workspace is created.
     """
     k = int(num_communities)
     C = membership
+    ws = workspace if workspace is not None else KernelWorkspace(
+        graph.num_vertices
+    )
     src, dst, wgt = graph.to_coo()
 
-    # Community-vertices CSR (work: one pass over vertices + scan).
-    cv_offsets, _cv_vertices = community_vertices_csr(C, k)
+    # Community-vertices CSR (work: one pass over vertices + scan).  Its
+    # member ordering doubles as the cost-model ordering below — no
+    # second argsort of the membership.
+    _cv_offsets, cv_vertices = community_vertices_csr(C, k)
     runtime.record_parallel(
         np.ones(graph.num_vertices), phase=phase, atomics=float(graph.num_vertices)
     )
@@ -85,24 +98,22 @@ def aggregate_batch(
             validate=False,
         )
 
-    # Segmented sort-reduce over (community(src), community(dst)) pairs —
-    # the batch equivalent of scanning every member's edges into H_t
-    # (lines 11-16).  Self-edges are *included* (``self = true``), so
-    # intra-community weight lands on the super-vertex's self-loop.
-    cs = C[src].astype(np.int64)
-    cd = C[dst].astype(np.int64)
-    key = cs * k + cd
-    order = np.argsort(key, kind="stable")
-    ksort = key[order]
-    wsort = wgt[order].astype(ACCUM_DTYPE)
-    boundary = np.empty(ksort.shape[0], dtype=bool)
-    boundary[0] = True
-    np.not_equal(ksort[1:], ksort[:-1], out=boundary[1:])
-    starts = np.flatnonzero(boundary)
-    usum = np.add.reduceat(wsort, starts)
-    ukey = ksort[starts]
-    usrc = (ukey // k).astype(np.int64)
-    udst = (ukey % k).astype(VERTEX_DTYPE)
+    # Group edge weights by (community(src), community(dst)) — the batch
+    # equivalent of scanning every member's edges into H_t (lines 11-16).
+    # Self-edges are *included* (``self = true``), so intra-community
+    # weight lands on the super-vertex's self-loop.  The counting kernel
+    # compacts the destination-community keys and accumulates with
+    # bincount grouped by source community; the sort kernel is the
+    # argsort-over-global-keys oracle.
+    cs = C[src]
+    cd = C[dst]
+    if ws.engine == "count":
+        usrc, udst, usum = segment_pair_sums_count(
+            cs, cd, wgt, k, ws._map, dense_grid_limit=ws.dense_grid_limit
+        )
+    else:
+        usrc, udst, usum = segment_pair_sums_sort(cs, cd, wgt, k)
+    udst = udst.astype(VERTEX_DTYPE)
 
     # Placement into the holey CSR: position = row offset + rank-in-row.
     degrees = np.bincount(usrc, minlength=k).astype(OFFSET_DTYPE)
@@ -122,15 +133,15 @@ def aggregate_batch(
 
     # Work: every community scans its members' full edge lists, then
     # writes its deduplicated neighbor set atomically.  Costs are
-    # recorded at member-vertex granularity (ordered by community): the
-    # total matches the per-community loop exactly, and at paper scale —
-    # where even the largest community is a tiny fraction of the graph —
-    # the chunked load balance of the two formulations coincides, while
+    # recorded at member-vertex granularity (ordered by community, via
+    # the community-vertices CSR built above): the total matches the
+    # per-community loop exactly, and at paper scale — where even the
+    # largest community is a tiny fraction of the graph — the chunked
+    # load balance of the two formulations coincides, while
     # per-community items would overstate imbalance on the 1000x-smaller
     # stand-ins whose largest communities span whole chunks.
-    order_by_comm = np.argsort(C, kind="stable")
     runtime.record_parallel(
-        graph.degrees[order_by_comm].astype(np.float64) + 1.0,
+        graph.degrees[cv_vertices].astype(np.float64) + 1.0,
         phase=phase,
         atomics=float(usrc.shape[0]),
     )
@@ -155,9 +166,12 @@ def aggregate_loop(
     C = membership
     cv_offsets, cv_vertices = community_vertices_csr(C, k)
 
-    # Overestimate degrees (communityTotalDegree + exclusive scan).
-    comm_total_degree = np.zeros(k, dtype=OFFSET_DTYPE)
-    np.add.at(comm_total_degree, C, graph.degrees)
+    # Overestimate degrees (communityTotalDegree + exclusive scan) — a
+    # bincount-based scatter; degree sums stay exact in float64 far past
+    # any representable edge count.
+    comm_total_degree = np.bincount(
+        C, weights=graph.degrees, minlength=k
+    ).astype(OFFSET_DTYPE)
     offsets = csr_offsets_from_counts(comm_total_degree)
 
     capacity = int(offsets[-1])

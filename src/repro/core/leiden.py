@@ -128,6 +128,16 @@ def leiden(
         # -- initialization (line 4) -------------------------------------
         t0 = time.perf_counter()
         with tracer.span("init"):
+            if cfg.engine == "batch":
+                # One workspace per pass: the kernel scratch buffers are
+                # allocated here and reused by every batch of the move,
+                # refine and aggregate phases — the analogue of the
+                # paper's up-front per-thread hashtable allocation.
+                workspace = rt.workspace(
+                    n, engine=cfg.kernel_engine, phase=PHASE_OTHER
+                )
+            else:
+                workspace = None
             K = G.vertex_weights().copy()
             Qv = qual.vertex_quantity(K, sizes)
             if init_membership is None:
@@ -170,6 +180,7 @@ def leiden(
                                       else None),
                     pruning=cfg.vertex_pruning,
                     order_ranks=ranks,
+                    workspace=workspace,
                 )
             else:
                 li, _dq = local_move_loop(
@@ -203,6 +214,7 @@ def leiden(
                         guard=cfg.refine_guard,
                         quality=qual,
                         quantities=Qv,
+                        workspace=workspace,
                     )
                 else:
                     lj = refine_loop(
@@ -264,7 +276,10 @@ def leiden(
         t0 = time.perf_counter()
         with tracer.span("aggregate") as ag_span:
             if cfg.engine == "batch":
-                G = aggregate_batch(G, C_ref_ren, num_comms, runtime=rt)
+                G = aggregate_batch(
+                    G, C_ref_ren, num_comms, runtime=rt,
+                    workspace=workspace,
+                )
             else:
                 G = aggregate_loop(G, C_ref_ren, num_comms, runtime=rt)
             sizes = np.bincount(C_ref_ren, weights=sizes, minlength=num_comms)

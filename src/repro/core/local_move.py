@@ -27,9 +27,9 @@ from typing import Tuple
 
 import numpy as np
 
-from repro.core._kernels import segment_pair_sums, segmented_argmax
 from repro.core.quality import Quality
 from repro.core.result import PHASE_LOCAL_MOVE
+from repro.core.workspace import KernelWorkspace
 from repro.graph.csr import CSRGraph
 from repro.graph.segments import gather_rows
 from repro.parallel.atomics import AtomicArray
@@ -61,10 +61,15 @@ def local_move_batch(
     unprocessed_mask: np.ndarray | None = None,
     pruning: bool = True,
     order_ranks: np.ndarray | None = None,
+    workspace: KernelWorkspace | None = None,
     phase: str = PHASE_LOCAL_MOVE,
 ) -> Tuple[int, float]:
     """Vectorized local-moving phase; mutates ``membership`` and
     ``community_weights`` in place.
+
+    ``workspace`` supplies the preallocated kernel scratch buffers and
+    selects the kernel family (counting vs. sort); by default a fresh
+    counting workspace is created for the call.
 
     ``order_ranks`` (an inverse permutation) orders the vertices *within*
     each color class; by default ascending vertex id.
@@ -100,6 +105,7 @@ def local_move_batch(
     weights = graph.weights
     qual = quality or Quality("modularity", resolution)
     Q = K if quantities is None else quantities
+    ws = workspace if workspace is not None else KernelWorkspace(n)
 
     tracer = runtime.tracer
     classes = color_classes(color_graph(graph, seed=color_seed))
@@ -145,7 +151,7 @@ def local_move_batch(
                 if seg.shape[0] == 0:
                     continue
                 # scanCommunities: K_{i→c} for every adjacent community.
-                pseg, pcomm, psum = segment_pair_sums(seg, C[dst], w, n)
+                pseg, pcomm, psum = ws.pair_sums(seg, C[dst], w, vs.shape[0])
                 d = C[vs]
                 kid = np.zeros(vs.shape[0], dtype=ACCUM_DTYPE)
                 own = pcomm == d[pseg]
@@ -161,7 +167,7 @@ def local_move_batch(
                     kic, kid[cseg], K[mv_all], Q[mv_all],
                     Sigma[cc], Sigma[d[cseg]], m,
                 )
-                bseg, bidx = segmented_argmax(cseg, dq)
+                bseg, bidx = ws.argmax(cseg, dq)
                 keep = dq[bidx] > 0.0
                 if not keep.any():
                     continue
@@ -169,9 +175,13 @@ def local_move_batch(
                 mv = vs[mseg]
                 mc = cc[bidx[keep]].astype(C.dtype)
                 kmv = Q[mv]
-                # Σ updates are the atomic adds of Algorithm 2, line 12.
-                np.add.at(Sigma, d[mseg], -kmv)
-                np.add.at(Sigma, mc, kmv)
+                # Σ updates are the atomic adds of Algorithm 2, line 12
+                # (bincount-based scatter; ufunc.at is far slower).
+                ws.scatter_add(
+                    Sigma,
+                    np.concatenate([d[mseg], mc]),
+                    np.concatenate([-kmv, kmv]),
+                )
                 C[mv] = mc
                 total_dq += float(dq[bidx[keep]].sum())
                 moves += int(mv.shape[0])

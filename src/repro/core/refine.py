@@ -22,9 +22,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core._kernels import segment_pair_sums, segmented_argmax
 from repro.core.quality import Quality
 from repro.core.result import PHASE_REFINE
+from repro.core.workspace import KernelWorkspace
 from repro.graph.csr import CSRGraph
 from repro.graph.segments import gather_rows
 from repro.parallel.atomics import AtomicArray
@@ -54,6 +54,7 @@ def refine_batch(
     guard: str = "cas",
     quality: Quality | None = None,
     quantities=None,
+    workspace: KernelWorkspace | None = None,
     phase: str = PHASE_REFINE,
 ) -> int:
     """Vectorized constrained-merge sweep; mutates ``membership`` and
@@ -96,6 +97,7 @@ def refine_batch(
     random = refinement == "random"
     if random and rng is None:
         rng = Xorshift32()
+    ws = workspace if workspace is not None else KernelWorkspace(n)
 
     # Once any vertex joins community c, c's members must not leave —
     # that is the CAS guarantee.  Across batches Σ'[c] > K'[v] encodes it;
@@ -122,7 +124,7 @@ def refine_batch(
         seg, dst, w = seg[keep], dst[keep], w[keep]
         if seg.shape[0] == 0:
             continue
-        pseg, pcomm, psum = segment_pair_sums(seg, C[dst], w, n)
+        pseg, pcomm, psum = ws.pair_sums(seg, C[dst], w, vs.shape[0])
         d = C[vs]
         kid = np.zeros(vs.shape[0], dtype=ACCUM_DTYPE)
         own = pcomm == d[pseg]
@@ -143,10 +145,10 @@ def refine_batch(
             u = rng.floats_fast(dq.shape[0])
             gumbel = -np.log(-np.log(np.clip(u, _TINY, 1.0 - 1e-16)))
             key = np.where(dq > 0.0, np.log(np.maximum(dq, _TINY)) + gumbel, -np.inf)
-            bseg, bidx = segmented_argmax(cseg, key)
+            bseg, bidx = ws.argmax(cseg, key)
             keep_best = dq[bidx] > 0.0
         else:
-            bseg, bidx = segmented_argmax(cseg, dq)
+            bseg, bidx = ws.argmax(cseg, dq)
             keep_best = dq[bidx] > 0.0
         if not keep_best.any():
             continue
@@ -198,8 +200,11 @@ def refine_batch(
             cown = mown[commit]
             cnew = mcomm[commit]
             kcv = Q[cv]
-            np.add.at(Sigma, cown, -kcv)
-            np.add.at(Sigma, cnew, kcv)
+            ws.scatter_add(
+                Sigma,
+                np.concatenate([cown, cnew]),
+                np.concatenate([-kcv, kcv]),
+            )
             C[cv] = cnew
             total_moves += int(cv.shape[0])
     runtime.record_parallel(

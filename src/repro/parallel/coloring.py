@@ -11,8 +11,10 @@ decisions are exactly as independent as the asynchronous algorithm's.
 The coloring itself is the standard parallel maximal-independent-set
 iteration with random priorities: in each round, every uncolored vertex
 that is a local priority maximum among its uncolored neighbors takes the
-round's color.  Rounds are fully vectorized (one ``np.maximum.at`` pass
-over the edges each).
+round's color.  Rounds only touch the *active* (still uncolored) vertex
+set: their CSR rows are gathered and reduced per row with one
+``maximum.reduceat`` — so per-round work shrinks with the frontier
+instead of re-scanning every edge with a ``np.maximum.at`` scatter.
 """
 
 from __future__ import annotations
@@ -20,6 +22,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.graph.csr import CSRGraph
+from repro.graph.segments import ragged_indices
 
 __all__ = ["color_graph", "color_classes", "verify_coloring"]
 
@@ -40,28 +43,46 @@ def color_graph(
     colors = np.full(n, -1, dtype=np.int64)
     if n == 0:
         return colors
-    src, dst, _ = graph.to_coo()
-    notself = src != dst
-    src, dst = src[notself], dst[notself]
+    # Flat (owner, neighbor) edge arrays from the symmetric CSR, self
+    # loops dropped.  An edge only matters while *both* endpoints are
+    # uncolored, so the arrays are compacted in place every round — the
+    # filtering preserves the by-owner grouping, letting the per-owner
+    # maximum stay a single ``reduceat``.  Per-round cost tracks the
+    # shrinking frontier's live edges, not the whole graph.
+    seg, idx = ragged_indices(graph.offsets[:-1], graph.degrees)
+    owner = seg
+    nbr = graph.targets[idx].astype(np.int64)
+    notself = owner != nbr
+    owner, nbr = owner[notself], nbr[notself]
 
     rng = np.random.default_rng(seed)
     priority = rng.permutation(n)
     uncolored = np.ones(n, dtype=bool)
+    active = np.arange(n, dtype=np.int64)
     color = 0
-    while uncolored.any():
+    while active.shape[0] > 0:
         if color >= max_rounds:
-            remaining = np.flatnonzero(uncolored)
-            colors[remaining] = color + np.arange(remaining.shape[0])
+            colors[active] = color + np.arange(active.shape[0])
             break
-        # Max uncolored-neighbor priority per uncolored vertex.
-        live = uncolored[src] & uncolored[dst]
+        # Max uncolored-neighbor priority per uncolored vertex.  Owners
+        # with no live edges left keep best == -1 and win immediately
+        # (isolated vertices never enter the edge arrays at all).
         best = np.full(n, -1, dtype=np.int64)
-        if live.any():
-            np.maximum.at(best, dst[live], priority[src[live]])
-        winners = uncolored & (priority > best)
-        colors[winners] = color
-        uncolored[winners] = False
+        if owner.shape[0] > 0:
+            boundary = np.empty(owner.shape[0], dtype=bool)
+            boundary[0] = True
+            np.not_equal(owner[1:], owner[:-1], out=boundary[1:])
+            starts = np.flatnonzero(boundary)
+            best[owner[starts]] = np.maximum.reduceat(priority[nbr], starts)
+        winners = priority[active] > best[active]
+        won = active[winners]
+        colors[won] = color
+        uncolored[won] = False
+        active = active[~winners]
         color += 1
+        if won.shape[0] > 0 and owner.shape[0] > 0:
+            live = uncolored[owner] & uncolored[nbr]
+            owner, nbr = owner[live], nbr[live]
     return colors
 
 

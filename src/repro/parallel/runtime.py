@@ -79,6 +79,18 @@ class Runtime:
         """One collision-free hashtable per thread (Algorithms 2-4)."""
         return [CollisionFreeHashtable(capacity) for _ in range(self.num_threads)]
 
+    def workspace(self, num_vertices: int, *, engine: str = "count",
+                  phase: str = "other"):
+        """A :class:`~repro.core.workspace.KernelWorkspace` whose scratch
+        allocation is accounted in this runtime's ledger — the batch
+        engine's analogue of :meth:`hashtables` (one up-front allocation
+        per pass instead of per-thread tables)."""
+        from repro.core.workspace import KernelWorkspace
+
+        return KernelWorkspace(
+            num_vertices, engine=engine, runtime=self, phase=phase
+        )
+
     # -- execution -------------------------------------------------------------
 
     def map_chunks(

@@ -3,7 +3,15 @@
 import numpy as np
 import pytest
 
-from repro.core._kernels import segment_pair_sums, segmented_argmax
+from repro.core._kernels import (
+    compact_keys,
+    scatter_add,
+    segment_pair_sums,
+    segment_pair_sums_count,
+    segment_pair_sums_sort,
+    segmented_argmax,
+    segmented_argmax_sorted,
+)
 
 
 class TestSegmentPairSums:
@@ -154,3 +162,175 @@ class TestSegmentedArgmax:
         assert segs.tolist() == [0, 1]
         # last among equals in *input* order: positions 3 (seg 0), 2 (seg 1)
         assert idx.tolist() == [3, 2]
+
+
+class TestCompactKeys:
+    def test_round_trip(self):
+        keys = np.array([7, 3, 7, 0, 3, 9])
+        compact, uniques = compact_keys(keys, domain=10)
+        assert uniques.tolist() == [0, 3, 7, 9]
+        assert np.array_equal(uniques[compact], keys)
+
+    def test_preserves_ascending_order(self):
+        rng = np.random.default_rng(5)
+        keys = rng.integers(0, 50, 400)
+        compact, uniques = compact_keys(keys, domain=50)
+        assert np.all(np.diff(uniques) > 0)
+        assert np.array_equal(uniques[compact], keys)
+
+    def test_empty(self):
+        compact, uniques = compact_keys(np.empty(0, dtype=np.int64))
+        assert compact.shape == (0,)
+        assert uniques.shape == (0,)
+
+    def test_scratch_map_reusable_without_clearing(self):
+        scratch = np.empty(20, dtype=np.int64)
+        for seed in range(5):
+            rng = np.random.default_rng(seed)
+            keys = rng.integers(0, 20, 60)
+            compact, uniques = compact_keys(keys, scratch)
+            assert np.array_equal(uniques[compact], keys)
+
+
+class TestScatterAdd:
+    def test_matches_add_at(self):
+        rng = np.random.default_rng(11)
+        for _ in range(10):
+            target = rng.uniform(0, 1, 30)
+            expected = target.copy()
+            idx = rng.integers(0, 30, 100)
+            w = rng.uniform(-1, 1, 100)
+            np.add.at(expected, idx, w)
+            scatter_add(target, idx, w)
+            assert np.allclose(target, expected)
+
+    def test_untouched_slots_bitwise_unchanged(self):
+        target = np.array([0.1, 0.2, 0.3, 0.4])
+        before = target.copy()
+        scatter_add(target, np.array([1]), np.array([5.0]))
+        assert target[0] == before[0]
+        assert target[2] == before[2]
+        assert target[3] == before[3]
+        assert target[1] == before[1] + 5.0
+
+    def test_empty_noop(self):
+        target = np.ones(4)
+        scatter_add(target, np.empty(0, dtype=np.int64), np.empty(0))
+        assert target.tolist() == [1.0, 1.0, 1.0, 1.0]
+
+
+def _random_pair_case(rng, *, num_segments=None, num_communities=None,
+                      size=None, self_heavy=False):
+    n_seg = num_segments or int(rng.integers(1, 25))
+    n_comm = num_communities or int(rng.integers(1, 40))
+    sz = size if size is not None else int(rng.integers(0, 300))
+    seg = np.sort(rng.integers(0, n_seg, sz))
+    comm = rng.integers(0, n_comm, sz)
+    if self_heavy and sz:
+        # many repeats of one community: the self-loop-heavy shape
+        comm[rng.random(sz) < 0.7] = int(rng.integers(0, n_comm))
+    w = rng.uniform(-2, 2, sz).astype(np.float32)
+    return seg, comm, w, n_seg, n_comm
+
+
+class TestCountSortEquivalence:
+    """The counting kernels are *element-exact* equivalents of the sort
+    kernels: same pairs, same order, bitwise-identical sums."""
+
+    def test_fuzz_pair_sums(self):
+        rng = np.random.default_rng(2024)
+        for trial in range(60):
+            seg, comm, w, n_seg, n_comm = _random_pair_case(rng)
+            a = segment_pair_sums_sort(seg, comm, w, n_comm)
+            b = segment_pair_sums_count(
+                seg, comm, w, n_seg, num_communities=n_comm
+            )
+            for x, y in zip(a, b):
+                assert np.array_equal(x, y), trial
+            # bitwise, not approx
+            assert a[2].tobytes() == b[2].tobytes()
+
+    def test_fuzz_pair_sums_fallback_path(self):
+        """dense_grid_limit=0 forces the compacted-argsort fallback."""
+        rng = np.random.default_rng(77)
+        for trial in range(40):
+            seg, comm, w, n_seg, n_comm = _random_pair_case(rng)
+            a = segment_pair_sums_sort(seg, comm, w, n_comm)
+            b = segment_pair_sums_count(
+                seg, comm, w, n_seg, num_communities=n_comm,
+                dense_grid_limit=0,
+            )
+            for x, y in zip(a, b):
+                assert np.array_equal(x, y), trial
+            assert a[2].tobytes() == b[2].tobytes()
+
+    def test_single_community(self):
+        seg = np.array([0, 0, 1, 2, 2])
+        comm = np.zeros(5, dtype=np.int64)
+        w = np.array([0.1, 0.2, 0.3, 0.4, 0.5], dtype=np.float32)
+        a = segment_pair_sums_sort(seg, comm, w, 1)
+        b = segment_pair_sums_count(seg, comm, w, 3, num_communities=1)
+        for x, y in zip(a, b):
+            assert np.array_equal(x, y)
+
+    def test_empty_batch(self):
+        e = np.empty(0, dtype=np.int64)
+        b = segment_pair_sums_count(e, e, np.empty(0), 4, num_communities=9)
+        assert all(arr.shape == (0,) for arr in b)
+
+    def test_zero_weight_pairs_survive(self):
+        """Weights summing to exactly 0 must not drop the pair."""
+        seg = np.array([0, 0, 1])
+        comm = np.array([3, 3, 5])
+        w = np.array([1.5, -1.5, 0.0])
+        a = segment_pair_sums_sort(seg, comm, w, 6)
+        b = segment_pair_sums_count(seg, comm, w, 2, num_communities=6)
+        assert a[0].tolist() == b[0].tolist() == [0, 1]
+        assert a[2].tolist() == b[2].tolist() == [0.0, 0.0]
+
+    def test_unsorted_segments_supported_by_count(self):
+        """Aggregation passes unsorted seg; output is still pair-sorted."""
+        rng = np.random.default_rng(8)
+        seg = rng.integers(0, 10, 200)  # NOT sorted
+        comm = rng.integers(0, 12, 200)
+        w = rng.uniform(0, 1, 200).astype(np.float32)
+        b = segment_pair_sums_count(seg, comm, w, 10, num_communities=12)
+        keys = b[0] * 12 + b[1]
+        assert np.all(np.diff(keys) > 0)
+        oracle = {}
+        for s, c, x in zip(seg.tolist(), comm.tolist(), w.tolist()):
+            oracle[(s, c)] = oracle.get((s, c), 0.0) + x
+        got = {(int(s), int(c)): float(v) for s, c, v in zip(*b)}
+        assert got == pytest.approx(oracle)
+
+    def test_fuzz_argmax_sorted(self):
+        rng = np.random.default_rng(31)
+        for trial in range(60):
+            sz = int(rng.integers(0, 200))
+            seg = np.sort(rng.integers(0, 20, sz))
+            # duplicate values force the tie-break to matter
+            vals = rng.integers(-3, 4, sz).astype(np.float64)
+            a = segmented_argmax(seg, vals)
+            b = segmented_argmax_sorted(seg, vals)
+            assert np.array_equal(a[0], b[0]), trial
+            assert np.array_equal(a[1], b[1]), trial
+
+    def test_argmax_sorted_tie_break_last(self):
+        seg = np.array([0, 0, 0, 2, 2])
+        vals = np.array([1.0, 1.0, 1.0, 5.0, 5.0])
+        segs, idx = segmented_argmax_sorted(seg, vals)
+        assert segs.tolist() == [0, 2]
+        assert idx.tolist() == [2, 4]
+
+    def test_self_loop_heavy(self):
+        rng = np.random.default_rng(99)
+        for trial in range(20):
+            seg, comm, w, n_seg, n_comm = _random_pair_case(
+                rng, self_heavy=True
+            )
+            a = segment_pair_sums_sort(seg, comm, w, n_comm)
+            b = segment_pair_sums_count(
+                seg, comm, w, n_seg, num_communities=n_comm
+            )
+            for x, y in zip(a, b):
+                assert np.array_equal(x, y), trial

@@ -61,6 +61,61 @@ class TestColoring:
         assert (colors >= 0).all()
 
 
+def _color_graph_reference(graph, seed=0, max_rounds=256):
+    """The original edge-scatter formulation (one ``np.maximum.at`` per
+    round over every edge) — kept as the oracle for the production
+    frontier-compacting implementation, which must match it exactly."""
+    n = graph.num_vertices
+    colors = np.full(n, -1, dtype=np.int64)
+    if n == 0:
+        return colors
+    src, dst, _ = graph.to_coo()
+    notself = src != dst
+    src, dst = src[notself], dst[notself]
+    rng = np.random.default_rng(seed)
+    priority = rng.permutation(n)
+    uncolored = np.ones(n, dtype=bool)
+    color = 0
+    while uncolored.any():
+        if color >= max_rounds:
+            remaining = np.flatnonzero(uncolored)
+            colors[remaining] = color + np.arange(remaining.shape[0])
+            break
+        live = uncolored[src] & uncolored[dst]
+        best = np.full(n, -1, dtype=np.int64)
+        if live.any():
+            np.maximum.at(best, dst[live], priority[src[live]])
+        winners = uncolored & (priority > best)
+        colors[winners] = color
+        uncolored[winners] = False
+        color += 1
+    return colors
+
+
+class TestReferenceEquivalence:
+    def test_random_graphs_exact_match(self):
+        for seed in range(6):
+            g = random_graph(n=60, avg_degree=6, seed=seed)
+            for cseed in (0, 1, 42):
+                assert np.array_equal(
+                    color_graph(g, seed=cseed),
+                    _color_graph_reference(g, seed=cseed),
+                ), (seed, cseed)
+
+    def test_self_loops_exact_match(self):
+        g = build_csr_from_edges([0, 0, 1, 2], [0, 1, 2, 2])
+        assert np.array_equal(
+            color_graph(g), _color_graph_reference(g)
+        )
+
+    def test_max_rounds_fallback_exact_match(self):
+        g = random_graph(n=40, avg_degree=20, seed=9)
+        assert np.array_equal(
+            color_graph(g, seed=3, max_rounds=2),
+            _color_graph_reference(g, seed=3, max_rounds=2),
+        )
+
+
 class TestColorClasses:
     def test_partition_of_vertices(self, small_random):
         colors = color_graph(small_random)

@@ -1,0 +1,174 @@
+"""Property tests for the counting-kernel / sort-kernel equivalence.
+
+The counting kernels must be drop-in, *element-exact* replacements for
+the sort kernels everywhere the batch engine uses them — and the batch
+engine itself must keep matching the per-vertex loop references.  These
+properties run whole phases and whole Leiden runs over random graphs,
+including the awkward shapes: empty graphs, single-community graphs and
+self-loop-heavy graphs.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.aggregate import aggregate_batch, aggregate_loop
+from repro.core.config import LeidenConfig
+from repro.core.leiden import leiden
+from repro.core.local_move import local_move_batch, local_move_loop
+from repro.core.workspace import KernelWorkspace
+from repro.graph.builder import build_csr_from_edges
+from repro.metrics.partition import renumber_membership
+from repro.parallel.runtime import Runtime
+from repro.types import VERTEX_DTYPE
+
+
+@st.composite
+def random_csr(draw, self_heavy=False):
+    n = draw(st.integers(2, 40))
+    m = draw(st.integers(0, 120))
+    rng = np.random.default_rng(draw(st.integers(0, 2**31)))
+    src = rng.integers(0, n, m)
+    dst = rng.integers(0, n, m)
+    if self_heavy and m:
+        loops = rng.random(m) < 0.5
+        dst = np.where(loops, src, dst)
+    return build_csr_from_edges(src, dst, num_vertices=n)
+
+
+def _row_sets(graph):
+    """Per-vertex {target: weight} dicts — engine-order-independent."""
+    rows = []
+    for v in range(graph.num_vertices):
+        dst, wgt = graph.edges(v)
+        rows.append({int(d): float(w) for d, w in zip(dst, wgt)})
+    return rows
+
+
+class TestEngineIdenticalOutput:
+    @given(random_csr())
+    @settings(max_examples=25, deadline=None)
+    def test_leiden_sort_count_identical_membership(self, graph):
+        res = {}
+        for engine in ("sort", "count"):
+            cfg = LeidenConfig(kernel_engine=engine)
+            res[engine] = leiden(graph, cfg, runtime=Runtime(num_threads=1))
+        assert np.array_equal(
+            res["sort"].membership, res["count"].membership
+        )
+
+    @given(random_csr(self_heavy=True))
+    @settings(max_examples=15, deadline=None)
+    def test_leiden_engines_identical_on_self_loop_heavy(self, graph):
+        res = {}
+        for engine in ("sort", "count"):
+            cfg = LeidenConfig(kernel_engine=engine)
+            res[engine] = leiden(graph, cfg, runtime=Runtime(num_threads=1))
+        assert np.array_equal(
+            res["sort"].membership, res["count"].membership
+        )
+
+
+class TestLocalMoveVsLoop:
+    @given(random_csr(), st.sampled_from(["sort", "count"]))
+    @settings(max_examples=20, deadline=None)
+    def test_batch_sigma_bookkeeping_exact(self, graph, engine):
+        """After the batch phase, Σ must equal the recount from C."""
+        n = graph.num_vertices
+        K = graph.vertex_weights().copy()
+        C = np.arange(n, dtype=VERTEX_DTYPE)
+        Sigma = K.astype(np.float64).copy()
+        ws = KernelWorkspace(n, engine=engine)
+        local_move_batch(
+            graph, C, K, Sigma, 0.01,
+            runtime=Runtime(num_threads=1), workspace=ws,
+        )
+        recount = np.bincount(C, weights=K, minlength=n)
+        assert np.allclose(Sigma, recount)
+
+    @given(random_csr())
+    @settings(max_examples=15, deadline=None)
+    def test_count_and_sort_batches_move_identically(self, graph):
+        n = graph.num_vertices
+        K = graph.vertex_weights().copy()
+        results = []
+        for engine in ("sort", "count"):
+            C = np.arange(n, dtype=VERTEX_DTYPE)
+            Sigma = K.astype(np.float64).copy()
+            ws = KernelWorkspace(n, engine=engine)
+            local_move_batch(
+                graph, C, K, Sigma, 1e-6,
+                runtime=Runtime(num_threads=1), workspace=ws,
+            )
+            results.append((C.copy(), Sigma.copy()))
+        assert np.array_equal(results[0][0], results[1][0])
+        assert results[0][1].tobytes() == results[1][1].tobytes()
+
+
+class TestAggregateVsLoop:
+    @given(random_csr(), st.sampled_from(["sort", "count"]))
+    @settings(max_examples=20, deadline=None)
+    def test_batch_matches_loop_row_sets(self, graph, engine):
+        n = graph.num_vertices
+        rng = np.random.default_rng(0)
+        C, ids = renumber_membership(
+            rng.integers(0, max(n // 3, 1), n).astype(VERTEX_DTYPE)
+        )
+        k = int(ids.shape[0])
+        ws = KernelWorkspace(n, engine=engine)
+        a = aggregate_batch(
+            graph, C, k, runtime=Runtime(num_threads=1), workspace=ws
+        )
+        b = aggregate_loop(graph, C, k, runtime=Runtime(num_threads=1))
+        assert a.num_vertices == b.num_vertices == k
+        ra, rb = _row_sets(a), _row_sets(b)
+        for c in range(k):
+            assert set(ra[c]) == set(rb[c])
+            for d in ra[c]:
+                assert abs(ra[c][d] - rb[c][d]) < 1e-4
+
+    @given(random_csr(self_heavy=True))
+    @settings(max_examples=10, deadline=None)
+    def test_count_sort_aggregate_bitwise_identical(self, graph):
+        n = graph.num_vertices
+        rng = np.random.default_rng(1)
+        C, ids = renumber_membership(
+            rng.integers(0, max(n // 2, 1), n).astype(VERTEX_DTYPE)
+        )
+        k = int(ids.shape[0])
+        outs = []
+        for engine in ("sort", "count"):
+            ws = KernelWorkspace(n, engine=engine)
+            outs.append(aggregate_batch(
+                graph, C, k, runtime=Runtime(num_threads=1), workspace=ws
+            ))
+        a, b = outs
+        assert np.array_equal(a.offsets, b.offsets)
+        assert np.array_equal(a.degrees, b.degrees)
+        assert np.array_equal(a.targets, b.targets)
+        assert a.weights.tobytes() == b.weights.tobytes()
+
+    def test_single_community_graph(self):
+        """Everything collapses into one super-vertex self loop."""
+        g = build_csr_from_edges([0, 1, 2], [1, 2, 0], num_vertices=3)
+        C = np.zeros(3, dtype=VERTEX_DTYPE)
+        for engine in ("sort", "count"):
+            ws = KernelWorkspace(3, engine=engine)
+            agg = aggregate_batch(
+                g, C, 1, runtime=Runtime(num_threads=1), workspace=ws
+            )
+            assert agg.num_vertices == 1
+            dst, wgt = agg.edges(0)
+            assert dst.tolist() == [0]
+            assert float(wgt[0]) == float(g.weights.sum())
+
+    def test_empty_graph(self):
+        g = build_csr_from_edges([], [], num_vertices=4)
+        C = np.zeros(4, dtype=VERTEX_DTYPE)
+        for engine in ("sort", "count"):
+            ws = KernelWorkspace(4, engine=engine)
+            agg = aggregate_batch(
+                g, C, 1, runtime=Runtime(num_threads=1), workspace=ws
+            )
+            assert agg.num_vertices == 1
+            assert agg.num_edges == 0
