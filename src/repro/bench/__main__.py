@@ -80,6 +80,11 @@ def main(argv: list[str] | None = None) -> int:
                 print(f"recorded baseline {b.name} "
                       f"(modeled {b.metrics.modeled_seconds:.4f}s, "
                       f"Q={b.metrics.modularity:.4f})")
+            for sb in regression.record_service_baselines(baseline_dir):
+                stats = sb.expected["stats"]
+                print(f"recorded service baseline {sb.name} "
+                      f"(clock={stats['clock_units']} units, "
+                      f"{stats['counters']['queries_served']} queries)")
         if args.trace_path:
             bundle = regression.run_trace(seed=args.seed)
             Path(args.trace_path).write_text(

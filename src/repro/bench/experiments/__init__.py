@@ -8,6 +8,7 @@ both.  ``python -m repro.bench`` runs them all in paper order.
 from repro.bench.experiments import (
     ext_dynamic_update,
     ext_louvain_vs_leiden,
+    ext_service_load,
     fig1_fig2_refinement,
     fig3_fig4_supervertex,
     fig6_comparison,
@@ -32,12 +33,14 @@ ALL_EXPERIMENTS = [
     ("Section 5.5", sec55_indirect),
     ("Extension: Louvain vs Leiden", ext_louvain_vs_leiden),
     ("Extension: dynamic updates", ext_dynamic_update),
+    ("Extension: service load", ext_service_load),
 ]
 
 __all__ = [
     "ALL_EXPERIMENTS",
     "ext_dynamic_update",
     "ext_louvain_vs_leiden",
+    "ext_service_load",
     "fig1_fig2_refinement",
     "fig3_fig4_supervertex",
     "fig6_comparison",

@@ -1,0 +1,90 @@
+"""Extension experiment: the partition server under a seeded workload.
+
+Drives :func:`repro.service.workload.run_workload` twice over the same
+``(profile, seed)`` — once with UPDATE micro-batching (coalescing) on,
+once off — and reports what the serving layer buys:
+
+- **refresh solves** (incremental + full + reconcile): coalescing folds
+  a whole update burst into one solve, so the A/B delta is the
+  micro-batching win;
+- **logical cost** (solver work units on the deterministic clock) and
+  the per-kind latency percentiles derived from it;
+- **serving behaviour**: cache hit rate, fraction of queries answered
+  (fresh or stale) without touching the compute path, stale-serve
+  fraction during refresh windows;
+- **correctness**: whether the membership served after the run is
+  identical to a from-scratch solve on the final graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.bench.tables import format_table
+from repro.service.server import ServiceConfig
+from repro.service.workload import WorkloadResult, run_workload
+
+__all__ = ["ServiceLoadResult", "run", "report", "main"]
+
+
+def _refresh_solves(stats: dict) -> int:
+    c = stats["counters"]
+    return (c["incremental_refreshes"] + c["full_recomputes"]
+            + c["reconciles"])
+
+
+@dataclass
+class ServiceLoadResult:
+    profile: str
+    seed: int
+    #: "coalesced" / "uncoalesced" -> workload result.
+    outcomes: Dict[str, WorkloadResult]
+
+
+def run(profile: str = "quick", *, seed: int = 0) -> ServiceLoadResult:
+    outcomes = {
+        label: run_workload(
+            profile, seed=seed,
+            service_config=ServiceConfig(coalesce_updates=coalesce),
+        )
+        for label, coalesce in (("coalesced", True), ("uncoalesced", False))
+    }
+    return ServiceLoadResult(profile=profile, seed=seed, outcomes=outcomes)
+
+
+def report(result: ServiceLoadResult) -> str:
+    rows = []
+    for label, wr in result.outcomes.items():
+        stats = wr.stats
+        c = stats["counters"]
+        lat = stats["latency_units"]["query"]
+        d = stats["derived"]
+        rows.append([
+            label,
+            str(c["updates_accepted"]),
+            str(c["update_flushes"]),
+            str(_refresh_solves(stats)),
+            f"{stats['clock_units']:,}",
+            f"{lat['p50']}/{lat['p99']}",
+            f"{d['cache_hit_rate']:.3f}",
+            f"{d['stale_serve_fraction']:.3f}",
+            "yes" if all(wr.membership_matches_scratch.values()) else "NO",
+        ])
+    coalesced = result.outcomes["coalesced"]
+    plain = result.outcomes["uncoalesced"]
+    saved = _refresh_solves(plain.stats) - _refresh_solves(coalesced.stats)
+    return format_table(
+        ["mode", "updates", "flushes", "refresh solves", "clock units",
+         "query p50/p99", "hit rate", "stale frac", "== scratch"],
+        rows,
+        title=f"Extension: service load ({result.profile} workload, "
+              f"seed {result.seed}) — micro-batching saves {saved} "
+              "refresh solves",
+    )
+
+
+def main() -> ServiceLoadResult:  # pragma: no cover - CLI
+    result = run()
+    print(report(result))
+    return result

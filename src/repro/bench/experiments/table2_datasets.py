@@ -26,6 +26,10 @@ class DatasetRow:
     num_edges: int
     avg_degree: float
     num_communities: int
+    #: Content hash of the CSR arrays (:meth:`CSRGraph.fingerprint`) —
+    #: the identity the partition-serving store keys on; printing it per
+    #: graph makes a drifting stand-in generator visible at a glance.
+    fingerprint: str
     paper_vertices: float
     paper_edges: float
     paper_avg_degree: float
@@ -47,6 +51,7 @@ def run(graphs: Sequence[str] | None = None, *, seed: int = 42) -> List[DatasetR
                 num_edges=g.num_edges,
                 avg_degree=g.num_edges / max(g.num_vertices, 1),
                 num_communities=rec.num_communities or 0,
+                fingerprint=g.fingerprint(),
                 paper_vertices=spec.paper_vertices,
                 paper_edges=spec.paper_edges,
                 paper_avg_degree=spec.paper_avg_degree,
@@ -58,12 +63,13 @@ def run(graphs: Sequence[str] | None = None, *, seed: int = 42) -> List[DatasetR
 
 def report(rows: List[DatasetRow]) -> str:
     table = format_table(
-        ["Graph", "family", "|V|", "|E|", "Davg", "|Gamma|",
+        ["Graph", "family", "|V|", "|E|", "Davg", "|Gamma|", "fingerprint",
          "paper |V|", "paper |E|", "paper Davg", "paper |Gamma|"],
         [
             (r.name, r.family, r.num_vertices, r.num_edges,
              round(r.avg_degree, 1), r.num_communities,
-             f"{r.paper_vertices:.3g}", f"{r.paper_edges:.3g}",
+             r.fingerprint[:12], f"{r.paper_vertices:.3g}",
+             f"{r.paper_edges:.3g}",
              r.paper_avg_degree, f"{r.paper_communities:.3g}")
             for r in rows
         ],

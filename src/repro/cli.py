@@ -12,7 +12,11 @@ Subcommands:
   (see docs/OBSERVABILITY.md for the schema);
 - ``repro bench …`` — the evaluation harness
   (:mod:`repro.bench.__main__`), including the ``--check`` perf-
-  regression gate and ``--trace`` artifact writer used by CI.
+  regression gate and ``--trace`` artifact writer used by CI;
+- ``repro serve --workload <profile>`` — drive the partition-serving
+  subsystem (:mod:`repro.service`) through a seeded closed-loop
+  workload and emit its deterministic stats document
+  (see docs/SERVICE.md).
 """
 
 from __future__ import annotations
@@ -152,8 +156,77 @@ def trace_main(argv: list[str] | None = None) -> int:
     return 0
 
 
+def build_serve_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro serve",
+        description="Run a seeded closed-loop workload against the "
+                    "partition server and emit the deterministic stats "
+                    "JSON (no wall-clock fields: two runs with the same "
+                    "profile and seed are byte-identical)",
+    )
+    p.add_argument("--workload", choices=["tiny", "quick", "smoke"],
+                   default="quick", help="workload profile (see PROFILES)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--no-coalesce", action="store_true",
+                   help="disable UPDATE micro-batching (one solve per "
+                        "update batch; for A/B comparison)")
+    p.add_argument("--no-verify", action="store_true",
+                   help="skip the served-vs-from-scratch membership check")
+    p.add_argument("--output", type=Path, default=None,
+                   help="write the result JSON here instead of stdout")
+    p.add_argument("--trace", type=Path, default=None, dest="trace_output",
+                   help="also run with tracing enabled and write the "
+                        "span/counter trace JSON here")
+    p.add_argument("--compact", action="store_true",
+                   help="single-line JSON (default: indented)")
+    return p
+
+
+def serve_main(argv: list[str] | None = None) -> int:
+    """``repro serve`` — drive the partition server through a workload."""
+    import json
+
+    from repro.service.server import PartitionServer, ServiceConfig
+    from repro.service.workload import run_workload
+
+    args = build_serve_parser().parse_args(argv)
+    service_config = ServiceConfig(coalesce_updates=not args.no_coalesce)
+    server = None
+    if args.trace_output is not None:
+        from repro.observability.tracer import Tracer
+
+        server = PartitionServer(service_config, tracer=Tracer())
+    result = run_workload(
+        args.workload,
+        seed=args.seed,
+        server=server,
+        service_config=service_config,
+        verify=not args.no_verify,
+    )
+    doc = json.dumps(result.to_json_dict(), sort_keys=True,
+                     indent=None if args.compact else 2)
+    if args.output is not None:
+        args.output.write_text(doc + "\n")
+        print(f"stats written to {args.output}")
+    else:
+        print(doc)
+    if args.trace_output is not None:
+        args.trace_output.write_text(server.tracer.to_json(
+            indent=None if args.compact else 2,
+            experiment=f"serve:{args.workload}",
+            seed=args.seed,
+        ) + "\n")
+        print(f"trace written to {args.trace_output}")
+    if not args.no_verify and not all(
+            result.membership_matches_scratch.values()):
+        print("error: served membership diverged from from-scratch solve",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 #: First-token subcommands understood by :func:`main`.
-_SUBCOMMANDS = ("run", "trace", "bench")
+_SUBCOMMANDS = ("run", "trace", "bench", "serve")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -164,6 +237,8 @@ def main(argv: list[str] | None = None) -> int:
         return bench_main(argv[1:])
     if argv and argv[0] == "trace":
         return trace_main(argv[1:])
+    if argv and argv[0] == "serve":
+        return serve_main(argv[1:])
     if argv and argv[0] == "run":
         argv = argv[1:]
     parser = build_parser()

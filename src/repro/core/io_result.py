@@ -27,11 +27,20 @@ from repro.types import VERTEX_DTYPE
 PathLike = Union[str, Path]
 
 __all__ = [
+    "RESULT_SCHEMA",
     "save_membership_text",
     "load_membership_text",
     "save_result_json",
     "load_result_json",
 ]
+
+#: Version tag of the JSON result format.  ``/2`` added the persisted
+#: dendrogram levels and made the loader validate the schema up front so
+#: stale or foreign files fail loudly instead of KeyError-ing later.
+RESULT_SCHEMA = "repro.result/2"
+
+#: Keys every valid payload must carry (checked at load).
+_REQUIRED_KEYS = ("membership", "num_communities", "num_passes", "passes")
 
 
 def save_membership_text(membership, path: PathLike) -> None:
@@ -62,14 +71,18 @@ def save_result_json(
     config: LeidenConfig | None = None,
     extra: dict | None = None,
 ) -> None:
-    """Membership + provenance as JSON."""
+    """Membership + provenance (and the dendrogram levels) as JSON."""
     payload = {
         "format": "repro-leiden-result",
+        "schema": RESULT_SCHEMA,
         "version": __version__,
         "membership": [int(c) for c in result.membership],
         "num_communities": result.num_communities,
         "num_passes": result.num_passes,
         "wall_seconds": result.wall_seconds,
+        "dendrogram": [
+            [int(c) for c in level] for level in result.dendrogram
+        ],
         "passes": [
             {
                 "index": ps.index,
@@ -92,7 +105,12 @@ def load_result_json(path: PathLike) -> dict:
     """Load a saved result; ``membership`` comes back as an int32 array.
 
     Returns the payload dict (not a full :class:`LeidenResult` — ledgers
-    and dendrograms are runtime objects and are not persisted).
+    are runtime objects and are not persisted; the dendrogram levels come
+    back as a list of int32 arrays under ``"dendrogram"``).
+
+    Raises :class:`~repro.errors.GraphFormatError` on malformed JSON, a
+    wrong/missing format or schema tag, or missing required keys — a
+    stale or foreign file fails here, not deep inside a warm start.
     """
     try:
         payload = json.loads(Path(path).read_text(encoding="utf-8"))
@@ -100,6 +118,19 @@ def load_result_json(path: PathLike) -> dict:
         raise GraphFormatError(f"bad result file {path}: {exc}") from exc
     if payload.get("format") != "repro-leiden-result":
         raise GraphFormatError(f"{path} is not a saved leiden result")
+    schema = payload.get("schema")
+    if schema != RESULT_SCHEMA:
+        raise GraphFormatError(
+            f"{path}: unsupported result schema {schema!r} "
+            f"(expected {RESULT_SCHEMA!r})")
+    missing = [k for k in _REQUIRED_KEYS if k not in payload]
+    if missing:
+        raise GraphFormatError(
+            f"{path}: result file missing required keys {missing}")
     payload["membership"] = np.asarray(payload["membership"],
                                        dtype=VERTEX_DTYPE)
+    payload["dendrogram"] = [
+        np.asarray(level, dtype=VERTEX_DTYPE)
+        for level in payload.get("dendrogram", [])
+    ]
     return payload

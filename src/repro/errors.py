@@ -23,6 +23,19 @@ class ConvergenceError(ReproError):
     """An algorithm failed to make progress within its iteration budget."""
 
 
+class ServiceError(ReproError):
+    """The partition-serving subsystem failed to satisfy a request."""
+
+
+class ServiceOverloadError(ServiceError):
+    """The service admission queue is full (backpressure).
+
+    Raised by :meth:`repro.service.server.PartitionServer.submit` when
+    the bounded admission queue rejects a request; clients are expected
+    to drain or back off and resubmit.
+    """
+
+
 class SimulatedOutOfMemory(ReproError):
     """A simulated device (GPU model) ran out of device memory.
 

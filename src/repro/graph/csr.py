@@ -59,6 +59,7 @@ class CSRGraph:
         "degrees",
         "_vertex_weights",
         "_total_weight",
+        "_fingerprint",
     )
 
     def __init__(
@@ -78,6 +79,7 @@ class CSRGraph:
         self.degrees: OffsetArray = np.ascontiguousarray(degrees, dtype=OFFSET_DTYPE)
         self._vertex_weights: AccumArray | None = None
         self._total_weight: float | None = None
+        self._fingerprint: str | None = None
         if validate:
             self._check_structure()
 
@@ -238,6 +240,31 @@ class CSRGraph:
                 out = prefix[self.offsets[1:]] - prefix[self.offsets[:-1]]
             self._vertex_weights = out
         return self._vertex_weights
+
+    def fingerprint(self) -> str:
+        """Content hash of the graph (hex digest, cached).
+
+        Hashes the dense CSR arrays (``offsets``, ``targets``,
+        ``weights``) plus the vertex count, so two independently built
+        graphs with identical edge content produce the same digest while
+        any structural or weight change produces a different one.  Holey
+        CSR graphs are compacted first, making the digest independent of
+        row slack.  This is what keys partitions by *graph identity*
+        rather than object identity in :mod:`repro.service`.
+        """
+        if self._fingerprint is None:
+            if self.is_holey:
+                self._fingerprint = self.compact().fingerprint()
+            else:
+                import hashlib
+
+                h = hashlib.blake2b(digest_size=16)
+                h.update(str(self.num_vertices).encode())
+                h.update(np.ascontiguousarray(self.offsets).tobytes())
+                h.update(np.ascontiguousarray(self.targets).tobytes())
+                h.update(np.ascontiguousarray(self.weights).tobytes())
+                self._fingerprint = h.hexdigest()
+        return self._fingerprint
 
     def to_coo(self) -> Tuple[VertexArray, VertexArray, WeightArray]:
         """Return ``(sources, targets, weights)`` arrays of the real edges."""

@@ -39,21 +39,32 @@ from repro.parallel.runtime import Runtime
 
 __all__ = [
     "BASELINE_SCHEMA",
+    "SERVICE_BASELINE_SCHEMA",
     "Baseline",
     "MetricCheck",
     "RunMetrics",
+    "ServiceBaseline",
     "Thresholds",
     "compare_metrics",
+    "compare_service_docs",
     "default_baseline_dir",
     "format_checks",
     "measure_experiment",
+    "measure_service",
     "record_baselines",
+    "record_service_baselines",
     "run_check",
     "run_trace",
 ]
 
 #: Version tag embedded in every baseline file.
 BASELINE_SCHEMA = "repro.baseline/1"
+
+#: Version tag of the service-workload baseline files.  Unlike the perf
+#: baselines, these gate on *exact* equality: the workload stats document
+#: carries no wall-clock fields, so any byte of drift is a real
+#: behavioural change in the serving subsystem.
+SERVICE_BASELINE_SCHEMA = "repro.service-baseline/1"
 
 #: Version tag of the multi-experiment bundle written by ``bench --trace``.
 TRACE_BUNDLE_SCHEMA = "repro.trace-bundle/1"
@@ -311,6 +322,124 @@ def record_baselines(
     return out
 
 
+# -- service-workload baselines (exact-match gate) ---------------------------
+
+
+@dataclass(frozen=True)
+class ServiceBaseline:
+    """One committed service workload: profile, seed, exact expectations.
+
+    ``expected`` is the full deterministic workload result document
+    (:meth:`repro.service.workload.WorkloadResult.to_json_dict`).  The
+    gate is exact equality — see :data:`SERVICE_BASELINE_SCHEMA`.
+    """
+
+    name: str
+    profile: str
+    seed: int
+    expected: Dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": SERVICE_BASELINE_SCHEMA,
+            "name": self.name,
+            "profile": self.profile,
+            "seed": self.seed,
+            "expected": self.expected,
+            "recorded_with": __version__,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "ServiceBaseline":
+        schema = d.get("schema")
+        if schema != SERVICE_BASELINE_SCHEMA:
+            raise ValueError(
+                f"unsupported service baseline schema {schema!r} "
+                f"(expected {SERVICE_BASELINE_SCHEMA!r})"
+            )
+        return cls(
+            name=str(d["name"]),
+            profile=str(d["profile"]),
+            seed=int(d["seed"]),
+            expected=dict(d["expected"]),
+        )
+
+    @classmethod
+    def load(cls, path: Path | str) -> "ServiceBaseline":
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+    def save(self, path: Path | str) -> None:
+        Path(path).write_text(
+            json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+        )
+
+
+def measure_service(profile: str = "quick", *, seed: int = 0) -> dict:
+    """Run one service workload; returns its deterministic JSON document."""
+    from repro.service.workload import run_workload
+
+    return run_workload(profile, seed=seed).to_json_dict()
+
+
+def compare_service_docs(
+    expected, actual, prefix: str = ""
+) -> List[Tuple[str, object, object]]:
+    """Recursive exact diff of two JSON documents.
+
+    Returns ``(path, expected, actual)`` triples for every leaf that
+    differs (missing keys surface as ``None`` on the absent side).
+    """
+    diffs: List[Tuple[str, object, object]] = []
+    if isinstance(expected, dict) and isinstance(actual, dict):
+        for k in sorted(set(expected) | set(actual)):
+            diffs.extend(compare_service_docs(
+                expected.get(k), actual.get(k),
+                f"{prefix}.{k}" if prefix else str(k)))
+    elif isinstance(expected, list) and isinstance(actual, list) \
+            and len(expected) == len(actual):
+        for i, (e, a) in enumerate(zip(expected, actual)):
+            diffs.extend(compare_service_docs(e, a, f"{prefix}[{i}]"))
+    elif expected != actual:
+        diffs.append((prefix, expected, actual))
+    return diffs
+
+
+def record_service_baselines(
+    directory: Path | str,
+    profiles: Sequence[str] = ("quick",),
+    *,
+    seed: int = 0,
+) -> List[ServiceBaseline]:
+    """(Re)write one service baseline file per profile."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    out: List[ServiceBaseline] = []
+    for profile in profiles:
+        baseline = ServiceBaseline(
+            name=f"service_{profile}",
+            profile=profile,
+            seed=seed,
+            expected=measure_service(profile, seed=seed),
+        )
+        baseline.save(directory / f"service_{profile}.json")
+        out.append(baseline)
+    return out
+
+
+def _check_service_baseline(baseline: ServiceBaseline, print_fn) -> bool:
+    current = measure_service(baseline.profile, seed=baseline.seed)
+    diffs = compare_service_docs(baseline.expected, current)
+    ok = not diffs
+    print_fn(f"{'PASS' if ok else 'FAIL'} {baseline.name} "
+             f"(exact match, profile={baseline.profile}, "
+             f"seed={baseline.seed})")
+    for path, exp, act in diffs[:20]:
+        print_fn(f"  [REG] {path}: baseline={exp!r}  current={act!r}")
+    if len(diffs) > 20:
+        print_fn(f"  ... and {len(diffs) - 20} more differing fields")
+    return ok
+
+
 def run_check(
     baseline_dir: Path | str | None = None,
     *,
@@ -320,7 +449,9 @@ def run_check(
     """Re-run every committed baseline and compare; 0 = all pass.
 
     This is the body of ``repro bench --check``: the exit code is the CI
-    gate, the printed diff is the human-readable artifact.
+    gate, the printed diff is the human-readable artifact.  Dispatches on
+    each file's ``schema`` tag: perf baselines gate on thresholds,
+    service baselines on exact stats equality.
     """
     directory = Path(baseline_dir) if baseline_dir else default_baseline_dir()
     paths = sorted(directory.glob("*.json"))
@@ -329,7 +460,13 @@ def run_check(
         return 2
     failures = 0
     for path in paths:
-        baseline = Baseline.load(path)
+        doc = json.loads(path.read_text())
+        if doc.get("schema") == SERVICE_BASELINE_SCHEMA:
+            if not _check_service_baseline(
+                    ServiceBaseline.from_dict(doc), print_fn):
+                failures += 1
+            continue
+        baseline = Baseline.from_dict(doc)
         current, _ = measure_experiment(
             baseline.graph,
             seed=baseline.seed,

@@ -18,27 +18,73 @@ artifact, the regression harness, external tooling) key on it.
 from __future__ import annotations
 
 import json
+import math
 from contextlib import contextmanager
 from time import perf_counter
 from typing import Dict, Iterator, List, Optional
 
-__all__ = ["TRACE_SCHEMA", "Span", "Tracer", "NullTracer", "NULL_TRACER"]
+__all__ = ["TRACE_SCHEMA", "Span", "Tracer", "NullTracer", "NULL_TRACER",
+           "bucket_percentile"]
 
 #: Version tag embedded in every emitted trace document.
 TRACE_SCHEMA = "repro.trace/1"
+
+#: Histogram bucket exponent bounds: values bucket by their power-of-two
+#: exponent (``v`` lands in bucket ``e`` when ``2**(e-1) < v <= 2**e``),
+#: clamped to this range.  Non-positive values use the sentinel bucket.
+_BUCKET_MIN_EXP = -40
+_BUCKET_MAX_EXP = 41
+_BUCKET_ZERO = -41
+
+
+def _bucket_of(value: float) -> int:
+    if value <= 0.0:
+        return _BUCKET_ZERO
+    exp = math.frexp(value)[1]
+    return min(max(exp, _BUCKET_MIN_EXP), _BUCKET_MAX_EXP)
+
+
+def _bucket_estimate(exp: int) -> float:
+    """Representative value of bucket ``exp`` (arithmetic midpoint)."""
+    if exp == _BUCKET_ZERO:
+        return 0.0
+    return 0.75 * 2.0 ** exp
+
+
+def bucket_percentile(buckets: Dict[int, int], q: float) -> float:
+    """Nearest-rank percentile estimate from an exponent histogram.
+
+    ``q`` is in ``[0, 100]``.  The estimate is the midpoint of the
+    bucket containing the nearest-rank sample, so it is accurate to a
+    factor of ~1.5 — enough for p50/p99 latency reporting without
+    retaining individual samples.
+    """
+    total = sum(buckets.values())
+    if total == 0:
+        return 0.0
+    rank = max(math.ceil(q / 100.0 * total), 1)
+    cum = 0
+    for exp in sorted(buckets):
+        cum += buckets[exp]
+        if cum >= rank:
+            return _bucket_estimate(exp)
+    return _bucket_estimate(max(buckets))  # pragma: no cover - defensive
 
 
 class Span:
     """One timed region of the trace tree."""
 
-    __slots__ = ("name", "attrs", "counters", "stats", "children", "seconds",
-                 "_start")
+    __slots__ = ("name", "attrs", "counters", "stats", "buckets", "children",
+                 "seconds", "_start")
 
     def __init__(self, name: str, attrs: Optional[dict] = None) -> None:
         self.name = name
         self.attrs: Dict[str, object] = dict(attrs) if attrs else {}
         self.counters: Dict[str, float] = {}
         self.stats: Dict[str, Dict[str, float]] = {}
+        #: Power-of-two histogram per observed distribution, feeding the
+        #: p50/p99 estimates in :meth:`Tracer.derived_metrics`.
+        self.buckets: Dict[str, Dict[int, int]] = {}
         self.children: List["Span"] = []
         self.seconds = 0.0
         self._start: Optional[float] = None
@@ -62,6 +108,9 @@ class Span:
                 s["min"] = v
             if v > s["max"]:
                 s["max"] = v
+        hist = self.buckets.setdefault(name, {})
+        b = _bucket_of(v)
+        hist[b] = hist.get(b, 0) + 1
 
     # -- aggregation ---------------------------------------------------------
 
@@ -74,6 +123,19 @@ class Span:
             child.counter_totals(totals)
         return totals
 
+    def bucket_totals(
+        self, into: Optional[Dict[str, Dict[int, int]]] = None
+    ) -> Dict[str, Dict[int, int]]:
+        """Observation histograms merged over this span's subtree."""
+        totals = {} if into is None else into
+        for name, hist in self.buckets.items():
+            merged = totals.setdefault(name, {})
+            for exp, count in hist.items():
+                merged[exp] = merged.get(exp, 0) + count
+        for child in self.children:
+            child.bucket_totals(totals)
+        return totals
+
     def to_dict(self) -> dict:
         out: Dict[str, object] = {"name": self.name, "seconds": self.seconds}
         if self.attrs:
@@ -82,6 +144,11 @@ class Span:
             out["counters"] = dict(self.counters)
         if self.stats:
             out["stats"] = {k: dict(v) for k, v in self.stats.items()}
+        if self.buckets:
+            out["buckets"] = {
+                k: {str(exp): c for exp, c in sorted(v.items())}
+                for k, v in self.buckets.items()
+            }
         if self.children:
             out["children"] = [c.to_dict() for c in self.children]
         return out
@@ -157,7 +224,15 @@ class Tracer:
         return self.root.counter_totals()
 
     def derived_metrics(self) -> Dict[str, float]:
-        """Ratios computed from raw counters (pruning hit rate etc.)."""
+        """Ratios from raw counters plus percentile estimates from the
+        observation histograms.
+
+        Every observed distribution ``name`` (fed through
+        :meth:`observe` anywhere in the trace) contributes
+        ``{name}_p50`` and ``{name}_p99`` — how the service latency
+        histogram surfaces in ``repro trace`` output with no
+        service-specific plumbing.
+        """
         totals = self.counter_totals()
         out: Dict[str, float] = {}
         visited = totals.get("pruning_visited", 0.0)
@@ -170,6 +245,9 @@ class Tracer:
             out["skew_units_per_region"] = (
                 totals.get("clock_skew_units", 0.0) / regions
             )
+        for name, hist in sorted(self.root.bucket_totals().items()):
+            out[f"{name}_p50"] = bucket_percentile(hist, 50.0)
+            out[f"{name}_p99"] = bucket_percentile(hist, 99.0)
         return out
 
     def to_dict(self, **meta) -> dict:

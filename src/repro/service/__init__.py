@@ -1,0 +1,72 @@
+"""Partition-serving subsystem: keep partitions fresh, answer queries.
+
+The batch layers (:mod:`repro.core`, :mod:`repro.dynamic`) end at a
+computed :class:`~repro.core.result.LeidenResult`; this package is the
+layer above that serves it — the shape the ROADMAP's "heavy traffic"
+north star and the dynamic-frontier line of work both point at: fast
+recomputation and cheap incremental updates are only valuable when
+something keeps partitions fresh *while* answering membership queries.
+
+- :mod:`repro.service.fingerprint` — content hashes keying partitions
+  by graph identity;
+- :mod:`repro.service.store` — versioned byte-budgeted LRU with
+  stale-while-revalidate;
+- :mod:`repro.service.index` — O(1)/O(deg) query structures per
+  partition version;
+- :mod:`repro.service.requests` — typed DETECT/QUERY/UPDATE/STATS
+  requests, the bounded admission queue, update coalescing;
+- :mod:`repro.service.server` — the deterministic event loop;
+- :mod:`repro.service.workload` — seeded closed-loop client generator
+  for the bench harness.
+
+See ``docs/SERVICE.md`` for the architecture and request lifecycle, and
+``examples/partition_server.py`` for a runnable demo.
+"""
+
+from repro.service.fingerprint import (
+    config_fingerprint,
+    graph_fingerprint,
+    membership_fingerprint,
+    partition_key,
+)
+from repro.service.index import CommunityIndex
+from repro.service.requests import (
+    AdmissionQueue,
+    DetectRequest,
+    QueryRequest,
+    StatsRequest,
+    Ticket,
+    UpdateRequest,
+    coalesce_update_batches,
+)
+from repro.service.server import PartitionServer, ServiceConfig
+from repro.service.store import PartitionEntry, PartitionStore
+from repro.service.workload import (
+    PROFILES,
+    WorkloadProfile,
+    WorkloadResult,
+    run_workload,
+)
+
+__all__ = [
+    "AdmissionQueue",
+    "CommunityIndex",
+    "DetectRequest",
+    "PartitionEntry",
+    "PartitionServer",
+    "PartitionStore",
+    "PROFILES",
+    "QueryRequest",
+    "ServiceConfig",
+    "StatsRequest",
+    "Ticket",
+    "UpdateRequest",
+    "WorkloadProfile",
+    "WorkloadResult",
+    "coalesce_update_batches",
+    "config_fingerprint",
+    "graph_fingerprint",
+    "membership_fingerprint",
+    "partition_key",
+    "run_workload",
+]

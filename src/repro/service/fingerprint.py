@@ -1,0 +1,61 @@
+"""Content hashes that key the partition store.
+
+The store must answer "do I already have a partition for *this* graph
+under *this* configuration?" without trusting object identity — the same
+registry graph loaded twice, or the same file parsed in two processes,
+must map to the same cache slot.  Three hashes compose:
+
+- :func:`graph_fingerprint` — :meth:`repro.graph.csr.CSRGraph.fingerprint`,
+  a blake2b digest over the dense CSR arrays;
+- :func:`config_fingerprint` — digest of the canonical JSON encoding of a
+  :class:`~repro.core.config.LeidenConfig` (field order independent);
+- :func:`partition_key` — the combination of both, the store key.
+
+:func:`membership_fingerprint` additionally hashes a membership array so
+responses and persisted partitions can carry a verifiable identity.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+
+import numpy as np
+
+from repro.core.config import LeidenConfig
+from repro.graph.csr import CSRGraph
+from repro.types import VERTEX_DTYPE
+
+__all__ = [
+    "config_fingerprint",
+    "graph_fingerprint",
+    "membership_fingerprint",
+    "partition_key",
+]
+
+
+def graph_fingerprint(graph: CSRGraph) -> str:
+    """Content hash of ``graph`` (delegates to the cached CSR digest)."""
+    return graph.fingerprint()
+
+
+def config_fingerprint(config: LeidenConfig | None) -> str:
+    """Digest of a config's canonical JSON encoding (``None`` = default)."""
+    cfg = config or LeidenConfig()
+    doc = json.dumps(dataclasses.asdict(cfg), sort_keys=True)
+    return hashlib.blake2b(doc.encode(), digest_size=8).hexdigest()
+
+
+def partition_key(graph: CSRGraph, config: LeidenConfig | None = None) -> str:
+    """Store key for (graph content, detection config)."""
+    return f"{graph_fingerprint(graph)}:{config_fingerprint(config)}"
+
+
+def membership_fingerprint(membership) -> str:
+    """Content hash of a membership vector."""
+    arr = np.ascontiguousarray(membership, dtype=VERTEX_DTYPE)
+    h = hashlib.blake2b(digest_size=16)
+    h.update(str(arr.shape[0]).encode())
+    h.update(arr.tobytes())
+    return h.hexdigest()

@@ -8,6 +8,7 @@ one or two small graphs to validate structure and reporting.
 import pytest
 
 from repro.bench.experiments import (
+    ext_service_load,
     fig1_fig2_refinement,
     fig3_fig4_supervertex,
     fig6_comparison,
@@ -29,6 +30,28 @@ class TestTable2:
         assert all(r.num_communities > 0 for r in rows)
         report = table2_datasets.report(rows)
         assert "asia_osm" in report and "Davg" in report
+
+    def test_fingerprint_column(self):
+        from repro.datasets.registry import load_graph
+
+        rows = table2_datasets.run(["asia_osm"])
+        assert rows[0].fingerprint == load_graph("asia_osm").fingerprint()
+        assert rows[0].fingerprint[:12] in table2_datasets.report(rows)
+
+
+class TestExtServiceLoad:
+    def test_micro_batching_reduces_solves(self):
+        result = ext_service_load.run("tiny", seed=0)
+        co = result.outcomes["coalesced"]
+        un = result.outcomes["uncoalesced"]
+        solves_co = ext_service_load._refresh_solves(co.stats)
+        solves_un = ext_service_load._refresh_solves(un.stats)
+        assert solves_co < solves_un
+        assert all(co.membership_matches_scratch.values())
+        assert all(un.membership_matches_scratch.values())
+        report = ext_service_load.report(result)
+        assert "micro-batching saves" in report
+        assert "coalesced" in report
 
 
 class TestFig6AndTable1:

@@ -1,10 +1,13 @@
 """Tests for result persistence."""
 
+import json
+
 import numpy as np
 import pytest
 
 from repro.core.config import LeidenConfig
 from repro.core.io_result import (
+    RESULT_SCHEMA,
     load_membership_text,
     load_result_json,
     save_membership_text,
@@ -56,6 +59,61 @@ class TestJson:
         p = tmp_path / "r.json"
         save_result_json(result, p)
         assert "config" not in load_result_json(p)
+
+    def test_roundtrip_dendrogram_levels(self, result, tmp_path):
+        """Every dendrogram level survives the round trip bitwise, and
+        composing the reloaded levels reproduces the membership."""
+        p = tmp_path / "r.json"
+        save_result_json(result, p)
+        payload = load_result_json(p)
+        levels = payload["dendrogram"]
+        assert len(levels) == len(result.dendrogram)
+        for got, want in zip(levels, result.dendrogram):
+            assert got.dtype == want.dtype
+            assert np.array_equal(got, want)
+        flat = levels[0].copy()
+        for lvl in levels[1:]:
+            flat = lvl[flat]
+        assert np.array_equal(flat, payload["membership"])
+
+    def test_roundtrip_metadata(self, result, tmp_path):
+        p = tmp_path / "r.json"
+        save_result_json(result, p, extra={"note": "x"})
+        payload = load_result_json(p)
+        assert payload["schema"] == RESULT_SCHEMA
+        assert payload["wall_seconds"] == result.wall_seconds
+        assert payload["extra"] == {"note": "x"}
+        for ps, saved in zip(result.passes, payload["passes"]):
+            assert saved["num_communities"] == ps.num_communities
+            assert saved["move_iterations"] == ps.move_iterations
+
+    def test_rejects_wrong_schema(self, result, tmp_path):
+        p = tmp_path / "r.json"
+        save_result_json(result, p)
+        doc = json.loads(p.read_text())
+        doc["schema"] = "repro.result/0"
+        p.write_text(json.dumps(doc))
+        with pytest.raises(GraphFormatError, match="schema"):
+            load_result_json(p)
+
+    def test_rejects_missing_schema(self, result, tmp_path):
+        """A pre-/2 file (no schema tag) fails loudly, not deep in use."""
+        p = tmp_path / "r.json"
+        save_result_json(result, p)
+        doc = json.loads(p.read_text())
+        del doc["schema"]
+        p.write_text(json.dumps(doc))
+        with pytest.raises(GraphFormatError, match="schema"):
+            load_result_json(p)
+
+    def test_rejects_missing_required_keys(self, result, tmp_path):
+        p = tmp_path / "r.json"
+        save_result_json(result, p)
+        doc = json.loads(p.read_text())
+        del doc["membership"], doc["passes"]
+        p.write_text(json.dumps(doc))
+        with pytest.raises(GraphFormatError, match="membership"):
+            load_result_json(p)
 
     def test_rejects_wrong_format(self, tmp_path):
         p = tmp_path / "other.json"

@@ -79,6 +79,47 @@ class TestApplyBatch:
     def test_empty_batch_identity(self, two_cliques):
         assert apply_batch(two_cliques, EdgeBatch.from_edges()) == two_cliques
 
+    def test_insert_and_delete_same_pair(self):
+        """Deletions apply first, so an insert of a deleted pair survives
+        — the edge ends up present with the batch's weight only."""
+        g = build_csr_from_edges([0], [1], [4.0], num_vertices=3)
+        b = EdgeBatch.from_edges([(0, 1)], deletions=[(0, 1)],
+                                 insert_weights=[1.5])
+        g2 = apply_batch(g, b)
+        assert g2.neighbors(0).tolist() == [1]
+        assert g2.edge_weights(0).tolist() == [1.5]
+        validate_csr(g2)
+
+    def test_insert_and_delete_same_pair_reversed_direction(self):
+        g = build_csr_from_edges([0], [1], [4.0], num_vertices=2)
+        b = EdgeBatch.from_edges([(0, 1)], deletions=[(1, 0)],
+                                 insert_weights=[2.0])
+        g2 = apply_batch(g, b)
+        assert g2.edge_weights(0).tolist() == [2.0]
+
+    def test_self_loop_insertions_coalesce(self):
+        """Self-loops are not symmetrized (no double edge) and coalesce
+        with an existing loop on the same vertex."""
+        g = build_csr_from_edges([0, 0], [0, 1], [1.0, 1.0],
+                                 symmetrize=False, num_vertices=2)
+        b = EdgeBatch.from_edges([(0, 0), (0, 0)],
+                                 insert_weights=[2.0, 3.0])
+        g2 = apply_batch(g, b)
+        assert g2.neighbors(0).tolist() == [0, 1]
+        loop_weight = g2.edge_weights(0)[g2.neighbors(0).tolist().index(0)]
+        assert loop_weight == 6.0
+
+    def test_all_deletion_batch_empties_adjacency(self, star8):
+        """Deleting every edge of the hub leaves an edgeless graph with
+        the vertex set intact."""
+        dels = [(0, v) for v in range(1, 8)]
+        g2 = apply_batch(star8, EdgeBatch.from_edges(deletions=dels))
+        assert g2.num_vertices == star8.num_vertices
+        assert g2.num_edges == 0
+        for v in range(g2.num_vertices):
+            assert g2.neighbors(v).shape == (0,)
+        validate_csr(g2)
+
 
 class TestRandomBatch:
     def test_sizes(self, two_cliques):

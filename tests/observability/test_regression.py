@@ -165,6 +165,59 @@ class TestRunCheck:
         assert "no baselines" in capsys.readouterr().out
 
 
+class TestServiceBaseline:
+    def test_save_load_roundtrip(self, tmp_path):
+        b = regression.ServiceBaseline(
+            name="service_tiny", profile="tiny", seed=0,
+            expected={"stats": {"clock_units": 1}})
+        path = tmp_path / "service_tiny.json"
+        b.save(path)
+        loaded = regression.ServiceBaseline.load(path)
+        assert loaded == b
+        assert (json.loads(path.read_text())["schema"]
+                == regression.SERVICE_BASELINE_SCHEMA)
+
+    def test_rejects_unknown_schema(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": "repro.service-baseline/9",
+                                    "name": "x", "profile": "tiny",
+                                    "seed": 0, "expected": {}}))
+        with pytest.raises(ValueError, match="schema"):
+            regression.ServiceBaseline.load(path)
+
+    def test_compare_service_docs_diffs(self):
+        exp = {"a": 1, "b": {"c": [1, 2]}, "gone": 3}
+        act = {"a": 1, "b": {"c": [1, 5]}, "new": 4}
+        diffs = regression.compare_service_docs(exp, act)
+        paths = {p for p, _, _ in diffs}
+        assert paths == {"b.c[1]", "gone", "new"}
+        assert regression.compare_service_docs(exp, dict(exp)) == []
+
+    def test_record_then_check_passes(self, tmp_path, capsys):
+        regression.record_service_baselines(tmp_path, ["tiny"], seed=0)
+        assert run_check(tmp_path) == 0
+        out = capsys.readouterr().out
+        assert "PASS service_tiny (exact match" in out
+        assert "1/1 baselines within thresholds" in out
+
+    def test_drifted_stats_fail(self, tmp_path, capsys):
+        (recorded,) = regression.record_service_baselines(
+            tmp_path, ["tiny"], seed=0)
+        doc = recorded.to_dict()
+        doc["expected"]["stats"]["clock_units"] += 1
+        (tmp_path / "service_tiny.json").write_text(json.dumps(doc))
+        assert run_check(tmp_path) == 1
+        out = capsys.readouterr().out
+        assert "FAIL service_tiny" in out
+        assert "[REG] stats.clock_units" in out
+
+    def test_mixed_dir_dispatches_by_schema(self, tmp_path, capsys):
+        record_baselines(tmp_path, [GRAPH])
+        regression.record_service_baselines(tmp_path, ["tiny"], seed=0)
+        assert run_check(tmp_path) == 0
+        assert "2/2 baselines within thresholds" in capsys.readouterr().out
+
+
 class TestRunTrace:
     def test_bundle_schema(self):
         bundle = run_trace([GRAPH], seed=42)

@@ -7,7 +7,13 @@ import pytest
 
 from repro.core.config import LeidenConfig
 from repro.core.leiden import leiden
-from repro.observability.tracer import NULL_TRACER, TRACE_SCHEMA, NullTracer, Tracer
+from repro.observability.tracer import (
+    NULL_TRACER,
+    TRACE_SCHEMA,
+    NullTracer,
+    Tracer,
+    bucket_percentile,
+)
 from repro.parallel.runtime import Runtime
 from tests.conftest import ring_of_cliques_graph
 
@@ -99,6 +105,58 @@ class TestCounters:
 
     def test_derived_empty_without_counters(self):
         assert Tracer().derived_metrics() == {}
+
+
+class TestObservationHistograms:
+    def test_observe_fills_power_of_two_buckets(self):
+        t = Tracer()
+        for v in (0.4, 0.6, 3.0, 0.0):
+            t.observe("lat", v)
+        hist = t.root.buckets["lat"]
+        # 0.4 -> 2^-1 bucket, 0.6 -> 2^0, 3.0 -> 2^2, 0.0 -> zero bucket
+        assert hist[-1] == 1
+        assert hist[0] == 1
+        assert hist[2] == 1
+        assert sum(hist.values()) == 4
+
+    def test_bucket_totals_merge_subtree(self):
+        t = Tracer()
+        with t.span("a"):
+            t.observe("lat", 1.0)
+            with t.span("b"):
+                t.observe("lat", 1.5)
+        totals = t.root.bucket_totals()
+        assert sum(totals["lat"].values()) == 2
+
+    def test_bucket_percentile_nearest_rank(self):
+        # 99 samples in bucket 0 (values ~0.75), 1 in bucket 10.
+        buckets = {0: 99, 10: 1}
+        assert bucket_percentile(buckets, 50.0) == pytest.approx(0.75)
+        assert bucket_percentile(buckets, 100.0) == pytest.approx(768.0)
+        assert bucket_percentile({}, 50.0) == 0.0
+
+    def test_derived_metrics_expose_p50_p99(self):
+        t = Tracer()
+        for v in [0.001] * 98 + [1.0, 2.0]:
+            t.observe("service_latency", v)
+        d = t.derived_metrics()
+        assert d["service_latency_p50"] == pytest.approx(0.75 * 2**-9)
+        assert d["service_latency_p99"] >= 0.5
+
+    def test_buckets_serialized_in_span_dict(self):
+        t = Tracer()
+        with t.span("s"):
+            t.observe("x", 1.0)
+        span = t.to_dict()["spans"][0]
+        assert span["buckets"] == {"x": {"1": 1}}
+        json.dumps(span)  # JSON-ready (string keys)
+
+    def test_stats_dict_shape_unchanged_by_buckets(self):
+        """The min/max/sum stats block keeps its exact legacy shape."""
+        t = Tracer()
+        t.observe("x", 2.0)
+        assert t.root.stats["x"] == {
+            "count": 1.0, "sum": 2.0, "min": 2.0, "max": 2.0}
 
 
 class TestJsonEmission:

@@ -1,0 +1,120 @@
+"""Tests for the byte-budgeted LRU partition store."""
+
+import numpy as np
+
+from repro.service.index import CommunityIndex
+from repro.service.store import FRESH, STALE, PartitionEntry, PartitionStore
+from tests.conftest import two_cliques_graph
+
+
+def make_entry(key: str, graph=None) -> PartitionEntry:
+    g = graph if graph is not None else two_cliques_graph()
+    membership = np.zeros(g.num_vertices, dtype=np.int32)
+    return PartitionEntry(
+        key=key,
+        fingerprint=g.fingerprint(),
+        graph=g,
+        membership=membership,
+        index=CommunityIndex(membership),
+    )
+
+
+class TestLookups:
+    def test_get_counts_hits_and_misses(self):
+        store = PartitionStore()
+        assert store.get("nope") is None
+        store.put(make_entry("a"))
+        assert store.get("a") is not None
+        assert store.hits == 1
+        assert store.misses == 1
+        assert store.hit_rate() == 0.5
+
+    def test_stale_entries_served_and_counted(self):
+        store = PartitionStore()
+        entry = make_entry("a")
+        entry.state = STALE
+        store.put(entry)
+        got = store.get("a")
+        assert got is entry
+        assert store.stale_hits == 1
+
+    def test_peek_does_not_touch_counters(self):
+        store = PartitionStore()
+        store.put(make_entry("a"))
+        store.peek("a")
+        store.peek("nope")
+        assert store.hits == 0
+        assert store.misses == 0
+
+    def test_contains_and_len(self):
+        store = PartitionStore()
+        store.put(make_entry("a"))
+        assert "a" in store
+        assert "b" not in store
+        assert len(store) == 1
+
+
+class TestEviction:
+    def test_lru_eviction_over_budget(self):
+        one = make_entry("a")
+        store = PartitionStore(budget_bytes=int(one.nbytes * 2.5))
+        store.put(one)
+        store.put(make_entry("b"))
+        store.put(make_entry("c"))  # over budget -> evict LRU ("a")
+        assert store.keys() == ["b", "c"]
+        assert store.evictions == 1
+
+    def test_get_refreshes_lru_order(self):
+        one = make_entry("a")
+        store = PartitionStore(budget_bytes=int(one.nbytes * 2.5))
+        store.put(one)
+        store.put(make_entry("b"))
+        store.get("a")  # touch: "b" becomes LRU
+        store.put(make_entry("c"))
+        assert store.keys() == ["a", "c"]
+
+    def test_most_recent_never_evicted(self):
+        entry = make_entry("a")
+        store = PartitionStore(budget_bytes=1)  # smaller than any entry
+        store.put(entry)
+        assert store.peek("a") is entry
+        assert store.total_bytes > store.budget_bytes
+
+    def test_put_replaces_same_key(self):
+        store = PartitionStore()
+        store.put(make_entry("a"))
+        newer = make_entry("a")
+        newer.version = 2
+        store.put(newer)
+        assert len(store) == 1
+        assert store.peek("a").version == 2
+
+
+class TestEntry:
+    def test_describe_is_deterministic_snapshot(self):
+        entry = make_entry("a")
+        d = entry.describe()
+        assert d == {
+            "fingerprint": entry.fingerprint,
+            "version": 1,
+            "state": FRESH,
+            "num_vertices": entry.graph.num_vertices,
+            "num_edges": entry.graph.num_edges,
+            "num_communities": 1,
+            "pending_updates": 0,
+        }
+
+    def test_nbytes_counts_all_arrays(self):
+        entry = make_entry("a")
+        g = entry.graph
+        assert entry.nbytes >= (g.offsets.nbytes + g.targets.nbytes
+                                + g.weights.nbytes
+                                + entry.membership.nbytes)
+
+    def test_stats_document(self):
+        store = PartitionStore(budget_bytes=12345)
+        store.put(make_entry("a"))
+        s = store.stats()
+        assert s["entries"] == 1
+        assert s["budget_bytes"] == 12345
+        assert s["bytes"] == store.total_bytes

@@ -1,0 +1,73 @@
+"""Tests for the seeded closed-loop workload driver."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.service.server import PartitionServer, ServiceConfig
+from repro.service.workload import (
+    PROFILES,
+    WORKLOAD_SCHEMA,
+    run_workload,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_result():
+    return run_workload("tiny", seed=0)
+
+
+class TestProfiles:
+    def test_known_profiles(self):
+        assert set(PROFILES) == {"tiny", "quick", "smoke"}
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ConfigError):
+            run_workload("nope")
+
+
+class TestRun:
+    def test_membership_matches_scratch(self, tiny_result):
+        assert tiny_result.membership_matches_scratch == {"com-Orkut": True}
+
+    def test_all_queries_served_without_recompute(self, tiny_result):
+        """>= 95% of queries answered fresh-or-stale from the store; the
+        query path never triggers a solve."""
+        c = tiny_result.stats["counters"]
+        prof = PROFILES["tiny"]
+        assert c["queries_served"] == prof.num_queries
+        assert c["queries_not_found"] == 0
+        assert tiny_result.stats["derived"]["query_served_fraction"] >= 0.95
+
+    def test_coalescing_exercised(self, tiny_result):
+        c = tiny_result.stats["counters"]
+        q = tiny_result.stats["queue"]
+        assert q["coalesced_detects"] == PROFILES["tiny"].duplicate_detects
+        assert c["updates_accepted"] == 4
+        assert c["update_flushes"] < c["updates_accepted"]
+
+    def test_stale_serving_happens(self, tiny_result):
+        assert tiny_result.stats["counters"]["queries_served_stale"] > 0
+
+    def test_deterministic_json(self, tiny_result):
+        again = run_workload("tiny", seed=0)
+        a = json.dumps(tiny_result.to_json_dict(), sort_keys=True)
+        b = json.dumps(again.to_json_dict(), sort_keys=True)
+        assert a == b
+
+    def test_seed_changes_stats(self, tiny_result):
+        other = run_workload("tiny", seed=1, verify=False)
+        assert (other.stats["clock_units"]
+                != tiny_result.stats["clock_units"]) or (
+            other.stats != tiny_result.stats)
+
+    def test_schema_tag(self, tiny_result):
+        assert tiny_result.to_json_dict()["schema"] == WORKLOAD_SCHEMA
+
+    def test_preconfigured_server(self):
+        srv = PartitionServer(ServiceConfig(queue_capacity=8))
+        result = run_workload("tiny", seed=0, server=srv, verify=False)
+        assert result.stats["queue"]["capacity"] == 8
+        # Closed-loop clients absorb backpressure by draining first.
+        assert result.stats["queue"]["rejected"] == result.overloads

@@ -142,10 +142,12 @@ class TestBenchSubcommand:
     def test_bench_update_then_check_roundtrip(self, tmp_path, capsys):
         assert main(["bench", "--update-baselines",
                      "--baselines", str(tmp_path)]) == 0
-        assert "recorded baseline" in capsys.readouterr().out
+        out = capsys.readouterr().out
+        assert "recorded baseline" in out
+        assert "recorded service baseline" in out
         assert main(["bench", "--check",
                      "--baselines", str(tmp_path)]) == 0
-        assert "3/3 baselines within thresholds" in capsys.readouterr().out
+        assert "4/4 baselines within thresholds" in capsys.readouterr().out
 
     def test_bench_trace_writes_bundle(self, tmp_path, capsys):
         out_file = tmp_path / "bundle.json"
@@ -155,3 +157,39 @@ class TestBenchSubcommand:
         assert set(bundle["experiments"]) == {
             "asia_osm", "uk-2002", "com-Orkut"
         }
+
+
+class TestServeSubcommand:
+    def test_serve_to_stdout(self, capsys):
+        assert main(["serve", "--workload", "tiny", "--seed", "0"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"] == "repro.service-workload/1"
+        assert doc["membership_matches_scratch"] == {"com-Orkut": True}
+        assert doc["stats"]["counters"]["queries_served"] == 40
+
+    def test_serve_deterministic_output_files(self, tmp_path, capsys):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        assert main(["serve", "--workload", "tiny", "--seed", "0",
+                     "--no-verify", "--output", str(a)]) == 0
+        assert main(["serve", "--workload", "tiny", "--seed", "0",
+                     "--no-verify", "--output", str(b)]) == 0
+        assert "stats written to" in capsys.readouterr().out
+        assert a.read_text() == b.read_text()
+
+    def test_serve_trace_output(self, tmp_path, capsys):
+        out = tmp_path / "stats.json"
+        trace = tmp_path / "trace.json"
+        assert main(["serve", "--workload", "tiny", "--seed", "0",
+                     "--no-verify", "--compact",
+                     "--output", str(out), "--trace", str(trace)]) == 0
+        doc = json.loads(trace.read_text())
+        assert doc["schema"] == "repro.trace/1"
+        span_names = {s["name"] for s in doc["spans"]}
+        assert "service.detect" in span_names
+        assert "service_request_seconds_p50" in doc["derived"]
+
+    def test_serve_no_coalesce(self, capsys):
+        assert main(["serve", "--workload", "tiny", "--seed", "0",
+                     "--no-coalesce", "--no-verify"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["stats"]["counters"]["updates_coalesced"] == 0

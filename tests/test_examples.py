@@ -19,6 +19,7 @@ EXPECTED_OUTPUT = {
     "file_io_pipeline.py": "membership saved and verified",
     "cpm_resolution.py": "resolution limit",
     "community_analysis.py": "seed stability",
+    "partition_server.py": "served == from-scratch: True",
 }
 
 
