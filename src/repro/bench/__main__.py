@@ -13,6 +13,9 @@ Observability / CI flags:
 - ``--trace PATH`` runs the same smoke experiments with the tracing
   layer enabled and writes the span/counter JSON bundle — the CI
   artifact;
+- ``--profile PATH`` runs the smoke experiments with the thread-timeline
+  profiler enabled and writes a bundle of Chrome trace documents plus
+  the critical-path/imbalance text reports;
 - ``--update-baselines`` re-records the baseline files after an
   intentional performance or quality change;
 - ``--kernels`` runs the sort-vs-count kernel microbenchmarks
@@ -48,6 +51,13 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--trace", default=None, dest="trace_path",
                         metavar="PATH",
                         help="write the traced smoke-run JSON bundle here")
+    parser.add_argument("--profile", default=None, dest="profile_path",
+                        metavar="PATH",
+                        help="write the profiled smoke-run bundle here "
+                             "(Chrome traces + imbalance reports)")
+    parser.add_argument("--threads", type=int, default=8,
+                        help="simulated thread count for --profile "
+                             "timelines")
     parser.add_argument("--baselines", default=None, dest="baseline_dir",
                         metavar="DIR",
                         help="baseline directory (default: "
@@ -67,7 +77,8 @@ def main(argv: list[str] | None = None) -> int:
 
         return kernels_main(seed=args.seed, quick=args.quick)
 
-    if args.check or args.trace_path or args.update_baselines:
+    if (args.check or args.trace_path or args.profile_path
+            or args.update_baselines):
         from repro.observability import regression
 
         baseline_dir = (Path(args.baseline_dir) if args.baseline_dir
@@ -91,6 +102,13 @@ def main(argv: list[str] | None = None) -> int:
                 json.dumps(bundle, indent=2, sort_keys=True) + "\n"
             )
             print(f"trace bundle written to {args.trace_path}")
+        if args.profile_path:
+            bundle = regression.run_profile(
+                seed=args.seed, num_threads=args.threads)
+            Path(args.profile_path).write_text(
+                json.dumps(bundle, indent=2, sort_keys=True) + "\n"
+            )
+            print(f"profile bundle written to {args.profile_path}")
         if args.check:
             return regression.run_check(baseline_dir)
         return 0

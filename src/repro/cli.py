@@ -9,7 +9,12 @@ Subcommands:
   membership vector to a file;
 - ``repro trace <input>`` — run GVE-Leiden with the observability layer
   enabled and emit the span/counter trace as JSON
-  (see docs/OBSERVABILITY.md for the schema);
+  (see docs/OBSERVABILITY.md for the schema); ``repro trace --diff A B``
+  compares two saved traces field by field;
+- ``repro profile <input>`` — run once with the thread-timeline profiler
+  enabled; print the critical-path/imbalance report and optionally write
+  a Chrome trace-event JSON (``--chrome out.json``, loadable in
+  chrome://tracing or Perfetto);
 - ``repro bench …`` — the evaluation harness
   (:mod:`repro.bench.__main__`), including the ``--check`` perf-
   regression gate and ``--trace`` artifact writer used by CI;
@@ -95,7 +100,7 @@ def build_trace_parser() -> argparse.ArgumentParser:
                     "(spans: run → pass → phase; counters: atomics, "
                     "barriers, pruning rate, clock skew, batch sizes)",
     )
-    p.add_argument("input",
+    p.add_argument("input", nargs="?", default=None,
                    help="graph file (.mtx, .graph or edge list) or a "
                         "registry dataset name")
     p.add_argument("--engine", choices=["batch", "loop", "threads"],
@@ -110,6 +115,14 @@ def build_trace_parser() -> argparse.ArgumentParser:
                    help="write the trace JSON here instead of stdout")
     p.add_argument("--compact", action="store_true",
                    help="single-line JSON (default: indented)")
+    p.add_argument("--diff", nargs=2, type=Path, metavar=("A", "B"),
+                   default=None,
+                   help="compare two saved trace JSON files instead of "
+                        "running (counters and derived metrics gate, "
+                        "span seconds are informational)")
+    p.add_argument("--strict", action="store_true",
+                   help="with --diff: exit 1 when any deterministic "
+                        "field differs")
     return p
 
 
@@ -119,7 +132,12 @@ def trace_main(argv: list[str] | None = None) -> int:
     from repro.parallel.costmodel import PAPER_MACHINE
     from repro.parallel.runtime import Runtime
 
-    args = build_trace_parser().parse_args(argv)
+    parser = build_trace_parser()
+    args = parser.parse_args(argv)
+    if args.diff is not None:
+        return _trace_diff(args)
+    if args.input is None:
+        parser.error("the following arguments are required: input")
     graph = _load(args.input)
     config = LeidenConfig(
         engine=args.engine,
@@ -156,6 +174,108 @@ def trace_main(argv: list[str] | None = None) -> int:
     return 0
 
 
+def _trace_diff(args) -> int:
+    """``repro trace --diff A.json B.json`` — field-level trace delta."""
+    import json
+
+    from repro.observability.regression import (
+        diff_trace_docs,
+        format_trace_diff,
+    )
+
+    path_a, path_b = args.diff
+    for p in (path_a, path_b):
+        if not p.exists():
+            raise SystemExit(f"error: trace file {p} does not exist")
+    doc_a = json.loads(path_a.read_text())
+    doc_b = json.loads(path_b.read_text())
+    rows = diff_trace_docs(doc_a, doc_b)
+    text, diffs = format_trace_diff(
+        rows, label_a=str(path_a), label_b=str(path_b))
+    if args.output is not None:
+        args.output.write_text(text + "\n")
+        print(f"diff written to {args.output}")
+    else:
+        print(text)
+    return 1 if (args.strict and diffs) else 0
+
+
+def build_profile_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro profile",
+        description="Run GVE-Leiden with the thread-timeline profiler "
+                    "enabled; print the critical-path / barrier-wait / "
+                    "load-imbalance report, optionally exporting the "
+                    "per-thread timeline as Chrome trace-event JSON",
+    )
+    p.add_argument("input",
+                   help="graph file (.mtx, .graph or edge list) or a "
+                        "registry dataset name")
+    p.add_argument("--engine", choices=["batch", "loop", "threads"],
+                   default="batch")
+    p.add_argument("--quality", choices=["modularity", "cpm"],
+                   default="modularity")
+    p.add_argument("--max-passes", type=int, default=10)
+    p.add_argument("--seed", type=int, default=42)
+    p.add_argument("--threads", type=int, default=8,
+                   help="simulated thread count the timeline is laid "
+                        "out at (one Chrome lane per thread)")
+    p.add_argument("--top", type=int, default=5,
+                   help="regions listed in the top-N table")
+    p.add_argument("--chrome", type=Path, default=None,
+                   help="write the Chrome trace-event JSON here "
+                        "(open in chrome://tracing or Perfetto)")
+    p.add_argument("--output", type=Path, default=None,
+                   help="write the text report here instead of stdout")
+    p.add_argument("--compact", action="store_true",
+                   help="single-line Chrome JSON (default: indented)")
+    return p
+
+
+def profile_main(argv: list[str] | None = None) -> int:
+    """``repro profile`` — run once with the profiler on, emit report."""
+    from repro.observability.profile_report import format_profile_report
+    from repro.observability.profiler import (
+        Profiler,
+        chrome_trace_json,
+        to_chrome_trace,
+        validate_chrome_trace,
+    )
+    from repro.observability.tracer import Tracer
+    from repro.parallel.runtime import Runtime
+
+    args = build_profile_parser().parse_args(argv)
+    graph = _load(args.input)
+    config = LeidenConfig(
+        engine=args.engine,
+        quality=args.quality,
+        max_passes=args.max_passes,
+        seed=args.seed,
+    )
+    tracer = Tracer()
+    profiler = Profiler(num_threads=args.threads)
+    rt = Runtime(num_threads=1, seed=args.seed, tracer=tracer,
+                 profiler=profiler)
+    leiden(graph, config, runtime=rt)
+    timeline = profiler.timeline()
+    trace_doc = tracer.to_dict(experiment=str(args.input), seed=args.seed)
+    report = format_profile_report(
+        timeline, trace_doc=trace_doc, top=args.top, title=str(args.input))
+    if args.chrome is not None:
+        doc = to_chrome_trace(
+            timeline, experiment=str(args.input), seed=args.seed)
+        validate_chrome_trace(doc)
+        args.chrome.write_text(chrome_trace_json(
+            doc, indent=None if args.compact else 1) + "\n")
+        print(f"chrome trace written to {args.chrome}")
+    if args.output is not None:
+        args.output.write_text(report + "\n")
+        print(f"report written to {args.output}")
+    else:
+        print(report)
+    return 0
+
+
 def build_serve_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         prog="repro serve",
@@ -177,6 +297,11 @@ def build_serve_parser() -> argparse.ArgumentParser:
     p.add_argument("--trace", type=Path, default=None, dest="trace_output",
                    help="also run with tracing enabled and write the "
                         "span/counter trace JSON here")
+    p.add_argument("--profile", type=Path, default=None,
+                   dest="profile_output",
+                   help="also run with the thread-timeline profiler "
+                        "enabled and write the Chrome trace-event JSON "
+                        "here (request lane + solve timelines)")
     p.add_argument("--compact", action="store_true",
                    help="single-line JSON (default: indented)")
     return p
@@ -192,10 +317,16 @@ def serve_main(argv: list[str] | None = None) -> int:
     args = build_serve_parser().parse_args(argv)
     service_config = ServiceConfig(coalesce_updates=not args.no_coalesce)
     server = None
-    if args.trace_output is not None:
+    if args.trace_output is not None or args.profile_output is not None:
+        from repro.observability.profiler import Profiler
         from repro.observability.tracer import Tracer
 
-        server = PartitionServer(service_config, tracer=Tracer())
+        server = PartitionServer(
+            service_config,
+            tracer=Tracer() if args.trace_output is not None else None,
+            profiler=(Profiler() if args.profile_output is not None
+                      else None),
+        )
     result = run_workload(
         args.workload,
         seed=args.seed,
@@ -217,6 +348,20 @@ def serve_main(argv: list[str] | None = None) -> int:
             seed=args.seed,
         ) + "\n")
         print(f"trace written to {args.trace_output}")
+    if args.profile_output is not None:
+        from repro.observability.profiler import (
+            chrome_trace_json,
+            to_chrome_trace,
+            validate_chrome_trace,
+        )
+
+        doc = to_chrome_trace(
+            server.profiler.timeline(),
+            experiment=f"serve:{args.workload}", seed=args.seed)
+        validate_chrome_trace(doc)
+        args.profile_output.write_text(chrome_trace_json(
+            doc, indent=None if args.compact else 1) + "\n")
+        print(f"profile written to {args.profile_output}")
     if not args.no_verify and not all(
             result.membership_matches_scratch.values()):
         print("error: served membership diverged from from-scratch solve",
@@ -226,7 +371,7 @@ def serve_main(argv: list[str] | None = None) -> int:
 
 
 #: First-token subcommands understood by :func:`main`.
-_SUBCOMMANDS = ("run", "trace", "bench", "serve")
+_SUBCOMMANDS = ("run", "trace", "profile", "bench", "serve")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -237,6 +382,8 @@ def main(argv: list[str] | None = None) -> int:
         return bench_main(argv[1:])
     if argv and argv[0] == "trace":
         return trace_main(argv[1:])
+    if argv and argv[0] == "profile":
+        return profile_main(argv[1:])
     if argv and argv[0] == "serve":
         return serve_main(argv[1:])
     if argv and argv[0] == "run":

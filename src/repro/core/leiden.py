@@ -117,143 +117,198 @@ def leiden(
         "leiden", vertices=int(n0), edges=int(graph.num_edges),
         engine=cfg.engine, quality=cfg.quality,
     )
-    for pass_index in range(cfg.max_passes):
-        pass_ledger = WorkLedger()
-        saved_ledger = rt.ledger
-        rt.ledger = pass_ledger
-        pw: Dict[str, float] = {p: 0.0 for p in wall_phase}
-        n = G.num_vertices
-        pass_span = tracer.push("pass", index=pass_index, vertices=int(n))
+    try:
+        for pass_index in range(cfg.max_passes):
+            pass_ledger = WorkLedger()
+            saved_ledger = rt.ledger
+            rt.ledger = pass_ledger
+            pw: Dict[str, float] = {p: 0.0 for p in wall_phase}
+            n = G.num_vertices
+            pass_span = tracer.push("pass", index=pass_index, vertices=int(n))
 
-        # -- initialization (line 4) -------------------------------------
-        t0 = time.perf_counter()
-        with tracer.span("init"):
-            if cfg.engine == "batch":
-                # One workspace per pass: the kernel scratch buffers are
-                # allocated here and reused by every batch of the move,
-                # refine and aggregate phases — the analogue of the
-                # paper's up-front per-thread hashtable allocation.
-                workspace = rt.workspace(
-                    n, engine=cfg.kernel_engine, phase=PHASE_OTHER
-                )
-            else:
-                workspace = None
-            K = G.vertex_weights().copy()
-            Qv = qual.vertex_quantity(K, sizes)
-            if init_membership is None:
-                C = np.arange(n, dtype=VERTEX_DTYPE)
-                Sigma = Qv.copy()
-            else:
-                C = init_membership.copy()
-                Sigma = np.bincount(C, weights=Qv, minlength=n)
-            rt.record_parallel(np.ones(n), phase=PHASE_OTHER)
-        pw[PHASE_OTHER] += time.perf_counter() - t0
-
-        # -- local-moving phase (line 5) ----------------------------------
-        t0 = time.perf_counter()
-        with tracer.span("local_move", engine=cfg.engine) as mv_span:
-            if cfg.vertex_order != "natural":
-                order = _vertex_order(G, cfg.vertex_order, seed=cfg.seed)
-                ranks = _order_ranks(order)
-            else:
-                order = ranks = None
-            if cfg.engine == "threads":
-                li, _dq = local_move_threads(
-                    G, C, K, Sigma, tau,
-                    runtime=rt,
-                    max_iterations=cfg.max_iterations,
-                    quality=qual,
-                    quantities=Qv,
-                    unprocessed_mask=(first_unprocessed if pass_index == 0
-                                      else None),
-                    pruning=cfg.vertex_pruning,
-                )
-            elif cfg.engine == "batch":
-                li, _dq = local_move_batch(
-                    G, C, K, Sigma, tau,
-                    runtime=rt,
-                    max_iterations=cfg.max_iterations,
-                    batch_size=cfg.batch_size,
-                    quality=qual,
-                    quantities=Qv,
-                    unprocessed_mask=(first_unprocessed if pass_index == 0
-                                      else None),
-                    pruning=cfg.vertex_pruning,
-                    order_ranks=ranks,
-                    workspace=workspace,
-                )
-            else:
-                li, _dq = local_move_loop(
-                    G, C, K, Sigma, tau,
-                    runtime=rt,
-                    max_iterations=cfg.max_iterations,
-                    quality=qual,
-                    quantities=Qv,
-                    unprocessed_mask=(first_unprocessed if pass_index == 0
-                                      else None),
-                    pruning=cfg.vertex_pruning,
-                    order=order,
-                )
-            mv_span.set(iterations=li)
-        pw[PHASE_LOCAL_MOVE] += time.perf_counter() - t0
-
-        # -- refinement phase (lines 6-7) -----------------------------------
-        t0 = time.perf_counter()
-        with tracer.span("refine", enabled=cfg.use_refinement) as rf_span:
-            C_B = C.copy()
-            if cfg.use_refinement:
-                C_ref = np.arange(n, dtype=VERTEX_DTYPE)
-                Sigma_ref = Qv.copy()
+            # -- initialization (line 4) -------------------------------------
+            t0 = time.perf_counter()
+            with tracer.span("init"):
                 if cfg.engine == "batch":
-                    lj = refine_batch(
-                        G, C_B, C_ref, K, Sigma_ref,
+                    # One workspace per pass: the kernel scratch buffers are
+                    # allocated here and reused by every batch of the move,
+                    # refine and aggregate phases — the analogue of the
+                    # paper's up-front per-thread hashtable allocation.
+                    workspace = rt.workspace(
+                        n, engine=cfg.kernel_engine, phase=PHASE_OTHER
+                    )
+                else:
+                    workspace = None
+                K = G.vertex_weights().copy()
+                Qv = qual.vertex_quantity(K, sizes)
+                if init_membership is None:
+                    C = np.arange(n, dtype=VERTEX_DTYPE)
+                    Sigma = Qv.copy()
+                else:
+                    C = init_membership.copy()
+                    Sigma = np.bincount(C, weights=Qv, minlength=n)
+                rt.record_parallel(np.ones(n), phase=PHASE_OTHER)
+            pw[PHASE_OTHER] += time.perf_counter() - t0
+
+            # -- local-moving phase (line 5) ----------------------------------
+            t0 = time.perf_counter()
+            with tracer.span("local_move", engine=cfg.engine) as mv_span:
+                if cfg.vertex_order != "natural":
+                    order = _vertex_order(G, cfg.vertex_order, seed=cfg.seed)
+                    ranks = _order_ranks(order)
+                else:
+                    order = ranks = None
+                if cfg.engine == "threads":
+                    li, _dq = local_move_threads(
+                        G, C, K, Sigma, tau,
                         runtime=rt,
-                        rng=rng,
-                        refinement=cfg.refinement,
-                        batch_size=cfg.batch_size,
-                        guard=cfg.refine_guard,
+                        max_iterations=cfg.max_iterations,
                         quality=qual,
                         quantities=Qv,
+                        unprocessed_mask=(first_unprocessed if pass_index == 0
+                                          else None),
+                        pruning=cfg.vertex_pruning,
+                    )
+                elif cfg.engine == "batch":
+                    li, _dq = local_move_batch(
+                        G, C, K, Sigma, tau,
+                        runtime=rt,
+                        max_iterations=cfg.max_iterations,
+                        batch_size=cfg.batch_size,
+                        quality=qual,
+                        quantities=Qv,
+                        unprocessed_mask=(first_unprocessed if pass_index == 0
+                                          else None),
+                        pruning=cfg.vertex_pruning,
+                        order_ranks=ranks,
                         workspace=workspace,
                     )
                 else:
-                    lj = refine_loop(
-                        G, C_B, C_ref, K, Sigma_ref,
+                    li, _dq = local_move_loop(
+                        G, C, K, Sigma, tau,
                         runtime=rt,
-                        rng=rng,
-                        refinement=cfg.refinement,
+                        max_iterations=cfg.max_iterations,
                         quality=qual,
                         quantities=Qv,
+                        unprocessed_mask=(first_unprocessed if pass_index == 0
+                                          else None),
+                        pruning=cfg.vertex_pruning,
+                        order=order,
                     )
-            else:
-                # GVE-Louvain: aggregation follows the move phase directly.
-                C_ref = C_B
-                lj = 0
-            rf_span.set(moves=lj)
-        pw[PHASE_REFINE] += time.perf_counter() - t0
+                mv_span.set(iterations=li)
+            pw[PHASE_LOCAL_MOVE] += time.perf_counter() - t0
 
-        # -- convergence / shrink checks (lines 8-10) ------------------------
-        t0 = time.perf_counter()
-        converged = li <= 1 and lj == 0
-        C_ref_ren, ref_ids = renumber_membership(C_ref)
-        num_comms = int(ref_ids.shape[0])
-        low_shrink = (
-            cfg.aggregation_tolerance is not None
-            and n > 0
-            and num_comms / n > cfg.aggregation_tolerance
-        )
-        if converged or low_shrink:
-            # Algorithm 1 breaks before line 14's move-based remapping,
-            # so the final dendrogram lookup (line 16) applies the
-            # *refined* membership — which is internally connected by
-            # construction (the CAS discipline of Algorithm 3).
+            # -- refinement phase (lines 6-7) -----------------------------------
+            t0 = time.perf_counter()
+            with tracer.span("refine", enabled=cfg.use_refinement) as rf_span:
+                C_B = C.copy()
+                if cfg.use_refinement:
+                    C_ref = np.arange(n, dtype=VERTEX_DTYPE)
+                    Sigma_ref = Qv.copy()
+                    if cfg.engine == "batch":
+                        lj = refine_batch(
+                            G, C_B, C_ref, K, Sigma_ref,
+                            runtime=rt,
+                            rng=rng,
+                            refinement=cfg.refinement,
+                            batch_size=cfg.batch_size,
+                            guard=cfg.refine_guard,
+                            quality=qual,
+                            quantities=Qv,
+                            workspace=workspace,
+                        )
+                    else:
+                        lj = refine_loop(
+                            G, C_B, C_ref, K, Sigma_ref,
+                            runtime=rt,
+                            rng=rng,
+                            refinement=cfg.refinement,
+                            quality=qual,
+                            quantities=Qv,
+                        )
+                else:
+                    # GVE-Louvain: aggregation follows the move phase directly.
+                    C_ref = C_B
+                    lj = 0
+                rf_span.set(moves=lj)
+            pw[PHASE_REFINE] += time.perf_counter() - t0
+
+            # -- convergence / shrink checks (lines 8-10) ------------------------
+            t0 = time.perf_counter()
+            converged = li <= 1 and lj == 0
+            C_ref_ren, ref_ids = renumber_membership(C_ref)
+            num_comms = int(ref_ids.shape[0])
+            # Convergence monitor: aggregation shrink ratio (communities
+            # per vertex — 1.0 means no shrink) on the pass span, and the
+            # community count as a counter track on the profiler timeline.
+            pass_span.record("aggregation_shrink", num_comms / max(n, 1))
+            rt.profiler.mark("communities", num_comms)
+            low_shrink = (
+                cfg.aggregation_tolerance is not None
+                and n > 0
+                and num_comms / n > cfg.aggregation_tolerance
+            )
+            if converged or low_shrink:
+                # Algorithm 1 breaks before line 14's move-based remapping,
+                # so the final dendrogram lookup (line 16) applies the
+                # *refined* membership — which is internally connected by
+                # construction (the CAS discipline of Algorithm 3).
+                dendrogram.add_level(C_ref_ren)
+                C_top = C_ref_ren[C_top]
+                pw[PHASE_OTHER] += time.perf_counter() - t0
+                rt.record_parallel(np.ones(max(n, 1)), phase=PHASE_OTHER)
+                _close_pass(
+                    passes, pass_index, n, int(np.unique(C_top).shape[0]),
+                    li, lj, tau, pw, pass_ledger,
+                )
+                rt.ledger = saved_ledger
+                rt.ledger.merge(pass_ledger)
+                for p, s in pw.items():
+                    wall_phase[p] += s
+                pass_span.set(
+                    communities=num_comms, move_iterations=li, refine_moves=lj,
+                    converged=bool(converged), low_shrink=bool(low_shrink),
+                )
+                tracer.pop()
+                break
+
+            # -- dendrogram lookup (lines 11-12) ----------------------------------
             dendrogram.add_level(C_ref_ren)
             C_top = C_ref_ren[C_top]
+            rt.record_parallel(np.ones(n0), phase=PHASE_OTHER)
             pw[PHASE_OTHER] += time.perf_counter() - t0
-            rt.record_parallel(np.ones(max(n, 1)), phase=PHASE_OTHER)
+
+            # -- aggregation phase (line 13) ------------------------------------------
+            t0 = time.perf_counter()
+            with tracer.span("aggregate") as ag_span:
+                if cfg.engine == "batch":
+                    G = aggregate_batch(
+                        G, C_ref_ren, num_comms, runtime=rt,
+                        workspace=workspace,
+                    )
+                else:
+                    G = aggregate_loop(G, C_ref_ren, num_comms, runtime=rt)
+                sizes = np.bincount(C_ref_ren, weights=sizes, minlength=num_comms)
+                ag_span.set(super_vertices=int(num_comms),
+                            super_edges=int(G.num_edges))
+            pw[PHASE_AGGREGATE] += time.perf_counter() - t0
+
+            # -- next pass's initial membership (line 14) -------------------------------
+            t0 = time.perf_counter()
+            if cfg.vertex_label == "move" and cfg.use_refinement:
+                # Each super-vertex (refined community) starts in the
+                # community its members held after the local-moving phase.
+                _, first_member = np.unique(C_ref_ren, return_index=True)
+                bound_labels = C_B[first_member]
+                init_membership, _ = renumber_membership(bound_labels)
+            else:
+                init_membership = None
+            tau = cfg.next_tolerance(tau)
+            rt.record_serial(float(num_comms), phase=PHASE_OTHER)
+            pw[PHASE_OTHER] += time.perf_counter() - t0
+
             _close_pass(
-                passes, pass_index, n, int(np.unique(C_top).shape[0]),
-                li, lj, tau, pw, pass_ledger,
+                passes, pass_index, n, num_comms, li, lj, tau, pw, pass_ledger
             )
             rt.ledger = saved_ledger
             rt.ledger.merge(pass_ledger)
@@ -261,73 +316,28 @@ def leiden(
                 wall_phase[p] += s
             pass_span.set(
                 communities=num_comms, move_iterations=li, refine_moves=lj,
-                converged=bool(converged), low_shrink=bool(low_shrink),
+                converged=False, low_shrink=False,
             )
             tracer.pop()
-            break
-
-        # -- dendrogram lookup (lines 11-12) ----------------------------------
-        dendrogram.add_level(C_ref_ren)
-        C_top = C_ref_ren[C_top]
-        rt.record_parallel(np.ones(n0), phase=PHASE_OTHER)
-        pw[PHASE_OTHER] += time.perf_counter() - t0
-
-        # -- aggregation phase (line 13) ------------------------------------------
-        t0 = time.perf_counter()
-        with tracer.span("aggregate") as ag_span:
-            if cfg.engine == "batch":
-                G = aggregate_batch(
-                    G, C_ref_ren, num_comms, runtime=rt,
-                    workspace=workspace,
-                )
-            else:
-                G = aggregate_loop(G, C_ref_ren, num_comms, runtime=rt)
-            sizes = np.bincount(C_ref_ren, weights=sizes, minlength=num_comms)
-            ag_span.set(super_vertices=int(num_comms),
-                        super_edges=int(G.num_edges))
-        pw[PHASE_AGGREGATE] += time.perf_counter() - t0
-
-        # -- next pass's initial membership (line 14) -------------------------------
-        t0 = time.perf_counter()
-        if cfg.vertex_label == "move" and cfg.use_refinement:
-            # Each super-vertex (refined community) starts in the
-            # community its members held after the local-moving phase.
-            _, first_member = np.unique(C_ref_ren, return_index=True)
-            bound_labels = C_B[first_member]
-            init_membership, _ = renumber_membership(bound_labels)
         else:
-            init_membership = None
-        tau = cfg.next_tolerance(tau)
-        rt.record_serial(float(num_comms), phase=PHASE_OTHER)
-        pw[PHASE_OTHER] += time.perf_counter() - t0
+            # Pass budget exhausted: the dendrogram currently maps onto the
+            # *refined* communities of the last pass; move-based labelling
+            # composes the move-phase bound on top (Algorithm 1, line 16
+            # after line 14's remapping).
+            if cfg.vertex_label == "move" and init_membership is not None:
+                dendrogram.add_level(init_membership)
+                C_top = init_membership[C_top]
 
-        _close_pass(
-            passes, pass_index, n, num_comms, li, lj, tau, pw, pass_ledger
-        )
-        rt.ledger = saved_ledger
-        rt.ledger.merge(pass_ledger)
-        for p, s in pw.items():
-            wall_phase[p] += s
-        pass_span.set(
-            communities=num_comms, move_iterations=li, refine_moves=lj,
-            converged=False, low_shrink=False,
-        )
-        tracer.pop()
-    else:
-        # Pass budget exhausted: the dendrogram currently maps onto the
-        # *refined* communities of the last pass; move-based labelling
-        # composes the move-phase bound on top (Algorithm 1, line 16
-        # after line 14's remapping).
-        if cfg.vertex_label == "move" and init_membership is not None:
-            dendrogram.add_level(init_membership)
-            C_top = init_membership[C_top]
-
-    # Final renumbering keeps ids compact regardless of the exit path.
-    C_top, _ = renumber_membership(C_top)
-    wall = time.perf_counter() - t_start
-    run_span.set(passes=len(passes),
-                 communities=int(np.unique(C_top).shape[0]))
-    tracer.pop()
+        # Final renumbering keeps ids compact regardless of the exit path.
+        C_top, _ = renumber_membership(C_top)
+        wall = time.perf_counter() - t_start
+        run_span.set(passes=len(passes),
+                     communities=int(np.unique(C_top).shape[0]))
+    finally:
+        # Close the run span (and any pass/phase
+        # spans left open by an exception) so partial traces
+        # still carry seconds.
+        tracer.unwind(run_span)
     return LeidenResult(
         membership=C_top,
         dendrogram=dendrogram,

@@ -130,9 +130,11 @@ def local_move_batch(
             processed[:] = False
         total_dq = 0.0
         moves = 0
+        visited_iter = 0
         iter_costs = []
         for cls in classes:
             pending = cls[~processed[cls]]
+            visited_iter += int(pending.shape[0])
             if tracer.enabled:
                 tracer.count("pruning_visited", pending.shape[0])
                 tracer.count("pruning_skipped",
@@ -196,6 +198,12 @@ def local_move_batch(
         if tracer.enabled:
             tracer.count("move_iterations")
             tracer.count("local_moves", moves)
+            # Convergence monitor: per-iteration ΔQ and vertices visited
+            # (pruning effectiveness) as ordered series on the open span.
+            tracer.record("move_delta_q", total_dq)
+            tracer.record("move_visited", visited_iter)
+        if runtime.profiler.enabled:
+            runtime.profiler.mark("move_delta_q", total_dq)
         if total_dq <= tolerance:
             break
     return iterations, total_dq
@@ -309,6 +317,10 @@ def local_move_loop(
             tracer.count("local_moves", moves)
             tracer.count("pruning_visited", visited)
             tracer.count("pruning_skipped", n - visited)
+            tracer.record("move_delta_q", total_dq)
+            tracer.record("move_visited", visited)
+        if runtime.profiler.enabled:
+            runtime.profiler.mark("move_delta_q", total_dq)
         if total_dq <= tolerance:
             break
     return iterations, total_dq

@@ -119,10 +119,12 @@ def local_move_threads(
                 iter_moves[0] += local_moves
                 iter_work[0] += local_work
 
+        visited_iter = 0
         for cls in classes:
             pending = cls[~processed[cls]]
             if pending.shape[0] == 0:
                 continue
+            visited_iter += int(pending.shape[0])
             runtime.map_chunks(
                 pending.shape[0],
                 lambda lo, hi, t, p=pending: process_span(p, lo, hi, t),
@@ -134,6 +136,11 @@ def local_move_threads(
                 np.asarray([iter_work[0]]), phase=phase,
                 atomics=2.0 * iter_moves[0],
             )
+        if runtime.tracer.enabled:
+            runtime.tracer.record("move_delta_q", total_dq)
+            runtime.tracer.record("move_visited", visited_iter)
+        if runtime.profiler.enabled:
+            runtime.profiler.mark("move_delta_q", total_dq)
         if total_dq <= tolerance:
             break
     return iterations, total_dq

@@ -213,6 +213,11 @@ def refine_batch(
     if tracer.enabled:
         tracer.count("refine_moves", total_moves)
         tracer.count("refine_cas_rejects", decided_moves - total_moves)
+        # Convergence monitor: split count of this sweep (merges applied,
+        # i.e. singleton sub-communities that split off their bound).
+        tracer.record("refine_splits", total_moves)
+    if runtime.profiler.enabled:
+        runtime.profiler.mark("refine_splits", total_moves)
     return total_moves
 
 
@@ -310,6 +315,9 @@ def refine_loop(
         tracer.count("refine_isolated", isolated)
         tracer.count("refine_moves", moves)
         tracer.count("refine_cas_rejects", cas_rejects)
+        tracer.record("refine_splits", moves)
+    if runtime.profiler.enabled:
+        runtime.profiler.mark("refine_splits", moves)
     return moves
 
 

@@ -31,6 +31,7 @@ from repro.core._kernels import (
     segmented_argmax_sorted,
 )
 from repro.errors import ConfigError
+from repro.observability.tracer import NULL_TRACER
 
 __all__ = ["KERNEL_ENGINES", "KernelWorkspace"]
 
@@ -82,6 +83,7 @@ class KernelWorkspace:
         # batch are ever touched, so it is allocated once and never
         # cleared.  np.empty: contents are irrelevant by construction.
         self._map = np.empty(max(self.num_vertices, 1), dtype=np.int64)
+        self._tracer = runtime.tracer if runtime is not None else NULL_TRACER
         if runtime is not None:
             self._account_allocation(runtime, phase)
 
@@ -98,8 +100,15 @@ class KernelWorkspace:
 
     # -- kernel dispatch ---------------------------------------------------
 
+    def _count_dispatch(self, kernel: str) -> None:
+        """Per-kernel dispatch counter (``kernel_<engine>_<kernel>``) so
+        traces show which engine served each phase."""
+        if self._tracer.enabled:
+            self._tracer.count(f"kernel_{self.engine}_{kernel}")
+
     def pair_sums(self, seg, comm, weights, num_segments: int):
         """``segment_pair_sums`` through the selected kernel family."""
+        self._count_dispatch("pair_sums")
         if self.engine == "count":
             return segment_pair_sums_count(
                 seg, comm, weights, num_segments, self._map,
@@ -109,16 +118,19 @@ class KernelWorkspace:
 
     def argmax(self, seg, values):
         """Segmented argmax; ``seg`` is sorted by kernel-output contract."""
+        self._count_dispatch("argmax")
         if self.engine == "count":
             return segmented_argmax_sorted(seg, values)
         return segmented_argmax(seg, values)
 
     def scatter_add(self, target, idx, weights) -> None:
         """Scatter-add with duplicate indices (bincount, both engines)."""
+        self._count_dispatch("scatter_add")
         scatter_add(target, idx, weights, self._map)
 
     def compact(self, keys):
         """Dense ``0..u-1`` relabeling of ``keys`` through the map."""
+        self._count_dispatch("compact")
         return compact_keys(keys, self._map)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

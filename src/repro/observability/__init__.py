@@ -7,17 +7,36 @@ signals as first-class, machine-readable data rather than ad-hoc bench
 prints.  This package provides:
 
 - :mod:`repro.observability.tracer` — nested spans (run → pass → phase)
-  with attached counters, recorded behind a zero-cost-when-disabled API
-  (the :data:`~repro.observability.tracer.NULL_TRACER` singleton), and
-  emitted as stable JSON (``repro.trace/1`` schema);
+  with attached counters and ordered series, recorded behind a
+  zero-cost-when-disabled API (the
+  :data:`~repro.observability.tracer.NULL_TRACER` singleton), and
+  emitted as stable JSON (``repro.trace/2`` schema; ``migrate_trace``
+  converts for ``/1`` consumers);
+- :mod:`repro.observability.profiler` — the thread-timeline event log of
+  the simulated runtime (per-thread chunk/atomic/barrier events on the
+  simulated clock) with a Chrome trace-event exporter, behind the same
+  zero-cost pattern (:data:`~repro.observability.profiler.NULL_PROFILER`);
+- :mod:`repro.observability.profile_report` — critical-path, barrier-wait
+  and load-imbalance attribution over a timeline, rendered as the
+  deterministic ``repro profile`` text report;
 - :mod:`repro.observability.regression` — per-experiment performance
   baselines (``benchmarks/baselines/*.json``) and the comparison logic
-  behind ``repro bench --check``, the CI perf-regression gate.
+  behind ``repro bench --check``, the CI perf-regression gate, plus the
+  trace-diff and schema-migration helpers.
 """
 
+from repro.observability.profiler import (
+    NULL_PROFILER,
+    PROFILE_SCHEMA,
+    Profiler,
+    Timeline,
+    to_chrome_trace,
+    validate_chrome_trace,
+)
 from repro.observability.tracer import (
     NULL_TRACER,
     TRACE_SCHEMA,
+    TRACE_SCHEMA_V1,
     Span,
     Tracer,
 )
@@ -34,10 +53,14 @@ _REGRESSION_EXPORTS = frozenset({
     "Thresholds",
     "compare_metrics",
     "default_baseline_dir",
+    "diff_trace_docs",
     "format_checks",
+    "format_trace_diff",
     "measure_experiment",
+    "migrate_trace",
     "record_baselines",
     "run_check",
+    "run_profile",
     "run_trace",
 })
 
@@ -51,10 +74,17 @@ def __getattr__(name: str):
 
 
 __all__ = [
+    "NULL_PROFILER",
     "NULL_TRACER",
+    "PROFILE_SCHEMA",
+    "Profiler",
     "Span",
+    "Timeline",
     "Tracer",
     "TRACE_SCHEMA",
+    "TRACE_SCHEMA_V1",
+    "to_chrome_trace",
+    "validate_chrome_trace",
     "BASELINE_SCHEMA",
     "Baseline",
     "MetricCheck",
@@ -62,9 +92,13 @@ __all__ = [
     "Thresholds",
     "compare_metrics",
     "default_baseline_dir",
+    "diff_trace_docs",
     "format_checks",
+    "format_trace_diff",
     "measure_experiment",
+    "migrate_trace",
     "record_baselines",
     "run_check",
+    "run_profile",
     "run_trace",
 ]

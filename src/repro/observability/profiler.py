@@ -1,0 +1,542 @@
+"""Thread-timeline profiler over the simulated runtime.
+
+The tracer (:mod:`repro.observability.tracer`) answers *how much* — span
+totals and counters.  This module answers *where and when on the modelled
+machine*: every parallel-for the simulated runtime records is captured as
+a :class:`RegionRecord` (per-chunk work units, schedule, atomics, the
+tracer span path as its label), and :meth:`Profiler.timeline` lays those
+regions out as per-thread :class:`ThreadEvent` intervals on the simulated
+clock — chunk executions, the per-thread atomic share, and barrier waits
+— using exactly the cost-model arithmetic of
+:meth:`repro.parallel.simthread.WorkLedger.simulate`, so the timeline's
+per-phase totals agree with the modelled runtime.
+
+Consumers:
+
+- :func:`to_chrome_trace` emits the timeline in Chrome trace-event JSON
+  (``chrome://tracing`` / Perfetto; one lane per simulated thread, one
+  extra ``service`` lane for :class:`~repro.service.server.
+  PartitionServer` request events, counter tracks for convergence marks);
+- :mod:`repro.observability.profile_report` computes the critical-path /
+  barrier-wait / load-imbalance attribution and the top-N text report
+  behind ``repro profile``.
+
+Capture is opt-in with the usual zero-cost disabled path: the runtime
+holds :data:`NULL_PROFILER` by default and instrumented code guards on
+``profiler.enabled``.  Everything is deterministic — two runs at the same
+seed produce byte-identical Chrome trace JSON.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.parallel.costmodel import PAPER_MACHINE, MachineModel
+from repro.parallel.schedule import Schedule
+
+__all__ = [
+    "PROFILE_SCHEMA",
+    "Mark",
+    "NULL_PROFILER",
+    "NullProfiler",
+    "Profiler",
+    "RegionRecord",
+    "RegionTiming",
+    "RequestRecord",
+    "ThreadEvent",
+    "Timeline",
+    "to_chrome_trace",
+    "validate_chrome_trace",
+]
+
+#: Version tag embedded in the Chrome trace document's ``otherData``.
+PROFILE_SCHEMA = "repro.profile/1"
+
+#: Event categories emitted on the timeline.
+CAT_CHUNK = "chunk"
+CAT_ATOMICS = "atomics"
+CAT_BARRIER = "barrier"
+CAT_SERIAL = "serial"
+CAT_REQUEST = "request"
+
+#: Chrome trace process ids: the simulated machine and the service lane.
+PID_MACHINE = 0
+PID_SERVICE = 1
+
+
+@dataclass(frozen=True)
+class RegionRecord:
+    """One captured execution region (mirror of the ledger's ``Region``)."""
+
+    index: int
+    kind: str                 # "parallel" | "serial"
+    phase: str
+    label: str                # tracer span path at record time, or phase
+    chunk_costs: np.ndarray   # per-chunk work units; 1-elem for serial
+    schedule: Schedule
+    atomics: float
+
+
+@dataclass(frozen=True)
+class Mark:
+    """A point annotation anchored to the end of region ``region_index-1``
+    (i.e. recorded after that many regions); rendered as a Chrome counter
+    sample — the convergence monitor's per-iteration ΔQ markers."""
+
+    region_index: int
+    name: str
+    value: float
+
+
+@dataclass(frozen=True)
+class RequestRecord:
+    """One service request interval on the server's logical clock."""
+
+    name: str
+    start_units: float
+    duration_units: float
+    args: Tuple[Tuple[str, object], ...] = ()
+
+
+@dataclass(frozen=True)
+class ThreadEvent:
+    """One interval on one simulated-thread lane (seconds)."""
+
+    tid: int
+    name: str
+    cat: str
+    start: float
+    end: float
+    args: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class RegionTiming:
+    """Per-region timing summary derived while building the timeline."""
+
+    record: RegionRecord
+    start: float
+    end: float                     # incl. atomic share + barrier
+    busy: np.ndarray               # per-thread busy seconds (chunks+atomics)
+    barrier_cost: float            # modelled barrier seconds of this region
+    imbalance_wait: float          # sum over threads of (span - finish)
+
+    @property
+    def seconds(self) -> float:
+        return self.end - self.start
+
+
+class Timeline:
+    """The fully laid-out thread timeline at one thread count."""
+
+    def __init__(
+        self,
+        num_threads: int,
+        machine: MachineModel,
+        events: List[ThreadEvent],
+        regions: List[RegionTiming],
+        marks: List[Tuple[float, Mark]],
+        requests: List[RequestRecord],
+    ) -> None:
+        self.num_threads = num_threads
+        self.machine = machine
+        self.events = events
+        self.regions = regions
+        self.marks = marks
+        self.requests = requests
+
+    @property
+    def total_seconds(self) -> float:
+        return self.regions[-1].end if self.regions else 0.0
+
+    def phase_seconds(self) -> Dict[str, float]:
+        """Timeline seconds per phase tag (region span incl. barrier)."""
+        out: Dict[str, float] = {}
+        for r in self.regions:
+            out[r.record.phase] = out.get(r.record.phase, 0.0) + r.seconds
+        return out
+
+    def thread_busy_seconds(self) -> np.ndarray:
+        """Total busy seconds per thread lane."""
+        busy = np.zeros(self.num_threads)
+        for r in self.regions:
+            busy += r.busy
+        return busy
+
+
+def _assign_greedy(costs: np.ndarray, num_threads: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Earliest-free-thread chunk assignment (OpenMP dynamic semantics).
+
+    Ties break toward the lowest thread id, which leaves the makespan
+    identical to :func:`repro.parallel.schedule.makespan` (tied threads
+    are interchangeable).  Returns ``(owner, start_units)`` per chunk.
+    """
+    n = costs.shape[0]
+    owner = np.empty(n, dtype=np.int32)
+    start = np.empty(n, dtype=np.float64)
+    heap = [(0.0, t) for t in range(num_threads)]
+    heapq.heapify(heap)
+    for c in range(n):
+        busy, t = heapq.heappop(heap)
+        owner[c] = t
+        start[c] = busy
+        heapq.heappush(heap, (busy + float(costs[c]), t))
+    return owner, start
+
+
+def _assign_static(costs: np.ndarray, num_threads: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Round-robin chunk assignment (OpenMP static semantics)."""
+    n = costs.shape[0]
+    owner = (np.arange(n, dtype=np.int64) % num_threads).astype(np.int32)
+    start = np.empty(n, dtype=np.float64)
+    busy = np.zeros(num_threads)
+    for c in range(n):
+        t = owner[c]
+        start[c] = busy[t]
+        busy[t] += float(costs[c])
+    return owner, start
+
+
+class Profiler:
+    """Captures region records during a run; builds timelines on demand.
+
+    Parameters
+    ----------
+    machine:
+        Machine model timing the events (default: the paper testbed).
+    num_threads:
+        Default thread count of :meth:`timeline` and of the modelled
+        region seconds returned by :meth:`record_region` (which the
+        runtime feeds back into the tracer as the
+        ``modeled_region_seconds`` counter).
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        *,
+        machine: MachineModel | None = None,
+        num_threads: int = 8,
+    ) -> None:
+        if num_threads < 1:
+            raise ValueError("num_threads must be >= 1")
+        self.machine = machine or PAPER_MACHINE
+        self.num_threads = int(num_threads)
+        self.regions: List[RegionRecord] = []
+        self.marks: List[Mark] = []
+        self.requests: List[RequestRecord] = []
+        self._request_cursor = 0.0
+
+    # -- capture (called by the runtime / phases / server) -----------------
+
+    def record_region(self, region, *, label: str | None = None) -> float:
+        """Capture one ledger region; returns its modelled seconds at
+        :attr:`num_threads` (what the region contributes to the timeline
+        clock, barrier included)."""
+        rec = RegionRecord(
+            index=len(self.regions),
+            kind=region.kind,
+            phase=region.phase,
+            label=label or region.phase,
+            chunk_costs=region.chunk_costs,
+            schedule=region.schedule,
+            atomics=region.atomics,
+        )
+        self.regions.append(rec)
+        return self._region_seconds(rec, self.num_threads)
+
+    def mark(self, name: str, value: float = 1.0) -> None:
+        """Annotate the current point of the run (between regions)."""
+        self.marks.append(Mark(len(self.regions), name, float(value)))
+
+    def request(self, name: str, duration_units: float, **args) -> None:
+        """Record one service request interval on the logical clock."""
+        self.requests.append(RequestRecord(
+            name, self._request_cursor, float(duration_units),
+            tuple(sorted(args.items())),
+        ))
+        self._request_cursor += float(duration_units)
+
+    # -- timing ------------------------------------------------------------
+
+    def _region_seconds(self, rec: RegionRecord, num_threads: int) -> float:
+        m = self.machine
+        if rec.kind == "serial":
+            return float(rec.chunk_costs[0]) * m.time_per_unit
+        costs = rec.chunk_costs + m.chunk_overhead_units
+        if rec.schedule.kind == "static":
+            per_thread = np.bincount(
+                np.arange(costs.shape[0], dtype=np.int64) % num_threads,
+                weights=costs, minlength=num_threads)
+            span = float(per_thread.max())
+        elif num_threads <= 1:
+            span = float(costs.sum())
+        else:
+            heap = [0.0] * num_threads
+            heapq.heapify(heap)
+            for c in costs:
+                heapq.heappush(heap, heapq.heappop(heap) + float(c))
+            span = max(heap)
+        slowdown = m.parallel_slowdown(num_threads)
+        seconds = span * m.time_per_unit * slowdown
+        seconds += (rec.atomics * m.atomic_seconds * slowdown
+                    / max(1, num_threads))
+        seconds += m.barrier_seconds(num_threads)
+        return seconds
+
+    def timeline(self, num_threads: int | None = None) -> Timeline:
+        """Lay every captured region out on per-thread lanes.
+
+        Mirrors :meth:`~repro.parallel.simthread.WorkLedger.simulate`
+        region by region: chunk durations pay the machine's per-thread
+        slowdown, every thread appends its equal share of the region's
+        atomics, and the region closes with an implicit barrier — each
+        thread's gap between its own finish and the region end becomes a
+        ``barrier`` wait event (imbalance + barrier cost).
+        """
+        T = int(num_threads) if num_threads is not None else self.num_threads
+        if T < 1:
+            raise ValueError("num_threads must be >= 1")
+        m = self.machine
+        slowdown = m.parallel_slowdown(T)
+        unit_sec = m.time_per_unit * slowdown
+        bar = m.barrier_seconds(T)
+        events: List[ThreadEvent] = []
+        regions: List[RegionTiming] = []
+        clock = 0.0
+        for rec in self.regions:
+            t0 = clock
+            busy = np.zeros(T)
+            if rec.kind == "serial":
+                dur = float(rec.chunk_costs[0]) * m.time_per_unit
+                events.append(ThreadEvent(
+                    0, rec.label, CAT_SERIAL, t0, t0 + dur,
+                    {"region": rec.index, "phase": rec.phase,
+                     "work_units": float(rec.chunk_costs[0])},
+                ))
+                busy[0] = dur
+                regions.append(RegionTiming(
+                    record=rec, start=t0, end=t0 + dur, busy=busy,
+                    barrier_cost=0.0, imbalance_wait=dur * (T - 1),
+                ))
+                clock = t0 + dur
+                continue
+            costs = rec.chunk_costs + m.chunk_overhead_units
+            if rec.schedule.kind == "static":
+                owner, start_units = _assign_static(costs, T)
+            else:
+                owner, start_units = _assign_greedy(costs, T)
+            finish = np.zeros(T)
+            for c in range(costs.shape[0]):
+                tid = int(owner[c])
+                s = t0 + start_units[c] * unit_sec
+                e = s + float(costs[c]) * unit_sec
+                events.append(ThreadEvent(
+                    tid, rec.label, CAT_CHUNK, s, e,
+                    {"region": rec.index, "phase": rec.phase, "chunk": c,
+                     "work_units": float(rec.chunk_costs[c])},
+                ))
+                finish[tid] = e - t0
+            share = rec.atomics * m.atomic_seconds * slowdown / T
+            if share > 0.0:
+                for tid in range(T):
+                    events.append(ThreadEvent(
+                        tid, f"{rec.label} (atomics)", CAT_ATOMICS,
+                        t0 + finish[tid], t0 + finish[tid] + share,
+                        {"region": rec.index, "phase": rec.phase,
+                         "atomic_ops": rec.atomics / T},
+                    ))
+                finish += share
+            span = float(finish.max())
+            end = t0 + span + bar
+            waits = span - finish
+            for tid in range(T):
+                wait = float(waits[tid]) + bar
+                if wait > 0.0:
+                    events.append(ThreadEvent(
+                        tid, f"{rec.label} (barrier)", CAT_BARRIER,
+                        t0 + float(finish[tid]), end,
+                        {"region": rec.index, "phase": rec.phase},
+                    ))
+            regions.append(RegionTiming(
+                record=rec, start=t0, end=end, busy=finish.copy(),
+                barrier_cost=bar, imbalance_wait=float(waits.sum()),
+            ))
+            clock = end
+        # Anchor marks to the end of the region they follow.
+        ends = [r.end for r in regions]
+        placed_marks = [
+            (ends[mk.region_index - 1] if mk.region_index > 0 else 0.0, mk)
+            for mk in self.marks
+        ]
+        return Timeline(T, m, events, regions, placed_marks,
+                        list(self.requests))
+
+
+class NullProfiler:
+    """Disabled profiler: every operation is a no-op."""
+
+    enabled = False
+
+    def record_region(self, region, *, label: str | None = None) -> float:
+        return 0.0
+
+    def mark(self, name: str, value: float = 1.0) -> None:
+        return None
+
+    def request(self, name: str, duration_units: float, **args) -> None:
+        return None
+
+
+#: Module-level disabled profiler; the runtime default.
+NULL_PROFILER = NullProfiler()
+
+
+# -- Chrome trace-event export ------------------------------------------------
+
+
+def to_chrome_trace(timeline: Timeline, **meta) -> dict:
+    """The timeline as a Chrome trace-event JSON document.
+
+    Loadable in ``chrome://tracing`` and Perfetto: one lane per simulated
+    thread under the machine process, service requests under their own
+    process, convergence marks as counter tracks.  Timestamps are the
+    simulated clock in microseconds; the document is deterministic (byte
+    identical across runs at a fixed seed).
+    """
+    m = timeline.machine
+    events: List[dict] = [
+        {"ph": "M", "name": "process_name", "pid": PID_MACHINE, "tid": 0,
+         "args": {"name": f"simulated {m.name} @ {timeline.num_threads} "
+                          f"threads"}},
+    ]
+    for tid in range(timeline.num_threads):
+        events.append({"ph": "M", "name": "thread_name", "pid": PID_MACHINE,
+                       "tid": tid, "args": {"name": f"thread {tid}"}})
+    if timeline.requests:
+        events.append({"ph": "M", "name": "process_name",
+                       "pid": PID_SERVICE, "tid": 0,
+                       "args": {"name": "partition server"}})
+        events.append({"ph": "M", "name": "thread_name", "pid": PID_SERVICE,
+                       "tid": 0, "args": {"name": "service"}})
+    for ev in timeline.events:
+        events.append({
+            "ph": "X", "name": ev.name, "cat": ev.cat,
+            "pid": PID_MACHINE, "tid": ev.tid,
+            "ts": ev.start * 1e6, "dur": ev.duration * 1e6,
+            "args": ev.args,
+        })
+    for ts, mk in timeline.marks:
+        events.append({
+            "ph": "C", "name": mk.name, "cat": "convergence",
+            "pid": PID_MACHINE, "tid": 0, "ts": ts * 1e6,
+            "args": {"value": mk.value},
+        })
+    unit_us = m.time_per_unit * 1e6
+    for req in timeline.requests:
+        events.append({
+            "ph": "X", "name": req.name, "cat": CAT_REQUEST,
+            "pid": PID_SERVICE, "tid": 0,
+            "ts": req.start_units * unit_us,
+            "dur": req.duration_units * unit_us,
+            "args": dict(req.args),
+        })
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "schema": PROFILE_SCHEMA,
+            "machine": m.as_dict(),
+            "num_threads": timeline.num_threads,
+            **meta,
+        },
+    }
+
+
+def chrome_trace_json(doc: dict, *, indent: int | None = None) -> str:
+    """Serialize a Chrome trace document deterministically."""
+    return json.dumps(doc, indent=indent, sort_keys=True)
+
+
+def validate_chrome_trace(doc: dict) -> Dict[str, object]:
+    """Validate a Chrome trace-event document against the event schema.
+
+    Checks the structural contract this module guarantees: required
+    top-level keys, required per-event fields per phase type,
+    non-negative timestamps/durations, and that each thread lane's
+    duration events are non-overlapping in time order.  Raises
+    ``ValueError`` on the first violation; returns summary statistics
+    (event count, lanes, duration) on success — what the CI profile
+    smoke step asserts on.
+    """
+    if not isinstance(doc, dict):
+        raise ValueError("trace document must be a JSON object")
+    for key in ("traceEvents", "otherData"):
+        if key not in doc:
+            raise ValueError(f"trace document missing {key!r}")
+    other = doc["otherData"]
+    if other.get("schema") != PROFILE_SCHEMA:
+        raise ValueError(
+            f"unsupported profile schema {other.get('schema')!r} "
+            f"(expected {PROFILE_SCHEMA!r})")
+    events = doc["traceEvents"]
+    if not isinstance(events, list) or not events:
+        raise ValueError("traceEvents must be a non-empty list")
+    lanes: Dict[Tuple[int, int], float] = {}
+    named_lanes = 0
+    end = 0.0
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict) or "ph" not in ev:
+            raise ValueError(f"event {i} is not an object with 'ph'")
+        ph = ev["ph"]
+        if ph not in ("M", "X", "C", "i"):
+            raise ValueError(f"event {i} has unknown phase type {ph!r}")
+        if ph == "M":
+            if ev.get("name") == "thread_name":
+                named_lanes += 1
+            continue
+        for key in ("name", "ts", "pid", "tid"):
+            if key not in ev:
+                raise ValueError(f"event {i} ({ph}) missing {key!r}")
+        if ev["ts"] < 0:
+            raise ValueError(f"event {i} has negative ts")
+        if ph != "X":
+            continue
+        if "dur" not in ev or ev["dur"] < 0:
+            raise ValueError(f"event {i} missing or negative dur")
+        lane = (ev["pid"], ev["tid"])
+        # Lanes interleave in emission order only within a lane when the
+        # category is an execution interval; barrier waits overlap the
+        # next region's chunks never (regions are sequential), so all X
+        # events on a lane must be non-overlapping.
+        prev_end = lanes.get(lane, 0.0)
+        if ev["ts"] < prev_end - 1e-6:
+            raise ValueError(
+                f"event {i} overlaps previous event on lane {lane}")
+        lanes[lane] = ev["ts"] + ev["dur"]
+        end = max(end, ev["ts"] + ev["dur"])
+    if named_lanes < int(other.get("num_threads", 1)):
+        raise ValueError("missing thread_name metadata for some lanes")
+    return {
+        "events": len(events),
+        "lanes": len(lanes),
+        "named_lanes": named_lanes,
+        "duration_us": end,
+    }
+
+
+def _lane_events(timeline: Timeline, tid: int) -> List[ThreadEvent]:
+    """All events of one thread lane in start order (test helper)."""
+    evs = [e for e in timeline.events if e.tid == tid]
+    evs.sort(key=lambda e: (e.start, e.end))
+    return evs

@@ -33,7 +33,12 @@ from repro.core.leiden import leiden
 from repro.core.result import LeidenResult
 from repro.datasets.registry import load_graph
 from repro.metrics.modularity import modularity
-from repro.observability.tracer import NULL_TRACER, Tracer
+from repro.observability.tracer import (
+    NULL_TRACER,
+    TRACE_SCHEMA,
+    TRACE_SCHEMA_V1,
+    Tracer,
+)
 from repro.parallel.costmodel import PAPER_MACHINE
 from repro.parallel.runtime import Runtime
 
@@ -48,12 +53,16 @@ __all__ = [
     "compare_metrics",
     "compare_service_docs",
     "default_baseline_dir",
+    "diff_trace_docs",
     "format_checks",
+    "format_trace_diff",
     "measure_experiment",
     "measure_service",
+    "migrate_trace",
     "record_baselines",
     "record_service_baselines",
     "run_check",
+    "run_profile",
     "run_trace",
 ]
 
@@ -68,6 +77,9 @@ SERVICE_BASELINE_SCHEMA = "repro.service-baseline/1"
 
 #: Version tag of the multi-experiment bundle written by ``bench --trace``.
 TRACE_BUNDLE_SCHEMA = "repro.trace-bundle/1"
+
+#: Version tag of the profile bundle written by ``bench --profile``.
+PROFILE_BUNDLE_SCHEMA = "repro.profile-bundle/1"
 
 #: Smoke-experiment graphs the committed baselines cover: one road
 #: network (sparse, many passes), one web graph, one social network —
@@ -207,16 +219,20 @@ def measure_experiment(
     num_threads: int = 64,
     config: Optional[dict] = None,
     tracer: Optional[Tracer] = None,
+    profiler=None,
 ) -> Tuple[RunMetrics, LeidenResult]:
     """Run one smoke experiment and collect its gated metrics.
 
     ``num_threads`` selects the thread count the *modelled* runtime is
     evaluated at (the execution itself is the deterministic simulated
-    runtime).  Pass a :class:`Tracer` to also capture the span tree.
+    runtime).  Pass a :class:`Tracer` to also capture the span tree, a
+    :class:`~repro.observability.profiler.Profiler` to capture the
+    thread-timeline event log.
     """
     graph = load_graph(graph_name)
     cfg = LeidenConfig(**{"seed": seed, **(config or {})})
-    rt = Runtime(num_threads=1, seed=cfg.seed, tracer=tracer or NULL_TRACER)
+    rt = Runtime(num_threads=1, seed=cfg.seed, tracer=tracer or NULL_TRACER,
+                 profiler=profiler)
     t0 = time.perf_counter()
     result = leiden(graph, cfg, runtime=rt)
     wall = time.perf_counter() - t0
@@ -488,10 +504,11 @@ def run_trace(
     seed: int = 42,
     num_threads: int = 64,
 ) -> dict:
-    """Traced smoke runs: one ``repro.trace/1`` document per graph.
+    """Traced smoke runs: one ``repro.trace/2`` document per graph.
 
     The body of ``repro bench --trace``; the result is written as the CI
-    trace artifact.
+    trace artifact.  Feed the documents through :func:`migrate_trace` for
+    tooling still expecting the ``repro.trace/1`` shape.
     """
     experiments: Dict[str, dict] = {}
     for graph_name in graphs:
@@ -511,3 +528,178 @@ def run_trace(
         "version": __version__,
         "experiments": experiments,
     }
+
+
+def run_profile(
+    graphs: Sequence[str] = DEFAULT_BASELINE_GRAPHS,
+    *,
+    seed: int = 42,
+    num_threads: int = 8,
+    top: int = 5,
+) -> dict:
+    """Profiled smoke runs: Chrome trace + text report per graph.
+
+    The body of ``repro bench --profile``; written next to the trace
+    bundle as a CI artifact so every benchmark run ships an inspectable
+    thread timeline.
+    """
+    from repro.observability.profile_report import format_profile_report
+    from repro.observability.profiler import Profiler, to_chrome_trace
+
+    experiments: Dict[str, dict] = {}
+    for graph_name in graphs:
+        tracer = Tracer()
+        profiler = Profiler(num_threads=num_threads)
+        metrics, _ = measure_experiment(
+            graph_name, seed=seed, num_threads=num_threads,
+            tracer=tracer, profiler=profiler,
+        )
+        timeline = profiler.timeline()
+        trace_doc = tracer.to_dict(experiment=graph_name, seed=seed)
+        experiments[graph_name] = {
+            "chrome": to_chrome_trace(
+                timeline, experiment=graph_name, seed=seed),
+            "report": format_profile_report(
+                timeline, trace_doc=trace_doc, top=top, title=graph_name),
+            "metrics": metrics.to_dict(),
+        }
+    return {
+        "schema": PROFILE_BUNDLE_SCHEMA,
+        "version": __version__,
+        "experiments": experiments,
+    }
+
+
+# -- trace schema migration and diffing ---------------------------------------
+
+
+def _strip_series(span: dict) -> dict:
+    out = {k: v for k, v in span.items() if k != "series"}
+    if "children" in out:
+        out["children"] = [_strip_series(c) for c in out["children"]]
+    return out
+
+
+def migrate_trace(doc: dict, *, target: str = TRACE_SCHEMA_V1) -> dict:
+    """Convert a trace document between schema versions.
+
+    The only supported migration is ``repro.trace/2`` →
+    ``repro.trace/1`` (drop the per-span ``series`` blocks the
+    convergence monitor added); a document already at ``target`` passes
+    through as a copy.  Consumers written against ``/1`` call this shim
+    instead of rejecting newer traces.
+    """
+    schema = doc.get("schema")
+    if target not in (TRACE_SCHEMA, TRACE_SCHEMA_V1):
+        raise ValueError(f"unknown target schema {target!r}")
+    if schema == target:
+        return json.loads(json.dumps(doc))
+    if schema == TRACE_SCHEMA and target == TRACE_SCHEMA_V1:
+        out = {k: v for k, v in doc.items() if k != "spans"}
+        out["schema"] = target
+        out["spans"] = [
+            _strip_series(json.loads(json.dumps(s)))
+            for s in doc.get("spans", [])
+        ]
+        return out
+    raise ValueError(
+        f"cannot migrate trace schema {schema!r} to {target!r}")
+
+
+def _span_seconds_by_path(doc: dict) -> Dict[str, float]:
+    """Flatten a trace document's span tree to ``path -> seconds``.
+
+    Sibling spans sharing a name are disambiguated by the span's
+    ``index`` attr when present, else by occurrence order — matching
+    :meth:`Tracer.span_path`'s ``pass[0]`` notation.
+    """
+    out: Dict[str, float] = {}
+
+    def walk(spans, prefix):
+        seen: Dict[str, int] = {}
+        for s in spans:
+            name = s.get("name", "?")
+            attrs = s.get("attrs", {})
+            if "index" in attrs:
+                label = f"{name}[{attrs['index']}]"
+            else:
+                k = seen.get(name, 0)
+                seen[name] = k + 1
+                label = name if k == 0 else f"{name}#{k}"
+            path = f"{prefix}/{label}" if prefix else label
+            out[path] = out.get(path, 0.0) + float(s.get("seconds", 0.0))
+            walk(s.get("children", ()), path)
+
+    walk(doc.get("spans", ()), "")
+    return out
+
+
+def diff_trace_docs(a: dict, b: dict) -> List[dict]:
+    """Deterministic field-level delta between two trace documents.
+
+    Either document may be ``/1`` or ``/2``.  Returns one row per
+    compared field, sorted by ``(kind, name)``: all counters and derived
+    metrics (deterministic at a fixed seed — any drift is a real
+    behavioural change) plus per-span-path wall seconds (informational;
+    wall clock is machine-noisy).
+    """
+    rows: List[dict] = []
+    for kind, key in (("counter", "counters"), ("derived", "derived")):
+        da = a.get(key, {}) or {}
+        db = b.get(key, {}) or {}
+        for name in sorted(set(da) | set(db)):
+            rows.append({"kind": kind, "name": name,
+                         "a": da.get(name), "b": db.get(name)})
+    sa = _span_seconds_by_path(a)
+    sb = _span_seconds_by_path(b)
+    for name in sorted(set(sa) | set(sb)):
+        rows.append({"kind": "seconds", "name": name,
+                     "a": sa.get(name), "b": sb.get(name)})
+    return rows
+
+
+def _fmt_val(v) -> str:
+    return "-" if v is None else f"{v:.6g}"
+
+
+def format_trace_diff(
+    rows: Sequence[dict], *, label_a: str = "A", label_b: str = "B"
+) -> Tuple[str, int]:
+    """Render a trace diff; returns ``(text, num_deterministic_diffs)``.
+
+    Counter/derived rows that differ are flagged ``DIFF`` and counted
+    (``repro trace --diff --strict`` gates on that count); identical
+    rows are summarized.  Seconds rows always print with their relative
+    change but never count as regressions here — that is the bench
+    gate's job.
+    """
+    lines = [f"trace diff: A={label_a}  B={label_b}"]
+    diffs = 0
+    for kind, title in (("counter", "counters"), ("derived", "derived metrics")):
+        sel = [r for r in rows if r["kind"] == kind]
+        if not sel:
+            continue
+        changed = [r for r in sel if r["a"] != r["b"]]
+        lines.append(f"{title}: {len(sel) - len(changed)}/{len(sel)} identical")
+        for r in changed:
+            diffs += 1
+            a, b = r["a"], r["b"]
+            if a is not None and b is not None and a != 0:
+                rel = f"  ({(b - a) / abs(a):+.1%})"
+            else:
+                rel = ""
+            lines.append(f"  [DIFF] {r['name']:<28} "
+                         f"A={_fmt_val(a)}  B={_fmt_val(b)}{rel}")
+    sel = [r for r in rows if r["kind"] == "seconds"]
+    if sel:
+        lines.append("span seconds (wall clock, informational):")
+        for r in sel:
+            a, b = r["a"], r["b"]
+            if a and b:
+                rel = f"  ({(b - a) / abs(a):+.1%})"
+            else:
+                rel = ""
+            lines.append(f"  {r['name']:<36} "
+                         f"A={_fmt_val(a)}  B={_fmt_val(b)}{rel}")
+    lines.append(f"{diffs} deterministic field(s) differ")
+    return "\n".join(lines), diffs

@@ -12,7 +12,11 @@ attribute read.
 
 The JSON emission (:meth:`Tracer.to_dict` / :meth:`Tracer.to_json`) is a
 stable schema, versioned as :data:`TRACE_SCHEMA`; consumers (the CI
-artifact, the regression harness, external tooling) key on it.
+artifact, the regression harness, external tooling) key on it.  Schema
+``repro.trace/2`` adds per-span **series** — ordered event sequences such
+as the convergence monitor's per-iteration ΔQ — on top of the ``/1``
+counters/stats/buckets; :func:`repro.observability.regression.
+migrate_trace` downgrades a ``/2`` document for ``/1`` consumers.
 """
 
 from __future__ import annotations
@@ -23,11 +27,15 @@ from contextlib import contextmanager
 from time import perf_counter
 from typing import Dict, Iterator, List, Optional
 
-__all__ = ["TRACE_SCHEMA", "Span", "Tracer", "NullTracer", "NULL_TRACER",
-           "bucket_percentile"]
+__all__ = ["TRACE_SCHEMA", "TRACE_SCHEMA_V1", "Span", "Tracer", "NullTracer",
+           "NULL_TRACER", "bucket_percentile"]
 
 #: Version tag embedded in every emitted trace document.
-TRACE_SCHEMA = "repro.trace/1"
+TRACE_SCHEMA = "repro.trace/2"
+
+#: The previous schema version (no per-span ``series``); the migration
+#: shim in :mod:`repro.observability.regression` downgrades to it.
+TRACE_SCHEMA_V1 = "repro.trace/1"
 
 #: Histogram bucket exponent bounds: values bucket by their power-of-two
 #: exponent (``v`` lands in bucket ``e`` when ``2**(e-1) < v <= 2**e``),
@@ -74,8 +82,8 @@ def bucket_percentile(buckets: Dict[int, int], q: float) -> float:
 class Span:
     """One timed region of the trace tree."""
 
-    __slots__ = ("name", "attrs", "counters", "stats", "buckets", "children",
-                 "seconds", "_start")
+    __slots__ = ("name", "attrs", "counters", "stats", "buckets", "series",
+                 "children", "seconds", "_start")
 
     def __init__(self, name: str, attrs: Optional[dict] = None) -> None:
         self.name = name
@@ -85,6 +93,10 @@ class Span:
         #: Power-of-two histogram per observed distribution, feeding the
         #: p50/p99 estimates in :meth:`Tracer.derived_metrics`.
         self.buckets: Dict[str, Dict[int, int]] = {}
+        #: Ordered per-span event sequences (``repro.trace/2``): e.g. the
+        #: convergence monitor's ΔQ per local-moving iteration.  Unlike
+        #: counters these preserve order and individual values.
+        self.series: Dict[str, List[float]] = {}
         self.children: List["Span"] = []
         self.seconds = 0.0
         self._start: Optional[float] = None
@@ -111,6 +123,10 @@ class Span:
         hist = self.buckets.setdefault(name, {})
         b = _bucket_of(v)
         hist[b] = hist.get(b, 0) + 1
+
+    def record(self, name: str, value: float) -> None:
+        """Append one value to the ordered series ``name`` on this span."""
+        self.series.setdefault(name, []).append(float(value))
 
     # -- aggregation ---------------------------------------------------------
 
@@ -149,6 +165,8 @@ class Span:
                 k: {str(exp): c for exp, c in sorted(v.items())}
                 for k, v in self.buckets.items()
             }
+        if self.series:
+            out["series"] = {k: list(v) for k, v in self.series.items()}
         if self.children:
             out["children"] = [c.to_dict() for c in self.children]
         return out
@@ -171,7 +189,13 @@ class Tracer:
 
     @contextmanager
     def span(self, name: str, **attrs) -> Iterator[Span]:
-        """Open a nested span; yields it so callers may :meth:`Span.set`."""
+        """Open a nested span; yields it so callers may :meth:`Span.set`.
+
+        Exception-safe: if the body raises — including through spans it
+        opened with :meth:`push` but never :meth:`pop`-ed — every span
+        down to and including this one still records its ``seconds`` and
+        closes, so the emitted trace never contains a half-open span.
+        """
         s = Span(name, attrs)
         self._stack[-1].children.append(s)
         self._stack.append(s)
@@ -179,9 +203,7 @@ class Tracer:
         try:
             yield s
         finally:
-            s.seconds += perf_counter() - s._start
-            s._start = None
-            self._stack.pop()
+            self.unwind(s)
 
     def push(self, name: str, **attrs) -> Span:
         """Open a span without a ``with`` block (close via :meth:`pop`).
@@ -205,6 +227,25 @@ class Tracer:
             s.seconds += perf_counter() - s._start
             s._start = None
 
+    def unwind(self, span: Span) -> None:
+        """Close every open span down to and including ``span``.
+
+        The exception-safety primitive behind :meth:`span` and the
+        ``try/finally`` in :func:`repro.core.leiden.leiden`: each popped
+        span records its elapsed ``seconds`` exactly as a normal close
+        would.  A no-op when ``span`` is not on the stack (already
+        closed), so it is safe to call unconditionally in ``finally``.
+        """
+        if not any(s is span for s in self._stack):
+            return
+        while len(self._stack) > 1:
+            top = self._stack.pop()
+            if top._start is not None:
+                top.seconds += perf_counter() - top._start
+                top._start = None
+            if top is span:
+                break
+
     def count(self, name: str, value: float = 1.0) -> None:
         """Add ``value`` to counter ``name`` on the innermost open span."""
         self._stack[-1].count(name, value)
@@ -213,11 +254,28 @@ class Tracer:
         """Record one sample of distribution ``name`` on the open span."""
         self._stack[-1].observe(name, value)
 
+    def record(self, name: str, value: float) -> None:
+        """Append one value to series ``name`` on the innermost open span."""
+        self._stack[-1].record(name, value)
+
     # -- inspection / emission ------------------------------------------------
 
     @property
     def current(self) -> Span:
         return self._stack[-1]
+
+    def span_path(self) -> str:
+        """Slash-joined path of the open spans, e.g. ``leiden/pass[1]/
+        local_move`` — the region label the profiler attaches to events.
+
+        Spans carrying an ``index`` attribute (the per-pass spans) embed
+        it so repeated siblings stay distinguishable.
+        """
+        parts = []
+        for s in self._stack[1:]:
+            idx = s.attrs.get("index")
+            parts.append(f"{s.name}[{idx}]" if idx is not None else s.name)
+        return "/".join(parts)
 
     def counter_totals(self) -> Dict[str, float]:
         """All counters, summed over the entire trace."""
@@ -251,7 +309,7 @@ class Tracer:
         return out
 
     def to_dict(self, **meta) -> dict:
-        """The trace as a JSON-ready document (``repro.trace/1``)."""
+        """The trace as a JSON-ready document (``repro.trace/2``)."""
         return {
             "schema": TRACE_SCHEMA,
             "meta": meta,
@@ -286,6 +344,9 @@ class _NullSpan:
     def observe(self, name: str, value: float) -> None:
         return None
 
+    def record(self, name: str, value: float) -> None:
+        return None
+
 
 _NULL_SPAN = _NullSpan()
 
@@ -309,15 +370,24 @@ class NullTracer:
     def pop(self) -> None:
         return None
 
+    def unwind(self, span) -> None:
+        return None
+
     def count(self, name: str, value: float = 1.0) -> None:
         return None
 
     def observe(self, name: str, value: float) -> None:
         return None
 
+    def record(self, name: str, value: float) -> None:
+        return None
+
     @property
     def current(self) -> _NullSpan:
         return _NULL_SPAN
+
+    def span_path(self) -> str:
+        return ""
 
     def counter_totals(self) -> Dict[str, float]:
         return {}

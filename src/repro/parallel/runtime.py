@@ -16,6 +16,7 @@ from typing import Callable, List, Sequence
 import numpy as np
 
 from repro.errors import ConfigError
+from repro.observability.profiler import NULL_PROFILER
 from repro.observability.tracer import NULL_TRACER
 from repro.parallel.costmodel import PAPER_MACHINE, MachineModel
 from repro.parallel.hashtable import CollisionFreeHashtable
@@ -47,6 +48,10 @@ class Runtime:
         Observability tracer the phases report spans and counters to;
         defaults to the disabled :data:`~repro.observability.tracer.NULL_TRACER`
         (zero cost).
+    profiler:
+        Thread-timeline profiler capturing every recorded region as an
+        event-log entry; defaults to the disabled
+        :data:`~repro.observability.profiler.NULL_PROFILER` (zero cost).
     """
 
     def __init__(
@@ -58,6 +63,7 @@ class Runtime:
         executor: str = "serial",
         machine: MachineModel | None = None,
         tracer=None,
+        profiler=None,
     ) -> None:
         if num_threads < 1:
             raise ConfigError("num_threads must be >= 1")
@@ -69,6 +75,7 @@ class Runtime:
         self.machine = machine or PAPER_MACHINE
         self.ledger = WorkLedger()
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.profiler = profiler if profiler is not None else NULL_PROFILER
         self.master_rng = Xorshift32(seed)
         self.thread_rngs: List[Xorshift32] = self.master_rng.spawn(self.num_threads)
         self._pool: ThreadPoolExecutor | None = None
@@ -164,28 +171,41 @@ class Runtime:
             atomics=atomics,
         )
         tracer = self.tracer
-        if tracer.enabled and len(self.ledger.regions) > n_before:
+        if len(self.ledger.regions) > n_before:
             region = self.ledger.regions[-1]
-            tracer.count("parallel_regions")
-            # Every modelled parallel-for ends in an implicit barrier.
-            tracer.count("barriers")
-            tracer.count("atomic_ops", region.atomics)
-            tracer.count("work_units", float(region.chunk_costs.sum()))
-            t = self.machine.max_threads
-            span = WorkLedger._region_span(region, self.machine, t, 1.0)
-            mean = (
-                float(region.chunk_costs.sum())
-                + self.machine.chunk_overhead_units * region.chunk_costs.shape[0]
-            ) / t
-            tracer.count("clock_skew_units", max(0.0, span - mean))
+            if tracer.enabled:
+                tracer.count("parallel_regions")
+                # Every modelled parallel-for ends in an implicit barrier.
+                tracer.count("barriers")
+                tracer.count("atomic_ops", region.atomics)
+                tracer.count("work_units", float(region.chunk_costs.sum()))
+                t = self.machine.max_threads
+                span = WorkLedger._region_span(region, self.machine, t, 1.0)
+                mean = (
+                    float(region.chunk_costs.sum())
+                    + self.machine.chunk_overhead_units * region.chunk_costs.shape[0]
+                ) / t
+                tracer.count("clock_skew_units", max(0.0, span - mean))
+            if self.profiler.enabled:
+                seconds = self.profiler.record_region(
+                    region, label=tracer.span_path() or phase)
+                if tracer.enabled:
+                    tracer.count("modeled_region_seconds", seconds)
 
     def record_serial(self, cost: float, *, phase: str) -> None:
         """Record sequential work in the ledger."""
+        n_before = len(self.ledger.regions)
         self.ledger.serial(cost, phase=phase)
         tracer = self.tracer
         if tracer.enabled and cost > 0:
             tracer.count("serial_regions")
             tracer.count("serial_work_units", float(cost))
+        if self.profiler.enabled and len(self.ledger.regions) > n_before:
+            seconds = self.profiler.record_region(
+                self.ledger.regions[-1],
+                label=tracer.span_path() or phase)
+            if tracer.enabled:
+                tracer.count("modeled_region_seconds", seconds)
 
     def simulate(
         self,

@@ -140,6 +140,11 @@ class PartitionServer:
     tracer:
         Observability tracer; spans and the wall-latency histogram are
         reported here.  Defaults to the disabled tracer.
+    profiler:
+        Thread-timeline profiler; request intervals land on a dedicated
+        ``service`` lane of the Chrome trace (on the logical clock) and
+        the per-region events of every solve join the same event
+        stream.  Defaults to the disabled profiler.
     fault_hook:
         ``callable(op, attempt)`` invoked before every solve attempt
         (``op`` in ``{"detect", "refresh", "reconcile"}``).  Raising
@@ -153,10 +158,14 @@ class PartitionServer:
         config: ServiceConfig | None = None,
         *,
         tracer=None,
+        profiler=None,
         fault_hook: Optional[Callable[[str, int], None]] = None,
     ) -> None:
+        from repro.observability.profiler import NULL_PROFILER
+
         self.config = config or ServiceConfig()
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.profiler = profiler if profiler is not None else NULL_PROFILER
         self.store = PartitionStore(self.config.store_budget_bytes)
         self.queue = AdmissionQueue(self.config.queue_capacity)
         self.fault_hook = fault_hook
@@ -205,6 +214,7 @@ class PartitionServer:
         req = ticket.request
         tracer = self.tracer
         t0 = perf_counter() if tracer.enabled else 0.0
+        u0 = self.clock
         with tracer.span(f"service.{req.kind}"):
             if req.kind == DETECT:
                 self._process_detect(ticket)
@@ -217,6 +227,14 @@ class PartitionServer:
             if tracer.enabled:
                 tracer.observe("service_request_seconds",
                                perf_counter() - t0)
+        if self.profiler.enabled:
+            # Request-latency event on the service lane, measured on the
+            # logical clock (work units) — deterministic like the stats.
+            self.profiler.request(
+                f"service.{req.kind}",
+                max(float(self.clock - u0), 1.0),
+                status=ticket.status,
+            )
         return ticket
 
     def drain(self) -> int:
@@ -499,7 +517,7 @@ class PartitionServer:
                 if self.fault_hook is not None:
                     self.fault_hook(op, attempt)
                 rt = Runtime(num_threads=1, seed=self.config.leiden.seed,
-                             tracer=self.tracer)
+                             tracer=self.tracer, profiler=self.profiler)
                 result = fn(rt)
             except _ComputeFailed:
                 raise

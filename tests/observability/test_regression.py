@@ -223,7 +223,7 @@ class TestRunTrace:
         bundle = run_trace([GRAPH], seed=42)
         assert bundle["schema"] == regression.TRACE_BUNDLE_SCHEMA
         doc = bundle["experiments"][GRAPH]
-        assert doc["schema"] == "repro.trace/1"
+        assert doc["schema"] == "repro.trace/2"
         assert doc["meta"]["experiment"] == GRAPH
         assert doc["meta"]["metrics"]["num_passes"] >= 1
         assert doc["spans"][0]["name"] == "leiden"
@@ -237,3 +237,90 @@ class TestCommittedBaselines:
         directory = regression.default_baseline_dir()
         assert directory.is_dir(), directory
         assert run_check(directory, print_fn=lambda *_: None) == 0
+
+
+class TestMigrateTrace:
+    def _traced_doc(self):
+        tracer = Tracer()
+        measure_experiment(GRAPH, seed=42, tracer=tracer)
+        return tracer.to_dict(experiment=GRAPH, seed=42)
+
+    def test_v2_to_v1_strips_series(self):
+        doc = self._traced_doc()
+
+        def any_series(span):
+            return "series" in span or any(
+                any_series(c) for c in span.get("children", ()))
+
+        assert any(any_series(s) for s in doc["spans"])
+        v1 = regression.migrate_trace(doc, target="repro.trace/1")
+        assert v1["schema"] == "repro.trace/1"
+        assert not any(any_series(s) for s in v1["spans"])
+        # Counters / derived metrics survive the downgrade.
+        assert v1["counters"] == doc["counters"]
+        assert v1["derived"] == doc["derived"]
+
+    def test_same_schema_passthrough_is_a_copy(self):
+        doc = self._traced_doc()
+        same = regression.migrate_trace(doc, target=doc["schema"])
+        assert same == doc and same is not doc
+
+    def test_unknown_migration_raises(self):
+        doc = self._traced_doc()
+        with pytest.raises(ValueError):
+            regression.migrate_trace(doc, target="repro.trace/99")
+        with pytest.raises(ValueError):
+            regression.migrate_trace({"schema": "bogus/1"},
+                                     target="repro.trace/1")
+
+
+class TestTraceDiffHelpers:
+    @staticmethod
+    def _trace(**config):
+        tracer = Tracer()
+        measure_experiment(GRAPH, seed=42, tracer=tracer,
+                           config=config or None)
+        return tracer.to_dict(experiment=GRAPH, seed=42)
+
+    def test_identical_docs_have_no_deterministic_diffs(self):
+        a = self._trace()
+        b = self._trace()
+        rows = regression.diff_trace_docs(a, b)
+        det = [r for r in rows if r["kind"] in ("counter", "derived")
+               and r["a"] != r["b"]]
+        assert det == []
+        _, n = regression.format_trace_diff(rows, label_a="a", label_b="b")
+        assert n == 0
+
+    def test_counter_divergence_is_flagged(self):
+        a = self._trace()
+        b = self._trace(max_passes=1)
+        rows = regression.diff_trace_docs(a, b)
+        assert any(r["kind"] == "counter" and r["a"] != r["b"]
+                   for r in rows)
+        text, n = regression.format_trace_diff(rows, label_a="a",
+                                               label_b="b")
+        assert n > 0 and "[DIFF]" in text
+
+
+class TestRunProfile:
+    def test_bundle_schema_and_contents(self):
+        bundle = regression.run_profile([GRAPH], seed=42, num_threads=4)
+        assert bundle["schema"] == regression.PROFILE_BUNDLE_SCHEMA
+        entry = bundle["experiments"][GRAPH]
+        from repro.observability.profiler import validate_chrome_trace
+
+        stats = validate_chrome_trace(entry["chrome"])
+        assert stats["events"] > 0
+        assert "per-phase attribution" in entry["report"]
+        assert entry["metrics"]["modularity"] > 0.0
+
+    def test_bundle_deterministic(self):
+        """Chrome trace and report are byte-identical across runs
+        (metrics carry wall-clock seconds, so they are excluded)."""
+        a = regression.run_profile([GRAPH], seed=42, num_threads=4)
+        b = regression.run_profile([GRAPH], seed=42, num_threads=4)
+        ea, eb = a["experiments"][GRAPH], b["experiments"][GRAPH]
+        assert json.dumps(ea["chrome"], sort_keys=True) == json.dumps(
+            eb["chrome"], sort_keys=True)
+        assert ea["report"] == eb["report"]

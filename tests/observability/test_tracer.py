@@ -68,6 +68,117 @@ class TestSpanTree:
         assert t.root.children[0].seconds >= 0.0
 
 
+class TestExceptionSafety:
+    """A span whose body raises must still record seconds and close."""
+
+    def test_raising_span_records_seconds_and_emits(self):
+        t = Tracer()
+        with pytest.raises(ValueError):
+            with t.span("s"):
+                raise ValueError("boom")
+        (s,) = t.root.children
+        assert s.seconds > 0.0
+        assert s._start is None  # closed, not still ticking
+        # The emitted trace carries the span with its seconds.
+        doc = t.to_dict()
+        assert doc["spans"][0]["name"] == "s"
+        assert doc["spans"][0]["seconds"] == s.seconds
+
+    def test_span_unwinds_unpopped_inner_pushes(self):
+        """An exception between push() and pop() must not corrupt the
+        stack: the context manager closes every span down to its own."""
+        t = Tracer()
+        with pytest.raises(RuntimeError):
+            with t.span("outer"):
+                t.push("inner")
+                t.push("innermost")
+                raise RuntimeError("boom")
+        assert t.current is t.root
+        (outer,) = t.root.children
+        (inner,) = outer.children
+        (innermost,) = inner.children
+        for s in (outer, inner, innermost):
+            assert s.seconds > 0.0
+            assert s._start is None
+
+    def test_unwind_is_noop_for_closed_span(self):
+        t = Tracer()
+        with t.span("a") as a:
+            pass
+        t.unwind(a)  # already popped: must not touch the stack
+        assert t.current is t.root
+
+    def test_leiden_spans_close_when_phase_raises(self):
+        """Regression: push()-opened run/pass spans close with seconds
+        when a phase body raises mid-pass."""
+        from unittest import mock
+
+        from repro.core.config import LeidenConfig
+        from repro.core.leiden import leiden
+        from repro.parallel.runtime import Runtime
+
+        graph = ring_of_cliques_graph()
+        tracer = Tracer()
+        rt = Runtime(num_threads=1, seed=1, tracer=tracer)
+        with mock.patch("repro.core.leiden.local_move_batch",
+                        side_effect=RuntimeError("boom")):
+            with pytest.raises(RuntimeError):
+                leiden(graph, LeidenConfig(seed=1), runtime=rt)
+        assert tracer.current is tracer.root
+        (run,) = tracer.root.children
+        assert run.name == "leiden"
+        assert run.seconds > 0.0 and run._start is None
+        (pass_span,) = [c for c in run.children if c.name == "pass"]
+        assert pass_span.seconds > 0.0 and pass_span._start is None
+        mv = [c for c in pass_span.children if c.name == "local_move"]
+        assert mv and mv[0].seconds > 0.0
+
+
+class TestSeries:
+    def test_record_appends_ordered_series(self):
+        t = Tracer()
+        with t.span("s") as s:
+            t.record("dq", 0.5)
+            t.record("dq", 0.25)
+            t.record("visited", 10)
+        assert s.series == {"dq": [0.5, 0.25], "visited": [10.0]}
+
+    def test_series_serialized_in_span_dict(self):
+        t = Tracer()
+        with t.span("s"):
+            t.record("dq", 1.0)
+        span = t.to_dict()["spans"][0]
+        assert span["series"] == {"dq": [1.0]}
+        json.dumps(span)
+
+    def test_empty_series_omitted(self):
+        t = Tracer()
+        with t.span("s"):
+            pass
+        assert "series" not in t.to_dict()["spans"][0]
+
+    def test_null_tracer_record_is_noop(self):
+        t = NullTracer()
+        with t.span("s") as s:
+            t.record("dq", 1.0)
+            s.record("dq", 2.0)
+        assert t.to_dict()["spans"] == []
+
+
+class TestSpanPath:
+    def test_path_joins_open_spans_with_index(self):
+        t = Tracer()
+        assert t.span_path() == ""
+        with t.span("leiden"):
+            with t.span("pass", index=1):
+                with t.span("local_move"):
+                    assert t.span_path() == "leiden/pass[1]/local_move"
+            assert t.span_path() == "leiden"
+
+    def test_null_tracer_path_empty(self):
+        assert NullTracer().span_path() == ""
+
+
 class TestCounters:
     def test_count_lands_on_innermost_span(self):
         t = Tracer()

@@ -109,3 +109,47 @@ class TestMakespan:
 
     def test_empty(self):
         assert makespan(np.empty(0), 4, Schedule()) == 0.0
+
+
+class TestEdgeCases:
+    """Boundary behaviour: tiny ranges, oversized chunks, one thread."""
+
+    @staticmethod
+    def assert_exact_cover(spans, n_items):
+        covered = []
+        for lo, hi in spans:
+            assert 0 <= lo < hi <= n_items  # non-empty, in range
+            covered.extend(range(lo, hi))
+        assert covered == list(range(n_items))  # cover, ordered, no overlap
+
+    def test_empty_range_every_kind(self):
+        for kind in ("static", "dynamic", "guided"):
+            for threads in (1, 4):
+                assert chunk_spans(0, Schedule(kind, 8), threads) == []
+
+    def test_chunk_larger_than_range(self):
+        for kind in ("dynamic", "guided"):
+            spans = chunk_spans(5, Schedule(kind, 100), num_threads=4)
+            assert spans == [(0, 5)]
+        self.assert_exact_cover(
+            chunk_spans(5, Schedule("static", 100), num_threads=4), 5)
+
+    def test_dynamic_one_thread(self):
+        spans = chunk_spans(10, Schedule("dynamic", 3), num_threads=1)
+        self.assert_exact_cover(spans, 10)
+        owner = assign_chunks(np.ones(len(spans)), 1, Schedule("dynamic", 3))
+        assert owner.tolist() == [0] * len(spans)
+        assert makespan(np.ones(len(spans)), 1,
+                        Schedule("dynamic", 3)) == pytest.approx(len(spans))
+
+    def test_guided_one_thread_exact_cover(self):
+        spans = chunk_spans(1000, Schedule("guided", 16), num_threads=1)
+        self.assert_exact_cover(spans, 1000)
+
+    def test_exact_cover_sweep(self):
+        for kind in ("static", "dynamic", "guided"):
+            for n in (1, 2, 7, 100):
+                for chunk in (1, 3, 7, 101):
+                    for threads in (1, 3, 8):
+                        spans = chunk_spans(n, Schedule(kind, chunk), threads)
+                        self.assert_exact_cover(spans, n)

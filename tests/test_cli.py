@@ -99,7 +99,7 @@ class TestTraceSubcommand:
     def test_trace_to_stdout(self, graph_file, capsys):
         assert main(["trace", str(graph_file)]) == 0
         doc = json.loads(capsys.readouterr().out)
-        assert doc["schema"] == "repro.trace/1"
+        assert doc["schema"] == "repro.trace/2"
         assert doc["spans"][0]["name"] == "leiden"
         pass_spans = [c for c in doc["spans"][0]["children"]
                       if c["name"] == "pass"]
@@ -116,7 +116,7 @@ class TestTraceSubcommand:
         assert "trace written to" in capsys.readouterr().out
         text = out_file.read_text()
         assert len(text.strip().splitlines()) == 1  # compact = one line
-        assert json.loads(text)["schema"] == "repro.trace/1"
+        assert json.loads(text)["schema"] == "repro.trace/2"
 
     def test_trace_dataset_name(self, capsys):
         assert main(["trace", "asia_osm", "--max-passes", "2",
@@ -183,7 +183,7 @@ class TestServeSubcommand:
                      "--no-verify", "--compact",
                      "--output", str(out), "--trace", str(trace)]) == 0
         doc = json.loads(trace.read_text())
-        assert doc["schema"] == "repro.trace/1"
+        assert doc["schema"] == "repro.trace/2"
         span_names = {s["name"] for s in doc["spans"]}
         assert "service.detect" in span_names
         assert "service_request_seconds_p50" in doc["derived"]
@@ -193,3 +193,76 @@ class TestServeSubcommand:
                      "--no-coalesce", "--no-verify"]) == 0
         doc = json.loads(capsys.readouterr().out)
         assert doc["stats"]["counters"]["updates_coalesced"] == 0
+
+
+class TestProfileSubcommand:
+    def test_profile_report_to_stdout(self, graph_file, capsys):
+        assert main(["profile", str(graph_file)]) == 0
+        out = capsys.readouterr().out
+        assert "per-phase attribution" in out
+        assert "scheduling-policy attribution" in out
+        assert "convergence monitor" in out
+
+    def test_profile_chrome_export_is_valid_and_deterministic(
+            self, graph_file, tmp_path, capsys):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        assert main(["profile", str(graph_file), "--chrome", str(a),
+                     "--compact"]) == 0
+        assert main(["profile", str(graph_file), "--chrome", str(b),
+                     "--compact"]) == 0
+        capsys.readouterr()
+        assert a.read_bytes() == b.read_bytes()
+        from repro.observability.profiler import validate_chrome_trace
+
+        doc = json.loads(a.read_text())
+        stats = validate_chrome_trace(doc)
+        assert stats["named_lanes"] >= 8
+        assert doc["otherData"]["schema"] == "repro.profile/1"
+
+    def test_profile_report_to_file(self, graph_file, tmp_path, capsys):
+        out_file = tmp_path / "report.txt"
+        assert main(["profile", str(graph_file), "--threads", "4",
+                     "--output", str(out_file)]) == 0
+        assert "report written to" in capsys.readouterr().out
+        assert "threads: 4" in out_file.read_text()
+
+    def test_profile_dataset_name(self, capsys):
+        assert main(["profile", "asia_osm", "--max-passes", "1",
+                     "--seed", "1", "--top", "3"]) == 0
+        assert "asia_osm" in capsys.readouterr().out
+
+
+class TestTraceDiff:
+    @staticmethod
+    def _write_trace(path, graph_file, extra=()):
+        assert main(["trace", str(graph_file), "--compact",
+                     "--output", str(path), *extra]) == 0
+
+    def test_diff_identical_traces_is_clean(self, graph_file, tmp_path,
+                                            capsys):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        self._write_trace(a, graph_file)
+        self._write_trace(b, graph_file)
+        assert main(["trace", "--diff", str(a), str(b)]) == 0
+        assert "0 deterministic field(s) differ" in capsys.readouterr().out
+
+    def test_diff_strict_flags_divergence(self, graph_file, tmp_path,
+                                          capsys):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        self._write_trace(a, graph_file)
+        self._write_trace(b, graph_file, extra=["--max-passes", "1"])
+        assert main(["trace", "--diff", str(a), str(b)]) == 0
+        out = capsys.readouterr().out
+        assert "[DIFF]" in out
+        # --strict turns deterministic differences into exit code 1
+        assert main(["trace", "--diff", str(a), str(b), "--strict"]) == 1
+
+    def test_diff_missing_file_errors(self, tmp_path, graph_file):
+        a = tmp_path / "a.json"
+        self._write_trace(a, graph_file)
+        with pytest.raises(SystemExit):
+            main(["trace", "--diff", str(a), str(tmp_path / "nope.json")])
+
+    def test_trace_without_input_or_diff_errors(self):
+        with pytest.raises(SystemExit):
+            main(["trace"])

@@ -20,6 +20,7 @@ EXPECTED_OUTPUT = {
     "cpm_resolution.py": "resolution limit",
     "community_analysis.py": "seed stability",
     "partition_server.py": "served == from-scratch: True",
+    "profile_smoke.py": "convergence monitor",
 }
 
 
