@@ -96,6 +96,10 @@ def main(argv: list[str] | None = None) -> int:
                 print(f"recorded service baseline {sb.name} "
                       f"(clock={stats['clock_units']} units, "
                       f"{stats['counters']['queries_served']} queries)")
+            for mb in regression.record_metrics_baselines(baseline_dir):
+                n_fams = len(mb.expected["families"])
+                print(f"recorded metrics baseline {mb.name} "
+                      f"({mb.kind}, {n_fams} instrument families)")
         if args.trace_path:
             bundle = regression.run_trace(seed=args.seed)
             Path(args.trace_path).write_text(

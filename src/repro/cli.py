@@ -15,13 +15,18 @@ Subcommands:
   enabled; print the critical-path/imbalance report and optionally write
   a Chrome trace-event JSON (``--chrome out.json``, loadable in
   chrome://tracing or Perfetto);
+- ``repro metrics <input>`` — run GVE-Leiden with the typed metric
+  instruments enabled and emit the byte-deterministic snapshot as JSON
+  (``repro.metrics/1``) or Prometheus text exposition (``--format
+  prom``);
 - ``repro bench …`` — the evaluation harness
   (:mod:`repro.bench.__main__`), including the ``--check`` perf-
   regression gate and ``--trace`` artifact writer used by CI;
 - ``repro serve --workload <profile>`` — drive the partition-serving
   subsystem (:mod:`repro.service`) through a seeded closed-loop
   workload and emit its deterministic stats document
-  (see docs/SERVICE.md).
+  (see docs/SERVICE.md); ``--metrics PATH`` attaches the metric
+  registry plus the stock SLO evaluator and writes their snapshot.
 """
 
 from __future__ import annotations
@@ -276,6 +281,76 @@ def profile_main(argv: list[str] | None = None) -> int:
     return 0
 
 
+def build_metrics_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro metrics",
+        description="Run GVE-Leiden with typed metric instruments enabled "
+                    "and emit the byte-deterministic snapshot "
+                    "(counters/gauges/histograms with labels; JSON "
+                    "repro.metrics/1 or Prometheus text exposition)",
+    )
+    p.add_argument("input",
+                   help="graph file (.mtx, .graph or edge list) or a "
+                        "registry dataset name")
+    p.add_argument("--engine", choices=["batch", "loop", "threads"],
+                   default="batch")
+    p.add_argument("--quality", choices=["modularity", "cpm"],
+                   default="modularity")
+    p.add_argument("--max-passes", type=int, default=10)
+    p.add_argument("--seed", type=int, default=42)
+    p.add_argument("--format", choices=["json", "prom"], default="json",
+                   dest="fmt",
+                   help="output format: JSON snapshot (default) or "
+                        "Prometheus text exposition")
+    p.add_argument("--output", type=Path, default=None,
+                   help="write the snapshot here instead of stdout")
+    p.add_argument("--compact", action="store_true",
+                   help="single-line JSON (default: indented)")
+    return p
+
+
+def metrics_main(argv: list[str] | None = None) -> int:
+    """``repro metrics`` — run once with instruments on, emit snapshot."""
+    import json
+
+    from repro.observability.metrics import validate_prometheus
+    from repro.observability.regression import collect_leiden_metrics
+
+    args = build_metrics_parser().parse_args(argv)
+    graph = _load(args.input)
+    config = LeidenConfig(
+        engine=args.engine,
+        quality=args.quality,
+        max_passes=args.max_passes,
+        seed=args.seed,
+    )
+    registry, _tracer, result = collect_leiden_metrics(
+        graph, config, seed=args.seed)
+    q = modularity(graph, result.membership)
+    if args.fmt == "prom":
+        doc = registry.to_prometheus()
+        validate_prometheus(doc)
+    else:
+        doc = json.dumps(
+            registry.to_snapshot(
+                experiment=str(args.input),
+                seed=args.seed,
+                modularity=q,
+                num_passes=result.num_passes,
+                num_communities=result.num_communities,
+                total_work=result.ledger.total_work,
+            ),
+            indent=None if args.compact else 2,
+            sort_keys=True,
+        ) + "\n"
+    if args.output is not None:
+        args.output.write_text(doc)
+        print(f"metrics written to {args.output}")
+    else:
+        print(doc, end="")
+    return 0
+
+
 def build_serve_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         prog="repro serve",
@@ -302,6 +377,12 @@ def build_serve_parser() -> argparse.ArgumentParser:
                    help="also run with the thread-timeline profiler "
                         "enabled and write the Chrome trace-event JSON "
                         "here (request lane + solve timelines)")
+    p.add_argument("--metrics", type=Path, default=None,
+                   dest="metrics_output",
+                   help="also run with the metric registry and the stock "
+                        "SLO evaluator attached and write their "
+                        "byte-deterministic snapshot JSON (including the "
+                        "repro.health/1 block) here")
     p.add_argument("--compact", action="store_true",
                    help="single-line JSON (default: indented)")
     return p
@@ -317,15 +398,25 @@ def serve_main(argv: list[str] | None = None) -> int:
     args = build_serve_parser().parse_args(argv)
     service_config = ServiceConfig(coalesce_updates=not args.no_coalesce)
     server = None
-    if args.trace_output is not None or args.profile_output is not None:
+    if (args.trace_output is not None or args.profile_output is not None
+            or args.metrics_output is not None):
+        from repro.observability.health import (
+            HealthEvaluator,
+            default_service_slos,
+        )
+        from repro.observability.metrics import MetricsRegistry
         from repro.observability.profiler import Profiler
         from repro.observability.tracer import Tracer
 
+        with_metrics = args.metrics_output is not None
         server = PartitionServer(
             service_config,
             tracer=Tracer() if args.trace_output is not None else None,
             profiler=(Profiler() if args.profile_output is not None
                       else None),
+            metrics=MetricsRegistry() if with_metrics else None,
+            health=(HealthEvaluator(default_service_slos())
+                    if with_metrics else None),
         )
     result = run_workload(
         args.workload,
@@ -362,6 +453,15 @@ def serve_main(argv: list[str] | None = None) -> int:
         args.profile_output.write_text(chrome_trace_json(
             doc, indent=None if args.compact else 1) + "\n")
         print(f"profile written to {args.profile_output}")
+    if args.metrics_output is not None:
+        args.metrics_output.write_text(server.metrics.to_json(
+            indent=None if args.compact else 2,
+            health=server.health.evaluate(server.clock),
+            experiment=f"serve:{args.workload}",
+            seed=args.seed,
+            clock_units=int(server.clock),
+        ) + "\n")
+        print(f"metrics written to {args.metrics_output}")
     if not args.no_verify and not all(
             result.membership_matches_scratch.values()):
         print("error: served membership diverged from from-scratch solve",
@@ -371,7 +471,7 @@ def serve_main(argv: list[str] | None = None) -> int:
 
 
 #: First-token subcommands understood by :func:`main`.
-_SUBCOMMANDS = ("run", "trace", "profile", "bench", "serve")
+_SUBCOMMANDS = ("run", "trace", "profile", "metrics", "bench", "serve")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -384,6 +484,8 @@ def main(argv: list[str] | None = None) -> int:
         return trace_main(argv[1:])
     if argv and argv[0] == "profile":
         return profile_main(argv[1:])
+    if argv and argv[0] == "metrics":
+        return metrics_main(argv[1:])
     if argv and argv[0] == "serve":
         return serve_main(argv[1:])
     if argv and argv[0] == "run":

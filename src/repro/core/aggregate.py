@@ -146,6 +146,12 @@ def aggregate_batch(
         atomics=float(usrc.shape[0]),
     )
     runtime.record_serial(float(k), phase=phase)
+    if runtime.metrics.enabled:
+        mr = runtime.metrics
+        mr.counter("leiden_aggregate_super_vertices_total",
+                   "super-vertices produced by aggregation").inc(k)
+        mr.counter("leiden_aggregate_edge_writes_total",
+                   "deduplicated super-edge writes").inc(usrc.shape[0])
     if runtime.tracer.enabled:
         runtime.tracer.count("aggregate_super_vertices", k)
         runtime.tracer.count("aggregate_edge_writes", usrc.shape[0])
@@ -202,6 +208,12 @@ def aggregate_loop(
     )
     runtime.record_parallel(work, phase=phase, atomics=float(edge_writes))
     runtime.record_serial(float(2 * k), phase=phase)
+    if runtime.metrics.enabled:
+        mr = runtime.metrics
+        mr.counter("leiden_aggregate_super_vertices_total",
+                   "super-vertices produced by aggregation").inc(k)
+        mr.counter("leiden_aggregate_edge_writes_total",
+                   "deduplicated super-edge writes").inc(edge_writes)
     if runtime.tracer.enabled:
         runtime.tracer.count("aggregate_super_vertices", k)
         runtime.tracer.count("aggregate_edge_writes", edge_writes)

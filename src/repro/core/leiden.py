@@ -113,6 +113,18 @@ def leiden(
     # original vertices they contain); modularity ignores them.
     sizes = np.ones(n0, dtype=np.float64)
 
+    # Metric instruments (shared no-ops when collection is disabled).
+    m = rt.metrics
+    m_passes = m.counter("leiden_passes_total", "Leiden passes executed")
+    m_exits = m.counter(
+        "leiden_pass_exits_total",
+        "how the pass loop ended, by exit reason", ("reason",))
+    m_shrink = m.histogram(
+        "leiden_aggregation_shrink",
+        "communities-per-vertex shrink ratio observed per pass")
+    m_comms = m.gauge(
+        "leiden_communities", "community count of the most recent run")
+
     run_span = tracer.push(
         "leiden", vertices=int(n0), edges=int(graph.num_edges),
         engine=cfg.engine, quality=cfg.quality,
@@ -242,6 +254,8 @@ def leiden(
             # per vertex — 1.0 means no shrink) on the pass span, and the
             # community count as a counter track on the profiler timeline.
             pass_span.record("aggregation_shrink", num_comms / max(n, 1))
+            m_passes.inc()
+            m_shrink.observe(num_comms / max(n, 1))
             rt.profiler.mark("communities", num_comms)
             low_shrink = (
                 cfg.aggregation_tolerance is not None
@@ -249,6 +263,7 @@ def leiden(
                 and num_comms / n > cfg.aggregation_tolerance
             )
             if converged or low_shrink:
+                m_exits.labels("converged" if converged else "low_shrink").inc()
                 # Algorithm 1 breaks before line 14's move-based remapping,
                 # so the final dendrogram lookup (line 16) applies the
                 # *refined* membership — which is internally connected by
@@ -324,6 +339,7 @@ def leiden(
             # *refined* communities of the last pass; move-based labelling
             # composes the move-phase bound on top (Algorithm 1, line 16
             # after line 14's remapping).
+            m_exits.labels("budget").inc()
             if cfg.vertex_label == "move" and init_membership is not None:
                 dendrogram.add_level(init_membership)
                 C_top = init_membership[C_top]
@@ -331,8 +347,9 @@ def leiden(
         # Final renumbering keeps ids compact regardless of the exit path.
         C_top, _ = renumber_membership(C_top)
         wall = time.perf_counter() - t_start
-        run_span.set(passes=len(passes),
-                     communities=int(np.unique(C_top).shape[0]))
+        final_comms = int(np.unique(C_top).shape[0])
+        run_span.set(passes=len(passes), communities=final_comms)
+        m_comms.set(final_comms)
     finally:
         # Close the run span (and any pass/phase
         # spans left open by an exception) so partial traces

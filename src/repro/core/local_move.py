@@ -108,6 +108,18 @@ def local_move_batch(
     ws = workspace if workspace is not None else KernelWorkspace(n)
 
     tracer = runtime.tracer
+    metrics = runtime.metrics
+    m_pruned = metrics.counter(
+        "leiden_pruning_vertices_total",
+        "vertices visited vs. skipped by flag-based pruning", ("outcome",))
+    mp_visited = m_pruned.labels("visited")
+    mp_skipped = m_pruned.labels("skipped")
+    m_moves = metrics.counter(
+        "leiden_local_moves_total", "community moves applied")
+    m_iters = metrics.counter(
+        "leiden_move_iterations_total", "local-moving iterations executed")
+    m_dq = metrics.counter(
+        "leiden_move_delta_q_total", "summed delta-Q of applied moves")
     classes = color_classes(color_graph(graph, seed=color_seed))
     if order_ranks is not None:
         classes = [cls[np.argsort(order_ranks[cls], kind="stable")]
@@ -135,6 +147,9 @@ def local_move_batch(
         for cls in classes:
             pending = cls[~processed[cls]]
             visited_iter += int(pending.shape[0])
+            if metrics.enabled:
+                mp_visited.inc(pending.shape[0])
+                mp_skipped.inc(cls.shape[0] - pending.shape[0])
             if tracer.enabled:
                 tracer.count("pruning_visited", pending.shape[0])
                 tracer.count("pruning_skipped",
@@ -195,6 +210,10 @@ def local_move_batch(
             runtime.record_parallel(
                 np.concatenate(iter_costs), phase=phase, atomics=2.0 * moves
             )
+        if metrics.enabled:
+            m_iters.inc()
+            m_moves.inc(moves)
+            m_dq.inc(total_dq)
         if tracer.enabled:
             tracer.count("move_iterations")
             tracer.count("local_moves", moves)
@@ -259,6 +278,16 @@ def local_move_loop(
     Sigma = AtomicArray(community_weights)
     tables = runtime.hashtables(n)
     tracer = runtime.tracer
+    metrics = runtime.metrics
+    m_pruned = metrics.counter(
+        "leiden_pruning_vertices_total",
+        "vertices visited vs. skipped by flag-based pruning", ("outcome",))
+    m_moves = metrics.counter(
+        "leiden_local_moves_total", "community moves applied")
+    m_iters = metrics.counter(
+        "leiden_move_iterations_total", "local-moving iterations executed")
+    m_dq = metrics.counter(
+        "leiden_move_delta_q_total", "summed delta-Q of applied moves")
     qual = quality or Quality("modularity", resolution)
     Q = K if quantities is None else quantities
 
@@ -311,6 +340,13 @@ def local_move_loop(
         runtime.record_parallel(
             work[work > 0], phase=phase, atomics=2.0 * moves
         )
+        if metrics.enabled:
+            visited = int(np.count_nonzero(work))
+            m_iters.inc()
+            m_moves.inc(moves)
+            m_dq.inc(total_dq)
+            m_pruned.labels("visited").inc(visited)
+            m_pruned.labels("skipped").inc(n - visited)
         if tracer.enabled:
             visited = int(np.count_nonzero(work))
             tracer.count("move_iterations")

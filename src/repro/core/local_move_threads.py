@@ -136,6 +136,14 @@ def local_move_threads(
                 np.asarray([iter_work[0]]), phase=phase,
                 atomics=2.0 * iter_moves[0],
             )
+        if runtime.metrics.enabled:
+            m = runtime.metrics
+            m.counter("leiden_move_iterations_total",
+                      "local-moving iterations executed").inc()
+            m.counter("leiden_local_moves_total",
+                      "community moves applied").inc(iter_moves[0])
+            m.counter("leiden_move_delta_q_total",
+                      "summed delta-Q of applied moves").inc(total_dq)
         if runtime.tracer.enabled:
             runtime.tracer.record("move_delta_q", total_dq)
             runtime.tracer.record("move_visited", visited_iter)

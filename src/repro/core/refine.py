@@ -210,6 +210,14 @@ def refine_batch(
     runtime.record_parallel(
         degrees + VERTEX_COST, phase=phase, atomics=float(n + 2 * total_moves)
     )
+    if runtime.metrics.enabled:
+        mr = runtime.metrics
+        mr.counter("leiden_refine_splits_total",
+                   "refinement moves applied (splits off the bound)"
+                   ).inc(total_moves)
+        mr.counter("leiden_refine_cas_rejects_total",
+                   "refinement moves lost to the isolation CAS"
+                   ).inc(decided_moves - total_moves)
     if tracer.enabled:
         tracer.count("refine_moves", total_moves)
         tracer.count("refine_cas_rejects", decided_moves - total_moves)
@@ -311,6 +319,14 @@ def refine_loop(
     runtime.record_parallel(
         graph.degrees + VERTEX_COST, phase=phase, atomics=float(n + 2 * moves)
     )
+    if runtime.metrics.enabled:
+        mr = runtime.metrics
+        mr.counter("leiden_refine_splits_total",
+                   "refinement moves applied (splits off the bound)"
+                   ).inc(moves)
+        mr.counter("leiden_refine_cas_rejects_total",
+                   "refinement moves lost to the isolation CAS"
+                   ).inc(cas_rejects)
     if tracer.enabled:
         tracer.count("refine_isolated", isolated)
         tracer.count("refine_moves", moves)

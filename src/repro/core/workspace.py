@@ -31,6 +31,7 @@ from repro.core._kernels import (
     segmented_argmax_sorted,
 )
 from repro.errors import ConfigError
+from repro.observability.metrics import NULL_REGISTRY
 from repro.observability.tracer import NULL_TRACER
 
 __all__ = ["KERNEL_ENGINES", "KernelWorkspace"]
@@ -84,6 +85,13 @@ class KernelWorkspace:
         # cleared.  np.empty: contents are irrelevant by construction.
         self._map = np.empty(max(self.num_vertices, 1), dtype=np.int64)
         self._tracer = runtime.tracer if runtime is not None else NULL_TRACER
+        metrics = runtime.metrics if runtime is not None else NULL_REGISTRY
+        self._m_dispatch = metrics.counter(
+            "kernel_dispatch_total",
+            "kernel invocations, by engine and kernel name",
+            ("engine", "kernel"))
+        # Bound children resolved once per kernel name, not per dispatch.
+        self._m_bound: dict = {}
         if runtime is not None:
             self._account_allocation(runtime, phase)
 
@@ -103,6 +111,11 @@ class KernelWorkspace:
     def _count_dispatch(self, kernel: str) -> None:
         """Per-kernel dispatch counter (``kernel_<engine>_<kernel>``) so
         traces show which engine served each phase."""
+        bound = self._m_bound.get(kernel)
+        if bound is None:
+            bound = self._m_dispatch.labels(self.engine, kernel)
+            self._m_bound[kernel] = bound
+        bound.inc()
         if self._tracer.enabled:
             self._tracer.count(f"kernel_{self.engine}_{kernel}")
 

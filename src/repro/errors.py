@@ -23,6 +23,10 @@ class ConvergenceError(ReproError):
     """An algorithm failed to make progress within its iteration budget."""
 
 
+class MetricsError(ReproError):
+    """A metric instrument or SLO configuration is invalid or misused."""
+
+
 class ServiceError(ReproError):
     """The partition-serving subsystem failed to satisfy a request."""
 

@@ -19,12 +19,38 @@ prints.  This package provides:
 - :mod:`repro.observability.profile_report` — critical-path, barrier-wait
   and load-imbalance attribution over a timeline, rendered as the
   deterministic ``repro profile`` text report;
+- :mod:`repro.observability.metrics` — typed metric instruments
+  (counter/gauge/histogram with bounded label cardinality) in a
+  process-wide :class:`~repro.observability.metrics.MetricsRegistry`
+  with byte-deterministic Prometheus and JSON (``repro.metrics/1``)
+  exposition, behind the same zero-cost pattern
+  (:data:`~repro.observability.metrics.NULL_REGISTRY`);
+- :mod:`repro.observability.health` — rolling-window SLO burn-rate
+  evaluation (OK/WARN/PAGE) on the partition server's logical clock;
 - :mod:`repro.observability.regression` — per-experiment performance
   baselines (``benchmarks/baselines/*.json``) and the comparison logic
   behind ``repro bench --check``, the CI perf-regression gate, plus the
   trace-diff and schema-migration helpers.
 """
 
+from repro.observability.health import (
+    HEALTH_SCHEMA,
+    HealthEvaluator,
+    SLObjective,
+    default_service_slos,
+)
+from repro.observability.metrics import (
+    METRICS_SCHEMA,
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    bucket_percentile,
+    exact_percentile,
+    validate_prometheus,
+)
 from repro.observability.profiler import (
     NULL_PROFILER,
     PROFILE_SCHEMA,
@@ -48,6 +74,12 @@ from repro.observability.tracer import (
 _REGRESSION_EXPORTS = frozenset({
     "BASELINE_SCHEMA",
     "Baseline",
+    "METRICS_BASELINE_SCHEMA",
+    "MetricsBaseline",
+    "collect_leiden_metrics",
+    "measure_metrics",
+    "measure_service_metrics",
+    "record_metrics_baselines",
     "MetricCheck",
     "RunMetrics",
     "Thresholds",
@@ -74,18 +106,37 @@ def __getattr__(name: str):
 
 
 __all__ = [
+    "HEALTH_SCHEMA",
+    "HealthEvaluator",
+    "METRICS_SCHEMA",
     "NULL_PROFILER",
+    "NULL_REGISTRY",
     "NULL_TRACER",
     "PROFILE_SCHEMA",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
     "Profiler",
+    "SLObjective",
     "Span",
     "Timeline",
     "Tracer",
     "TRACE_SCHEMA",
     "TRACE_SCHEMA_V1",
+    "bucket_percentile",
+    "default_service_slos",
+    "exact_percentile",
     "to_chrome_trace",
     "validate_chrome_trace",
     "BASELINE_SCHEMA",
+    "METRICS_BASELINE_SCHEMA",
+    "MetricsBaseline",
+    "collect_leiden_metrics",
+    "measure_metrics",
+    "measure_service_metrics",
+    "record_metrics_baselines",
     "Baseline",
     "MetricCheck",
     "RunMetrics",

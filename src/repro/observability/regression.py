@@ -44,12 +44,15 @@ from repro.parallel.runtime import Runtime
 
 __all__ = [
     "BASELINE_SCHEMA",
+    "METRICS_BASELINE_SCHEMA",
     "SERVICE_BASELINE_SCHEMA",
     "Baseline",
     "MetricCheck",
+    "MetricsBaseline",
     "RunMetrics",
     "ServiceBaseline",
     "Thresholds",
+    "collect_leiden_metrics",
     "compare_metrics",
     "compare_service_docs",
     "default_baseline_dir",
@@ -57,9 +60,12 @@ __all__ = [
     "format_checks",
     "format_trace_diff",
     "measure_experiment",
+    "measure_metrics",
     "measure_service",
+    "measure_service_metrics",
     "migrate_trace",
     "record_baselines",
+    "record_metrics_baselines",
     "record_service_baselines",
     "run_check",
     "run_profile",
@@ -74,6 +80,10 @@ BASELINE_SCHEMA = "repro.baseline/1"
 #: carries no wall-clock fields, so any byte of drift is a real
 #: behavioural change in the serving subsystem.
 SERVICE_BASELINE_SCHEMA = "repro.service-baseline/1"
+
+#: Version tag of the metrics-snapshot baseline files.  Metrics snapshots
+#: contain no wall-clock fields, so these also gate on exact equality.
+METRICS_BASELINE_SCHEMA = "repro.metrics-baseline/1"
 
 #: Version tag of the multi-experiment bundle written by ``bench --trace``.
 TRACE_BUNDLE_SCHEMA = "repro.trace-bundle/1"
@@ -456,6 +466,187 @@ def _check_service_baseline(baseline: ServiceBaseline, print_fn) -> bool:
     return ok
 
 
+# -- metrics-snapshot baselines (exact-match gate) ---------------------------
+
+
+@dataclass(frozen=True)
+class MetricsBaseline:
+    """One committed metrics snapshot: what, seed, exact expectations.
+
+    ``kind`` selects the producer: ``"leiden"`` snapshots an instrumented
+    detection run on registry graph ``target``; ``"service"`` snapshots
+    an instrumented workload of profile ``target`` (with the stock SLO
+    evaluator attached).  The gate is exact equality — snapshots carry no
+    wall-clock fields, so any drift is a real behavioural change.
+    """
+
+    name: str
+    kind: str
+    target: str
+    seed: int
+    expected: Dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": METRICS_BASELINE_SCHEMA,
+            "name": self.name,
+            "kind": self.kind,
+            "target": self.target,
+            "seed": self.seed,
+            "expected": self.expected,
+            "recorded_with": __version__,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "MetricsBaseline":
+        schema = d.get("schema")
+        if schema != METRICS_BASELINE_SCHEMA:
+            raise ValueError(
+                f"unsupported metrics baseline schema {schema!r} "
+                f"(expected {METRICS_BASELINE_SCHEMA!r})"
+            )
+        return cls(
+            name=str(d["name"]),
+            kind=str(d["kind"]),
+            target=str(d["target"]),
+            seed=int(d["seed"]),
+            expected=dict(d["expected"]),
+        )
+
+    @classmethod
+    def load(cls, path: Path | str) -> "MetricsBaseline":
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+    def save(self, path: Path | str) -> None:
+        Path(path).write_text(
+            json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+        )
+
+
+def collect_leiden_metrics(
+    graph,
+    config: Optional[LeidenConfig] = None,
+    *,
+    seed: int = 42,
+):
+    """One detection run with metrics + tracing attached.
+
+    Returns ``(registry, tracer, result)``.  The tracer's observation
+    histograms (batch sizes, color-class sizes — all deterministic
+    counts) are re-exported into the registry as ``trace_*`` histograms,
+    so ``repro metrics`` reports the same p50/p99 as ``repro trace``.
+    """
+    from repro.observability.metrics import MetricsRegistry
+
+    cfg = config or LeidenConfig(seed=seed)
+    registry = MetricsRegistry()
+    tracer = Tracer()
+    rt = Runtime(num_threads=1, seed=cfg.seed, tracer=tracer,
+                 metrics=registry)
+    result = leiden(graph, cfg, runtime=rt)
+    registry.merge_tracer(tracer)
+    return registry, tracer, result
+
+
+def measure_metrics(
+    graph_name: str,
+    *,
+    seed: int = 42,
+    config: Optional[LeidenConfig] = None,
+) -> dict:
+    """Deterministic ``repro.metrics/1`` snapshot of one detection run."""
+    graph = load_graph(graph_name)
+    cfg = config or LeidenConfig(seed=seed)
+    registry, _tracer, result = collect_leiden_metrics(graph, cfg, seed=seed)
+    q = modularity(graph, result.membership)
+    return registry.to_snapshot(
+        experiment=graph_name,
+        seed=cfg.seed,
+        modularity=q,
+        num_passes=result.num_passes,
+        num_communities=result.num_communities,
+        total_work=result.ledger.total_work,
+    )
+
+
+def measure_service_metrics(profile: str = "quick", *, seed: int = 0) -> dict:
+    """Deterministic metrics + health snapshot of one service workload.
+
+    The server runs with a :class:`~repro.observability.metrics.
+    MetricsRegistry` and the stock SLO evaluator attached; the snapshot
+    embeds the final ``repro.health/1`` block.  No tracer: its service
+    histograms observe wall-clock seconds, which would break
+    byte-determinism.
+    """
+    from repro.observability.health import HealthEvaluator, default_service_slos
+    from repro.observability.metrics import MetricsRegistry
+    from repro.service.server import PartitionServer
+    from repro.service.workload import run_workload
+
+    registry = MetricsRegistry()
+    health = HealthEvaluator(default_service_slos())
+    server = PartitionServer(metrics=registry, health=health)
+    run_workload(profile, seed=seed, server=server, verify=False)
+    return registry.to_snapshot(
+        health=health.evaluate(server.clock),
+        profile=profile,
+        seed=seed,
+        clock_units=int(server.clock),
+    )
+
+
+def record_metrics_baselines(
+    directory: Path | str,
+    graphs: Sequence[str] = ("asia_osm",),
+    profiles: Sequence[str] = ("quick",),
+    *,
+    seed: int = 42,
+    service_seed: int = 0,
+) -> List[MetricsBaseline]:
+    """(Re)write the metrics-snapshot baseline files."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    out: List[MetricsBaseline] = []
+    for graph_name in graphs:
+        baseline = MetricsBaseline(
+            name=f"metrics_{graph_name}",
+            kind="leiden",
+            target=graph_name,
+            seed=seed,
+            expected=measure_metrics(graph_name, seed=seed),
+        )
+        baseline.save(directory / f"metrics_{graph_name}.json")
+        out.append(baseline)
+    for profile in profiles:
+        baseline = MetricsBaseline(
+            name=f"metrics_service_{profile}",
+            kind="service",
+            target=profile,
+            seed=service_seed,
+            expected=measure_service_metrics(profile, seed=service_seed),
+        )
+        baseline.save(directory / f"metrics_service_{profile}.json")
+        out.append(baseline)
+    return out
+
+
+def _check_metrics_baseline(baseline: MetricsBaseline, print_fn) -> bool:
+    if baseline.kind == "service":
+        current = measure_service_metrics(baseline.target, seed=baseline.seed)
+    else:
+        current = measure_metrics(baseline.target, seed=baseline.seed)
+    diffs = compare_service_docs(baseline.expected, current)
+    ok = not diffs
+    print_fn(f"{'PASS' if ok else 'FAIL'} {baseline.name} "
+             f"(exact match, kind={baseline.kind}, "
+             f"target={baseline.target}, seed={baseline.seed})")
+    for path, exp, act in diffs[:20]:
+        print_fn(f"  [REG] {path}: baseline={exp!r}  current={act!r}")
+    if len(diffs) > 20:
+        print_fn(f"  ... and {len(diffs) - 20} more differing fields")
+    return ok
+
+
 def run_check(
     baseline_dir: Path | str | None = None,
     *,
@@ -480,6 +671,11 @@ def run_check(
         if doc.get("schema") == SERVICE_BASELINE_SCHEMA:
             if not _check_service_baseline(
                     ServiceBaseline.from_dict(doc), print_fn):
+                failures += 1
+            continue
+        if doc.get("schema") == METRICS_BASELINE_SCHEMA:
+            if not _check_metrics_baseline(
+                    MetricsBaseline.from_dict(doc), print_fn):
                 failures += 1
             continue
         baseline = Baseline.from_dict(doc)

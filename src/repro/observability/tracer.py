@@ -22,10 +22,15 @@ migrate_trace` downgrades a ``/2`` document for ``/1`` consumers.
 from __future__ import annotations
 
 import json
-import math
 from contextlib import contextmanager
 from time import perf_counter
 from typing import Dict, Iterator, List, Optional
+
+# The power-of-two exponent-bucket machinery lives in the metrics module
+# (its single home, shared with metric histograms so trace and metrics
+# percentiles agree); re-exported here for compatibility.
+from repro.observability.metrics import bucket_of as _bucket_of
+from repro.observability.metrics import bucket_percentile
 
 __all__ = ["TRACE_SCHEMA", "TRACE_SCHEMA_V1", "Span", "Tracer", "NullTracer",
            "NULL_TRACER", "bucket_percentile"]
@@ -36,47 +41,6 @@ TRACE_SCHEMA = "repro.trace/2"
 #: The previous schema version (no per-span ``series``); the migration
 #: shim in :mod:`repro.observability.regression` downgrades to it.
 TRACE_SCHEMA_V1 = "repro.trace/1"
-
-#: Histogram bucket exponent bounds: values bucket by their power-of-two
-#: exponent (``v`` lands in bucket ``e`` when ``2**(e-1) < v <= 2**e``),
-#: clamped to this range.  Non-positive values use the sentinel bucket.
-_BUCKET_MIN_EXP = -40
-_BUCKET_MAX_EXP = 41
-_BUCKET_ZERO = -41
-
-
-def _bucket_of(value: float) -> int:
-    if value <= 0.0:
-        return _BUCKET_ZERO
-    exp = math.frexp(value)[1]
-    return min(max(exp, _BUCKET_MIN_EXP), _BUCKET_MAX_EXP)
-
-
-def _bucket_estimate(exp: int) -> float:
-    """Representative value of bucket ``exp`` (arithmetic midpoint)."""
-    if exp == _BUCKET_ZERO:
-        return 0.0
-    return 0.75 * 2.0 ** exp
-
-
-def bucket_percentile(buckets: Dict[int, int], q: float) -> float:
-    """Nearest-rank percentile estimate from an exponent histogram.
-
-    ``q`` is in ``[0, 100]``.  The estimate is the midpoint of the
-    bucket containing the nearest-rank sample, so it is accurate to a
-    factor of ~1.5 — enough for p50/p99 latency reporting without
-    retaining individual samples.
-    """
-    total = sum(buckets.values())
-    if total == 0:
-        return 0.0
-    rank = max(math.ceil(q / 100.0 * total), 1)
-    cum = 0
-    for exp in sorted(buckets):
-        cum += buckets[exp]
-        if cum >= rank:
-            return _bucket_estimate(exp)
-    return _bucket_estimate(max(buckets))  # pragma: no cover - defensive
 
 
 class Span:
@@ -150,6 +114,32 @@ class Span:
                 merged[exp] = merged.get(exp, 0) + count
         for child in self.children:
             child.bucket_totals(totals)
+        return totals
+
+    def stats_totals(
+        self, into: Optional[Dict[str, Dict[str, float]]] = None
+    ) -> Dict[str, Dict[str, float]]:
+        """Observation stats (count/sum/min/max) merged over the subtree.
+
+        The exact-summary companion of :meth:`bucket_totals`, consumed by
+        :meth:`repro.observability.metrics.MetricsRegistry.merge_tracer`
+        so re-exported histograms keep exact sums rather than bucket
+        estimates.
+        """
+        totals = {} if into is None else into
+        for name, s in self.stats.items():
+            merged = totals.get(name)
+            if merged is None:
+                totals[name] = dict(s)
+            else:
+                merged["count"] += s["count"]
+                merged["sum"] += s["sum"]
+                if s["min"] < merged["min"]:
+                    merged["min"] = s["min"]
+                if s["max"] > merged["max"]:
+                    merged["max"] = s["max"]
+        for child in self.children:
+            child.stats_totals(totals)
         return totals
 
     def to_dict(self) -> dict:

@@ -16,6 +16,7 @@ from typing import Callable, List, Sequence
 import numpy as np
 
 from repro.errors import ConfigError
+from repro.observability.metrics import NULL_REGISTRY
 from repro.observability.profiler import NULL_PROFILER
 from repro.observability.tracer import NULL_TRACER
 from repro.parallel.costmodel import PAPER_MACHINE, MachineModel
@@ -52,6 +53,10 @@ class Runtime:
         Thread-timeline profiler capturing every recorded region as an
         event-log entry; defaults to the disabled
         :data:`~repro.observability.profiler.NULL_PROFILER` (zero cost).
+    metrics:
+        Metric registry the runtime and phases report typed instruments
+        to; defaults to the disabled
+        :data:`~repro.observability.metrics.NULL_REGISTRY` (zero cost).
     """
 
     def __init__(
@@ -64,6 +69,7 @@ class Runtime:
         machine: MachineModel | None = None,
         tracer=None,
         profiler=None,
+        metrics=None,
     ) -> None:
         if num_threads < 1:
             raise ConfigError("num_threads must be >= 1")
@@ -76,6 +82,27 @@ class Runtime:
         self.ledger = WorkLedger()
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.profiler = profiler if profiler is not None else NULL_PROFILER
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        m = self.metrics
+        self._m_parallel_regions = m.counter(
+            "runtime_parallel_regions_total",
+            "parallel regions recorded in the work ledger", ("phase",))
+        self._m_chunks = m.counter(
+            "runtime_chunks_total",
+            "loop chunks dispatched, by phase and scheduling policy",
+            ("phase", "policy"))
+        self._m_atomics = m.counter(
+            "runtime_atomic_ops_total",
+            "modelled atomic operations", ("phase",))
+        self._m_barriers = m.counter(
+            "runtime_barriers_total",
+            "implicit end-of-region barriers", ("phase",))
+        self._m_work = m.counter(
+            "runtime_work_units_total",
+            "parallel work units recorded", ("phase",))
+        self._m_serial_work = m.counter(
+            "runtime_serial_work_units_total",
+            "sequential work units recorded", ("phase",))
         self.master_rng = Xorshift32(seed)
         self.thread_rngs: List[Xorshift32] = self.master_rng.spawn(self.num_threads)
         self._pool: ThreadPoolExecutor | None = None
@@ -173,6 +200,15 @@ class Runtime:
         tracer = self.tracer
         if len(self.ledger.regions) > n_before:
             region = self.ledger.regions[-1]
+            if self.metrics.enabled:
+                sched = schedule or self.schedule
+                self._m_parallel_regions.labels(phase).inc()
+                self._m_barriers.labels(phase).inc()
+                self._m_chunks.labels(phase, sched.kind).inc(
+                    region.chunk_costs.shape[0])
+                self._m_atomics.labels(phase).inc(region.atomics)
+                self._m_work.labels(phase).inc(
+                    float(region.chunk_costs.sum()))
             if tracer.enabled:
                 tracer.count("parallel_regions")
                 # Every modelled parallel-for ends in an implicit barrier.
@@ -197,6 +233,8 @@ class Runtime:
         n_before = len(self.ledger.regions)
         self.ledger.serial(cost, phase=phase)
         tracer = self.tracer
+        if self.metrics.enabled and cost > 0:
+            self._m_serial_work.labels(phase).inc(float(cost))
         if tracer.enabled and cost > 0:
             tracer.count("serial_regions")
             tracer.count("serial_work_units", float(cost))

@@ -35,7 +35,6 @@ latencies are reported separately through the tracer histogram
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Callable, Dict, List, Optional
@@ -47,6 +46,7 @@ from repro.core.leiden import leiden
 from repro.dynamic.batch import apply_batch
 from repro.dynamic.strategies import affected_vertices
 from repro.errors import ServiceError
+from repro.observability.metrics import NULL_REGISTRY, exact_percentile
 from repro.observability.tracer import NULL_TRACER
 from repro.parallel.runtime import Runtime
 from repro.service.index import CommunityIndex
@@ -118,12 +118,13 @@ class ServiceConfig:
 
 
 def percentile(values: List[int], q: float) -> int:
-    """Nearest-rank percentile of ``values`` (0 for an empty list)."""
-    if not values:
-        return 0
-    ordered = sorted(values)
-    rank = max(math.ceil(q / 100.0 * len(ordered)), 1)
-    return int(ordered[rank - 1])
+    """Nearest-rank percentile of ``values`` (0 for an empty list).
+
+    Thin integer wrapper over the shared
+    :func:`repro.observability.metrics.exact_percentile` — kept so the
+    committed service-stats baselines stay bitwise identical.
+    """
+    return int(exact_percentile(values, q))
 
 
 class _ComputeFailed(ServiceError):
@@ -151,6 +152,16 @@ class PartitionServer:
         makes the attempt fail; the server retries with backoff and
         degrades to the last good partition when the budget is spent.
         The injection point for fault testing.
+    metrics:
+        :class:`~repro.observability.metrics.MetricsRegistry` the server
+        (and every solve it runs) reports typed instruments to; defaults
+        to the disabled :data:`~repro.observability.metrics.NULL_REGISTRY`.
+    health:
+        :class:`~repro.observability.health.HealthEvaluator` fed with
+        per-request latency/error/staleness signals on the logical
+        clock; when attached, :meth:`stats` gains a ``health`` block.
+        Defaults to ``None`` (off — keeps the stats document identical
+        to an uninstrumented server's).
     """
 
     def __init__(
@@ -160,15 +171,46 @@ class PartitionServer:
         tracer=None,
         profiler=None,
         fault_hook: Optional[Callable[[str, int], None]] = None,
+        metrics=None,
+        health=None,
     ) -> None:
         from repro.observability.profiler import NULL_PROFILER
 
         self.config = config or ServiceConfig()
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.profiler = profiler if profiler is not None else NULL_PROFILER
-        self.store = PartitionStore(self.config.store_budget_bytes)
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        self.health = health
+        self.store = PartitionStore(self.config.store_budget_bytes,
+                                    metrics=self.metrics)
         self.queue = AdmissionQueue(self.config.queue_capacity)
         self.fault_hook = fault_hook
+        m = self.metrics
+        self._m_requests = m.counter(
+            "service_requests_total",
+            "requests completed, by kind and final status",
+            ("kind", "status"))
+        self._m_latency = m.histogram(
+            "service_latency_units",
+            "request latency in logical-clock units, by kind", ("kind",))
+        self._m_queue_depth = m.gauge(
+            "service_queue_depth", "admission-queue depth after last op")
+        self._m_detect_dedups = m.counter(
+            "service_detect_dedups_total",
+            "DETECT submissions coalesced onto an in-flight ticket")
+        self._m_coalesced = m.counter(
+            "service_updates_coalesced_total",
+            "update batches merged into another batch's solve")
+        self._m_refreshes = m.counter(
+            "service_refreshes_total",
+            "partition refreshes, by solve mode", ("mode",))
+        self._m_retries = m.counter(
+            "service_solve_retries_total", "solve attempts retried")
+        self._m_failures = m.counter(
+            "service_solve_failures_total",
+            "solves failed past the retry budget")
+        self._m_flush_batches = m.histogram(
+            "service_flush_batches", "pending batches folded per flush")
         #: Logical clock, in solver work units.
         self.clock = 0
         self.counters: Dict[str, int] = {
@@ -202,8 +244,13 @@ class PartitionServer:
 
     def submit(self, request) -> Ticket:
         """Admit ``request``; raises ``ServiceOverloadError`` when full."""
+        dedups_before = self.queue.coalesced_detects
         ticket = self.queue.submit(request, now=self.clock)
         self._requests_by_kind[request.kind] += 1
+        if self.metrics.enabled:
+            self._m_detect_dedups.inc(
+                self.queue.coalesced_detects - dedups_before)
+            self._m_queue_depth.set(self.queue.depth)
         return ticket
 
     def step(self) -> Optional[Ticket]:
@@ -235,6 +282,8 @@ class PartitionServer:
                 max(float(self.clock - u0), 1.0),
                 status=ticket.status,
             )
+        if self.metrics.enabled:
+            self._m_queue_depth.set(self.queue.depth)
         return ticket
 
     def drain(self) -> int:
@@ -246,7 +295,10 @@ class PartitionServer:
         for key in self.store.keys():
             self._flush(key)
         if self.config.reconcile_on_drain:
-            for key in list(self._unreconciled):
+            # Sorted: set order depends on hash randomization, and the
+            # reconcile order is observable (last-solve gauges, float
+            # accumulation order in metric counters).
+            for key in sorted(self._unreconciled):
                 self._reconcile(key)
         return processed
 
@@ -293,6 +345,14 @@ class PartitionServer:
         tracer = self.tracer
         if tracer.enabled:
             tracer.observe("service_latency_units", float(lat))
+        if self.metrics.enabled:
+            self._m_requests.labels(ticket.kind, status).inc()
+            self._m_latency.labels(ticket.kind).observe(float(lat))
+        if self.health is not None:
+            self.health.record_value(
+                f"{ticket.kind}_latency_units", self.clock, float(lat))
+            self.health.record_event(
+                "request_errors", self.clock, status == FAILED)
 
     def _process_detect(self, ticket: Ticket) -> None:
         req: DetectRequest = ticket.request
@@ -356,6 +416,9 @@ class PartitionServer:
         self.counters["queries_served"] += 1
         if entry.state != FRESH:
             self.counters["queries_served_stale"] += 1
+        if self.health is not None:
+            self.health.record_event(
+                "stale_serves", self.clock, entry.state != FRESH)
         ticket.response = {
             "key": req.key,
             "value": value,
@@ -400,8 +463,10 @@ class PartitionServer:
         tickets = self._pending_tickets.pop(key, [])
         if self.config.coalesce_updates and len(batches) > 1:
             self.counters["updates_coalesced"] += len(batches) - 1
+            self._m_coalesced.inc(len(batches) - 1)
             batches = [coalesce_update_batches(batches)]
         self.counters["update_flushes"] += 1
+        self._m_flush_batches.observe(len(batches))
 
         graph, membership = entry.graph, entry.membership
         status = DONE
@@ -453,6 +518,7 @@ class PartitionServer:
                 "refresh",
                 lambda rt: leiden(updated, self.config.leiden, runtime=rt))
             self.counters["full_recomputes"] += 1
+            self._m_refreshes.labels("full").inc()
             return updated, result.membership, False
         warm = self._pad_membership(membership, updated.num_vertices)
         mask = affected_vertices(updated, warm, batch,
@@ -462,6 +528,7 @@ class PartitionServer:
             lambda rt: leiden(updated, self.config.leiden, runtime=rt,
                               initial_membership=warm, affected=mask))
         self.counters["incremental_refreshes"] += 1
+        self._m_refreshes.labels("incremental").inc()
         if self.tracer.enabled:
             self.tracer.observe("service_affected_fraction",
                                 float(mask.mean()) if mask.shape[0] else 0.0)
@@ -498,6 +565,7 @@ class PartitionServer:
         entry.version += 1
         entry.state = FRESH
         self.counters["reconciles"] += 1
+        self._m_refreshes.labels("reconcile").inc()
         self._unreconciled.discard(key)
 
     # -- solving with fault tolerance --------------------------------------
@@ -517,7 +585,8 @@ class PartitionServer:
                 if self.fault_hook is not None:
                     self.fault_hook(op, attempt)
                 rt = Runtime(num_threads=1, seed=self.config.leiden.seed,
-                             tracer=self.tracer, profiler=self.profiler)
+                             tracer=self.tracer, profiler=self.profiler,
+                             metrics=self.metrics)
                 result = fn(rt)
             except _ComputeFailed:
                 raise
@@ -525,11 +594,13 @@ class PartitionServer:
                 last_exc = exc
                 if attempt < self.config.max_retries:
                     self.counters["solve_retries"] += 1
+                    self._m_retries.inc()
                     self._tick(self.config.backoff_units << attempt)
                 continue
             self._tick(round(result.ledger.total_work))
             return result
         self.counters["solve_failures"] += 1
+        self._m_failures.inc()
         raise _ComputeFailed(
             f"{op} failed after {self.config.max_retries + 1} attempts"
         ) from last_exc
@@ -551,7 +622,7 @@ class PartitionServer:
         not_found = self.counters["queries_not_found"]
         served_frac = (queries / (queries + not_found)
                        if queries + not_found else 0.0)
-        return {
+        doc = {
             "schema": STATS_SCHEMA,
             "clock_units": int(self.clock),
             "requests": dict(sorted(self._requests_by_kind.items())),
@@ -571,3 +642,8 @@ class PartitionServer:
                 for key in sorted(self.store.keys())
             },
         }
+        # Only when an evaluator is attached: the default stats document
+        # stays bitwise identical to the committed service baselines.
+        if self.health is not None:
+            doc["health"] = self.health.evaluate(self.clock)
+        return doc

@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.dynamic.batch import EdgeBatch
 from repro.graph.csr import CSRGraph
+from repro.observability.metrics import NULL_REGISTRY
 from repro.service.index import CommunityIndex
 
 __all__ = ["FRESH", "STALE", "DEGRADED", "PartitionEntry", "PartitionStore"]
@@ -79,13 +80,25 @@ class PartitionEntry:
 class PartitionStore:
     """Byte-budgeted LRU of :class:`PartitionEntry` objects."""
 
-    def __init__(self, budget_bytes: int = 256 * 2**20) -> None:
+    def __init__(self, budget_bytes: int = 256 * 2**20, *,
+                 metrics=None) -> None:
         self.budget_bytes = int(budget_bytes)
         self._entries: "OrderedDict[str, PartitionEntry]" = OrderedDict()
         self.hits = 0
         self.misses = 0
         self.stale_hits = 0
         self.evictions = 0
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        m_lookups = self.metrics.counter(
+            "service_store_lookups_total",
+            "partition-store lookups, by outcome", ("outcome",))
+        self._m_hit = m_lookups.labels("hit")
+        self._m_stale = m_lookups.labels("stale_hit")
+        self._m_miss = m_lookups.labels("miss")
+        self._m_evictions = self.metrics.counter(
+            "service_store_evictions_total", "LRU evictions over budget")
+        self._m_bytes = self.metrics.gauge(
+            "service_store_bytes", "resident bytes across all entries")
 
     # -- lookup -----------------------------------------------------------
 
@@ -98,12 +111,15 @@ class PartitionStore:
         entry = self._entries.get(key)
         if entry is None:
             self.misses += 1
+            self._m_miss.inc()
             return None
         if touch:
             self._entries.move_to_end(key)
         self.hits += 1
+        self._m_hit.inc()
         if entry.state != FRESH:
             self.stale_hits += 1
+            self._m_stale.inc()
         return entry
 
     def peek(self, key: str) -> Optional[PartitionEntry]:
@@ -126,6 +142,8 @@ class PartitionStore:
         self._entries[entry.key] = entry
         self._entries.move_to_end(entry.key)
         self._evict()
+        if self.metrics.enabled:
+            self._m_bytes.set(self.total_bytes)
 
     def discard(self, key: str) -> None:
         self._entries.pop(key, None)
@@ -136,6 +154,7 @@ class PartitionStore:
         while len(self._entries) > 1 and self.total_bytes > self.budget_bytes:
             self._entries.popitem(last=False)
             self.evictions += 1
+            self._m_evictions.inc()
 
     # -- accounting -------------------------------------------------------
 

@@ -1,0 +1,193 @@
+"""Tests for the rolling-window SLO burn-rate evaluator."""
+
+import pytest
+
+from repro.errors import MetricsError
+from repro.observability.health import (
+    HEALTH_SCHEMA,
+    HealthEvaluator,
+    SLObjective,
+    default_service_slos,
+)
+
+
+def latency_slo(**kw) -> SLObjective:
+    base = dict(name="lat", signal="lat", kind="latency", target=2.0,
+                budget=0.1, long_window=100, short_window=20,
+                warn_burn=1.0, page_burn=5.0)
+    base.update(kw)
+    return SLObjective(**base)
+
+
+class TestSLObjective:
+    def test_validation(self):
+        with pytest.raises(MetricsError):
+            latency_slo(kind="weird")
+        with pytest.raises(MetricsError):
+            latency_slo(budget=0.0)
+        with pytest.raises(MetricsError):
+            latency_slo(budget=1.5)
+        with pytest.raises(MetricsError):
+            latency_slo(long_window=0)
+        with pytest.raises(MetricsError):
+            latency_slo(short_window=200)  # longer than long_window
+        with pytest.raises(MetricsError):
+            latency_slo(warn_burn=3.0, page_burn=1.0)
+
+    def test_is_bad(self):
+        slo = latency_slo(target=2.0)
+        assert not slo.is_bad(2.0)
+        assert slo.is_bad(2.5)
+        ratio = latency_slo(kind="ratio", target=0.0)
+        assert ratio.is_bad(1.0)
+        assert not ratio.is_bad(0.0)
+
+    def test_json_roundtrip(self):
+        slo = latency_slo()
+        assert SLObjective(**slo.to_json_dict()) == slo
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(MetricsError):
+            HealthEvaluator([latency_slo(), latency_slo()])
+
+    def test_default_slos_valid(self):
+        slos = default_service_slos()
+        assert len(slos) == 3
+        assert {o.name for o in slos} == {
+            "query_latency_p99", "error_ratio", "refresh_staleness"}
+
+
+class TestWindows:
+    def test_empty_window_is_ok(self):
+        ev = HealthEvaluator([latency_slo()])
+        doc = ev.evaluate(1000)
+        (obj,) = doc["objectives"]
+        assert obj["state"] == "OK"
+        assert obj["long"]["samples"] == 0
+        assert obj["long"]["burn_rate"] == 0.0
+
+    def test_window_longer_than_run(self):
+        # Every sample recorded so far is inside the long window.
+        ev = HealthEvaluator([latency_slo(long_window=10_000,
+                                          short_window=10_000)])
+        for clock in range(5):
+            ev.record_value("lat", clock, 1.0)
+        (obj,) = ev.evaluate(5)["objectives"]
+        assert obj["long"]["samples"] == 5
+        assert obj["state"] == "OK"
+
+    def test_samples_age_out(self):
+        ev = HealthEvaluator([latency_slo()])
+        for clock in range(10):
+            ev.record_value("lat", clock, 100.0)  # all bad
+        # Far in the future both windows are empty again.
+        assert ev.state(10_000) == "OK"
+
+    def test_clock_jump_ages_samples(self):
+        # A full-recompute fallback advances the logical clock in one
+        # large step; old samples must age out, not skew the rate.
+        ev = HealthEvaluator([latency_slo()])
+        for clock in range(10):
+            ev.record_value("lat", clock, 100.0)
+        assert ev.state(10) != "OK"
+        # One good sample after a jump past the horizon prunes history.
+        ev.record_value("lat", 5_000, 1.0)
+        (obj,) = ev.evaluate(5_000)["objectives"]
+        assert obj["long"]["samples"] == 1
+        assert obj["state"] == "OK"
+
+    def test_unwatched_signal_dropped(self):
+        ev = HealthEvaluator([latency_slo()])
+        ev.record_value("other", 1, 99.0)
+        assert sum(len(b) for b in ev._samples.values()) == 0
+
+    def test_window_is_half_open(self):
+        # (clock - window, clock]: a sample exactly at the floor is out.
+        ev = HealthEvaluator([latency_slo(long_window=10, short_window=10)])
+        ev.record_value("lat", 0, 100.0)
+        ev.record_value("lat", 5, 100.0)
+        (obj,) = ev.evaluate(10)["objectives"]
+        assert obj["long"]["samples"] == 1  # clock 0 aged out
+
+
+class TestBurnRates:
+    def test_burn_rate_math(self):
+        # 3 bad of 10 with budget 0.1 -> burn 3.0.
+        ev = HealthEvaluator([latency_slo()])
+        for i in range(10):
+            ev.record_value("lat", 10 + i, 100.0 if i < 3 else 1.0)
+        (obj,) = ev.evaluate(20)["objectives"]
+        assert obj["long"]["bad"] == 3
+        assert obj["long"]["burn_rate"] == pytest.approx(3.0)
+
+    def test_ok_warn_page_transitions(self):
+        # Three traffic phases: healthy, mildly bad, fully bad.
+        ev = HealthEvaluator([latency_slo()])
+        clock = 0
+        for _ in range(50):  # all good
+            ev.record_value("lat", clock, 1.0)
+            clock += 1
+        assert ev.state(clock) == "OK"
+        for i in range(40):  # 25% bad: budget 0.1 -> burn > 1 both windows
+            ev.record_value("lat", clock, 100.0 if i % 4 == 0 else 1.0)
+            clock += 1
+        assert ev.state(clock) == "WARN"
+        for _ in range(60):  # all bad: burn >= 5 in both windows
+            ev.record_value("lat", clock, 100.0)
+            clock += 1
+        assert ev.state(clock) == "PAGE"
+
+    def test_page_requires_both_windows(self):
+        # Long window still burning, short window recovered -> no PAGE.
+        ev = HealthEvaluator([latency_slo()])
+        clock = 0
+        for _ in range(60):
+            ev.record_value("lat", clock, 100.0)
+            clock += 1
+        for _ in range(25):  # short window (20) now fully good
+            ev.record_value("lat", clock, 1.0)
+            clock += 1
+        (obj,) = ev.evaluate(clock)["objectives"]
+        assert obj["long"]["burn_rate"] >= 5.0
+        assert obj["short"]["burn_rate"] == 0.0
+        assert obj["state"] == "OK"
+
+    def test_ratio_objective(self):
+        slo = SLObjective(name="err", signal="errors", kind="ratio",
+                          budget=0.5, long_window=100, short_window=100,
+                          warn_burn=1.0, page_burn=2.0)
+        ev = HealthEvaluator([slo])
+        for i in range(10):
+            ev.record_event("errors", i, bad=(i % 2 == 0))
+        (obj,) = ev.evaluate(9)["objectives"]
+        assert obj["long"]["bad"] == 5
+        assert obj["state"] == "WARN"  # burn = 0.5/0.5 = 1.0
+
+
+class TestEvaluateDocument:
+    def test_schema_and_worst_state(self):
+        good = latency_slo(name="a", signal="a")
+        bad = latency_slo(name="b", signal="b")
+        ev = HealthEvaluator([good, bad])
+        for clock in range(30):
+            ev.record_value("a", clock, 1.0)
+            ev.record_value("b", clock, 100.0)
+        doc = ev.evaluate(30)
+        assert doc["schema"] == HEALTH_SCHEMA
+        assert doc["clock"] == 30
+        assert [o["name"] for o in doc["objectives"]] == ["a", "b"]
+        assert doc["state"] == "PAGE"  # worst of OK and PAGE
+
+    def test_no_objectives_trivially_ok(self):
+        assert HealthEvaluator().evaluate(0)["state"] == "OK"
+
+    def test_deterministic_across_runs(self):
+        def run():
+            ev = HealthEvaluator(default_service_slos())
+            for clock in range(200):
+                ev.record_value("query_latency_units", clock,
+                                float(clock % 90))
+                ev.record_event("request_errors", clock, clock % 37 == 0)
+                ev.record_event("stale_serves", clock, clock % 11 == 0)
+            return ev.evaluate(200)
+        assert run() == run()

@@ -145,9 +145,10 @@ class TestBenchSubcommand:
         out = capsys.readouterr().out
         assert "recorded baseline" in out
         assert "recorded service baseline" in out
+        assert "recorded metrics baseline" in out
         assert main(["bench", "--check",
                      "--baselines", str(tmp_path)]) == 0
-        assert "4/4 baselines within thresholds" in capsys.readouterr().out
+        assert "6/6 baselines within thresholds" in capsys.readouterr().out
 
     def test_bench_trace_writes_bundle(self, tmp_path, capsys):
         out_file = tmp_path / "bundle.json"
@@ -193,6 +194,66 @@ class TestServeSubcommand:
                      "--no-coalesce", "--no-verify"]) == 0
         doc = json.loads(capsys.readouterr().out)
         assert doc["stats"]["counters"]["updates_coalesced"] == 0
+
+    def test_serve_metrics_output(self, tmp_path, capsys):
+        out = tmp_path / "stats.json"
+        metrics = tmp_path / "metrics.json"
+        assert main(["serve", "--workload", "tiny", "--seed", "0",
+                     "--no-verify", "--output", str(out),
+                     "--metrics", str(metrics)]) == 0
+        doc = json.loads(metrics.read_text())
+        assert doc["schema"] == "repro.metrics/1"
+        assert doc["health"]["schema"] == "repro.health/1"
+        assert doc["health"]["state"] in ("OK", "WARN", "PAGE")
+        assert "service_requests_total" in doc["families"]
+        # The stats document grows its health block too.
+        stats = json.loads(out.read_text())
+        assert stats["stats"]["health"]["schema"] == "repro.health/1"
+
+    def test_serve_metrics_deterministic(self, tmp_path, capsys):
+        paths = [tmp_path / "a.json", tmp_path / "b.json"]
+        for p in paths:
+            assert main(["serve", "--workload", "tiny", "--seed", "0",
+                         "--no-verify", "--output",
+                         str(tmp_path / "stats.json"),
+                         "--metrics", str(p)]) == 0
+        assert paths[0].read_text() == paths[1].read_text()
+
+
+class TestMetricsSubcommand:
+    def test_metrics_json_to_stdout(self, graph_file, capsys):
+        assert main(["metrics", str(graph_file)]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"] == "repro.metrics/1"
+        assert doc["meta"]["num_communities"] == 2
+        assert doc["families"]["leiden_passes_total"]["series"][0][
+            "value"] >= 1
+        assert "runtime_parallel_regions_total" in doc["families"]
+        assert any(k.startswith("trace_") for k in doc["families"])
+
+    def test_metrics_prometheus_output(self, graph_file, capsys):
+        assert main(["metrics", str(graph_file), "--format", "prom"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE leiden_passes_total counter" in out
+        from repro.observability.metrics import validate_prometheus
+
+        report = validate_prometheus(out)
+        assert report["families"] > 10
+
+    def test_metrics_double_run_byte_identical(self, graph_file, tmp_path,
+                                               capsys):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        assert main(["metrics", str(graph_file), "--output", str(a)]) == 0
+        assert main(["metrics", str(graph_file), "--output", str(b)]) == 0
+        assert "metrics written to" in capsys.readouterr().out
+        assert a.read_text() == b.read_text()
+
+    def test_metrics_dataset_name_compact(self, capsys):
+        assert main(["metrics", "asia_osm", "--max-passes", "2",
+                     "--compact"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("\n") == 1
+        assert json.loads(out)["schema"] == "repro.metrics/1"
 
 
 class TestProfileSubcommand:

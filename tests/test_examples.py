@@ -21,6 +21,7 @@ EXPECTED_OUTPUT = {
     "community_analysis.py": "seed stability",
     "partition_server.py": "served == from-scratch: True",
     "profile_smoke.py": "convergence monitor",
+    "metrics_smoke.py": "health=PAGE",
 }
 
 
