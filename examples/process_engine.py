@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Process engine: real shared-memory parallelism, simulated-oracle exact.
+
+Runs GVE-Leiden on a registry graph twice — once on the simulated
+``batch`` engine and once on the ``process`` engine, whose workers are
+separate interpreter processes mapping the CSR arrays through
+``multiprocessing.shared_memory`` — and shows that the memberships are
+bitwise identical while the process engine uses real parallel wall
+clock.
+
+Run with:  python examples/process_engine.py
+"""
+
+import time
+
+from repro import LeidenConfig, leiden, modularity
+from repro.datasets.registry import load_graph
+from repro.parallel.runtime import Runtime
+
+GRAPH = "com-LiveJournal"
+WORKERS = 2
+
+
+def main() -> None:
+    graph = load_graph(GRAPH, seed=1)
+    print(f"graph: {GRAPH} "
+          f"({graph.num_vertices} vertices, {graph.num_edges} edges)")
+
+    # Oracle: the single-process simulated batch engine.
+    t0 = time.perf_counter()
+    oracle = leiden(graph, LeidenConfig(engine="batch", seed=42))
+    batch_wall = time.perf_counter() - t0
+
+    # Process engine: same algorithm, chunks fanned out to worker
+    # processes over shared memory.  The Runtime owns the pool; close()
+    # (or the context manager) reaps the workers and the segments.
+    t0 = time.perf_counter()
+    with Runtime(num_threads=WORKERS, executor="process", seed=42) as rt:
+        result = leiden(graph, LeidenConfig(engine="process", seed=42),
+                        runtime=rt)
+    process_wall = time.perf_counter() - t0
+
+    same = bool((result.membership == oracle.membership).all())
+    print(f"batch engine:   {batch_wall:.2f}s wall, "
+          f"{oracle.num_communities} communities, "
+          f"Q={modularity(graph, oracle.membership):.4f}")
+    print(f"process engine: {process_wall:.2f}s wall at {WORKERS} workers, "
+          f"{result.num_communities} communities")
+    print(f"membership bitwise-identical to the simulated oracle: {same}")
+    if not same:
+        raise SystemExit("process engine diverged from the batch oracle")
+
+
+if __name__ == "__main__":
+    main()

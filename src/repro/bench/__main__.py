@@ -20,7 +20,11 @@ Observability / CI flags:
   intentional performance or quality change;
 - ``--kernels`` runs the sort-vs-count kernel microbenchmarks
   (``--quick`` for the smaller CI smoke variant) and verifies both
-  kernel engines return identical memberships.
+  kernel engines return identical memberships;
+- ``--engines`` runs the real-wall-clock engine A/B (threading vs the
+  shared-memory process pool) on registry graphs, verifies both against
+  the batch oracle, and writes the JSON report CI uploads
+  (``--engines-output``, ``--workers``, ``--min-speedup``).
 """
 
 from __future__ import annotations
@@ -70,12 +74,37 @@ def main(argv: list[str] | None = None) -> int:
                              "microbenchmarks")
     parser.add_argument("--quick", action="store_true",
                         help="smaller/faster --kernels run (CI smoke)")
+    parser.add_argument("--engines", action="store_true",
+                        dest="engines_ab",
+                        help="run the wall-clock engine A/B "
+                             "(threading vs process pool)")
+    parser.add_argument("--engines-output", default=None, metavar="PATH",
+                        help="write the engine A/B JSON report here")
+    parser.add_argument("--engines-graphs", default=None, metavar="NAMES",
+                        help="comma-separated registry graphs for "
+                             "--engines (default: the largest graphs)")
+    parser.add_argument("--workers", type=int, default=4,
+                        help="worker count for --engines (default 4)")
+    parser.add_argument("--min-speedup", type=float, default=None,
+                        help="with --engines: fail when the process "
+                             "engine's speedup over threading falls "
+                             "below this on any graph")
     args = parser.parse_args(argv)
 
     if args.kernels:
         from repro.bench.kernels import main as kernels_main
 
         return kernels_main(seed=args.seed, quick=args.quick)
+
+    if args.engines_ab:
+        from repro.bench.engines import main as engines_main
+
+        graphs = (args.engines_graphs.split(",")
+                  if args.engines_graphs else None)
+        return engines_main(
+            graphs=graphs, workers=args.workers, seed=args.seed,
+            output=args.engines_output, min_speedup=args.min_speedup,
+        )
 
     if (args.check or args.trace_path or args.profile_path
             or args.update_baselines):
@@ -114,7 +143,7 @@ def main(argv: list[str] | None = None) -> int:
             )
             print(f"profile bundle written to {args.profile_path}")
         if args.check:
-            return regression.run_check(baseline_dir)
+            return regression.run_check(baseline_dir, require_complete=True)
         return 0
 
     if args.output or args.json_path:

@@ -1,0 +1,182 @@
+"""Engine A/B benchmark: real wall-clock, threading vs process.
+
+Everything else in the bench suite reports *modelled* seconds, because
+the GIL makes real Python-thread scaling unobservable.  The process
+engine changes that: its workers are separate interpreters over shared
+memory, so its wall-clock is a real measurement worth gating on.  This
+module times the ``threads`` and ``process`` engines end-to-end on
+registry graphs, verifies both memberships against the simulated
+``batch`` oracle, and emits a JSON report CI uploads as an artifact.
+
+The report schema (``repro.bench.engines/1``)::
+
+    {
+      "schema": "repro.bench.engines/1",
+      "workers": 4, "seed": 42,
+      "graphs": [
+        {"name": "kmer_V1r", "vertices": ..., "edges": ...,
+         "engines": {"threads":  {"wall_seconds": ..., "passes": ...,
+                                  "communities": ..., "identical": true},
+                     "process": {...}},
+         "speedup_process_vs_threads": 3.2},
+        ...
+      ]
+    }
+
+``identical`` is each engine's membership equality against the batch
+oracle.  Only the process engine *contracts* bitwise equality at any
+worker count (see :mod:`repro.core.local_move_process`); the threading
+engine follows the per-vertex loop semantics and may legitimately settle
+on a different (equally valid) partition, so its flag is informational.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.core.config import LeidenConfig
+from repro.core.leiden import leiden
+from repro.datasets.registry import load_graph, registry_names
+from repro.parallel.runtime import Runtime
+
+__all__ = ["DEFAULT_AB_GRAPHS", "run_engine_ab", "format_engine_ab", "main"]
+
+#: Report schema tag.
+ENGINES_SCHEMA = "repro.bench.engines/1"
+
+#: Graphs the A/B runs by default: the two largest registry graphs (by
+#: vertex count) plus one web-crawl representative.
+DEFAULT_AB_GRAPHS = ("kmer_V1r", "kmer_A2a", "com-LiveJournal")
+
+
+def largest_registry_graphs(count: int = 2) -> List[str]:
+    """The ``count`` largest registry graphs by vertex count."""
+    sized = []
+    for name in registry_names():
+        g = load_graph(name, seed=1)
+        sized.append((g.num_vertices, name))
+    sized.sort(reverse=True)
+    return [name for _, name in sized[:count]]
+
+
+def _run_one(graph, engine: str, *, workers: int, seed: int):
+    """One timed end-to-end run; returns (result, wall_seconds)."""
+    cfg = LeidenConfig(engine=engine, seed=seed)
+    if engine == "process":
+        rt = Runtime(num_threads=workers, executor="process", seed=seed)
+    else:
+        rt = Runtime(num_threads=workers, seed=seed)
+    try:
+        t0 = time.perf_counter()
+        result = leiden(graph, cfg, runtime=rt)
+        wall = time.perf_counter() - t0
+    finally:
+        rt.close()
+    return result, wall
+
+
+def run_engine_ab(
+    graphs: Sequence[str] | None = None,
+    *,
+    workers: int = 4,
+    seed: int = 42,
+    engines: Sequence[str] = ("threads", "process"),
+) -> Dict:
+    """Time the engines on each graph; verify against the batch oracle."""
+    names = list(graphs) if graphs is not None else list(DEFAULT_AB_GRAPHS)
+    rows: List[Dict] = []
+    for name in names:
+        g = load_graph(name, seed=1)
+        oracle = leiden(g, LeidenConfig(engine="batch", seed=seed))
+        row: Dict = {
+            "name": name,
+            "vertices": int(g.num_vertices),
+            "edges": int(g.num_edges),
+            "engines": {},
+        }
+        for engine in engines:
+            result, wall = _run_one(g, engine, workers=workers, seed=seed)
+            row["engines"][engine] = {
+                "wall_seconds": round(wall, 4),
+                "passes": int(result.num_passes),
+                "communities": int(result.num_communities),
+                "identical": bool(
+                    np.array_equal(result.membership, oracle.membership)),
+            }
+        th = row["engines"].get("threads")
+        pr = row["engines"].get("process")
+        if th and pr and pr["wall_seconds"] > 0:
+            row["speedup_process_vs_threads"] = round(
+                th["wall_seconds"] / pr["wall_seconds"], 3)
+        rows.append(row)
+    return {
+        "schema": ENGINES_SCHEMA,
+        "workers": int(workers),
+        "seed": int(seed),
+        "graphs": rows,
+    }
+
+
+def format_engine_ab(report: Dict) -> str:
+    """Human-readable table of an A/B report."""
+    lines = [
+        f"engine A/B at {report['workers']} workers (seed {report['seed']})",
+        f"{'graph':<18s} {'engine':<9s} {'wall s':>8s} {'passes':>6s} "
+        f"{'comms':>7s} {'oracle':>7s}",
+    ]
+    for row in report["graphs"]:
+        for engine, stats in row["engines"].items():
+            lines.append(
+                f"{row['name']:<18s} {engine:<9s} "
+                f"{stats['wall_seconds']:>8.3f} {stats['passes']:>6d} "
+                f"{stats['communities']:>7d} "
+                f"{'ok' if stats['identical'] else 'DIFF':>7s}")
+        if "speedup_process_vs_threads" in row:
+            lines.append(
+                f"{'':<18s} speedup process vs threads: "
+                f"{row['speedup_process_vs_threads']:.2f}x")
+    return "\n".join(lines)
+
+
+def main(
+    *,
+    graphs: Sequence[str] | None = None,
+    workers: int = 4,
+    seed: int = 42,
+    output: str | None = None,
+    min_speedup: float | None = None,
+) -> int:
+    """CLI entry for ``repro bench --engines``.
+
+    Fails (exit 1) when any engine's membership diverges from the batch
+    oracle, or — with ``min_speedup`` — when the process engine's
+    speedup over threading falls short on any graph.
+    """
+    report = run_engine_ab(graphs, workers=workers, seed=seed)
+    print(format_engine_ab(report))
+    if output:
+        from pathlib import Path
+
+        Path(output).write_text(
+            json.dumps(report, indent=2, sort_keys=True) + "\n")
+        print(f"engine A/B report written to {output}")
+    failed = False
+    for row in report["graphs"]:
+        # Only the process engine contracts oracle equality; the
+        # threading engine's per-vertex semantics may differ legally.
+        stats = row["engines"].get("process")
+        if stats is not None and not stats["identical"]:
+            print(f"error: process membership diverged from the "
+                  f"batch oracle on {row['name']}")
+            failed = True
+        speedup = row.get("speedup_process_vs_threads")
+        if (min_speedup is not None and speedup is not None
+                and speedup < min_speedup):
+            print(f"error: process speedup {speedup:.2f}x on "
+                  f"{row['name']} is below the {min_speedup:.2f}x gate")
+            failed = True
+    return 1 if failed else 0

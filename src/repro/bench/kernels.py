@@ -92,10 +92,13 @@ def main(seed: int = 42, repeats: int = 5, quick: bool = False) -> int:
                 continue
             scratch = np.empty(n, dtype=np.int64)
             sort_s = _best_of(
-                lambda: segment_pair_sums_sort(seg, comm, w, n), repeats
+                lambda s=seg, c=comm, ww=w, nn=n:
+                    segment_pair_sums_sort(s, c, ww, nn),
+                repeats,
             )
             count_s = _best_of(
-                lambda: segment_pair_sums_count(seg, comm, w, nseg, scratch),
+                lambda s=seg, c=comm, ww=w, ns=nseg, sc=scratch:
+                    segment_pair_sums_count(s, c, ww, ns, sc),
                 repeats,
             )
             _print_row(f"pair_sums {gname} {label}", seg.shape[0],
@@ -112,10 +115,13 @@ def main(seed: int = 42, repeats: int = 5, quick: bool = False) -> int:
         w = rng.uniform(0, 1, e).astype(np.float32)
         scratch = np.empty(ncomm, dtype=np.int64)
         sort_s = _best_of(
-            lambda: segment_pair_sums_sort(seg, comm, w, ncomm), repeats
+            lambda s=seg, c=comm, ww=w, nc=ncomm:
+                segment_pair_sums_sort(s, c, ww, nc),
+            repeats,
         )
         count_s = _best_of(
-            lambda: segment_pair_sums_count(seg, comm, w, nseg, scratch),
+            lambda s=seg, c=comm, ww=w, ns=nseg, sc=scratch:
+                segment_pair_sums_count(s, c, ww, ns, sc),
             repeats,
         )
         _print_row(f"pair_sums {label}", e, sort_s, count_s)

@@ -45,6 +45,25 @@ from repro.graph.io_mtx import read_mtx
 from repro.metrics.connectivity import disconnected_communities
 from repro.metrics.modularity import modularity
 
+#: Engine choices shared by every subcommand that runs a detection.
+ENGINE_CHOICES = ("batch", "loop", "threads", "process")
+
+
+def _add_workers_arg(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--workers", type=int, default=2,
+                   help="worker-process count for --engine process "
+                        "(ignored by the other engines; default 2)")
+
+
+def _make_runtime(args, **kwargs):
+    """A Runtime sized for the requested engine (process → worker pool)."""
+    from repro.parallel.runtime import Runtime
+
+    if getattr(args, "engine", None) == "process":
+        return Runtime(num_threads=args.workers, executor="process",
+                       seed=args.seed, **kwargs)
+    return Runtime(num_threads=1, seed=args.seed, **kwargs)
+
 
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
@@ -66,8 +85,9 @@ def build_parser() -> argparse.ArgumentParser:
                    default="move")
     p.add_argument("--quality", choices=["modularity", "cpm"],
                    default="modularity")
-    p.add_argument("--engine", choices=["batch", "loop", "threads"],
+    p.add_argument("--engine", choices=list(ENGINE_CHOICES),
                    default="batch")
+    _add_workers_arg(p)
     p.add_argument("--resolution", type=float, default=1.0)
     p.add_argument("--max-passes", type=int, default=10)
     p.add_argument("--seed", type=int, default=42)
@@ -108,8 +128,9 @@ def build_trace_parser() -> argparse.ArgumentParser:
     p.add_argument("input", nargs="?", default=None,
                    help="graph file (.mtx, .graph or edge list) or a "
                         "registry dataset name")
-    p.add_argument("--engine", choices=["batch", "loop", "threads"],
+    p.add_argument("--engine", choices=list(ENGINE_CHOICES),
                    default="batch")
+    _add_workers_arg(p)
     p.add_argument("--quality", choices=["modularity", "cpm"],
                    default="modularity")
     p.add_argument("--max-passes", type=int, default=10)
@@ -135,7 +156,6 @@ def trace_main(argv: list[str] | None = None) -> int:
     """``repro trace`` — run once with tracing on, emit the JSON trace."""
     from repro.observability.tracer import Tracer
     from repro.parallel.costmodel import PAPER_MACHINE
-    from repro.parallel.runtime import Runtime
 
     parser = build_trace_parser()
     args = parser.parse_args(argv)
@@ -151,8 +171,11 @@ def trace_main(argv: list[str] | None = None) -> int:
         seed=args.seed,
     )
     tracer = Tracer()
-    rt = Runtime(num_threads=1, seed=args.seed, tracer=tracer)
-    result = leiden(graph, config, runtime=rt)
+    rt = _make_runtime(args, tracer=tracer)
+    try:
+        result = leiden(graph, config, runtime=rt)
+    finally:
+        rt.close()
     sim = result.ledger.simulate(PAPER_MACHINE, args.threads)
     q = modularity(graph, result.membership)
     doc = tracer.to_json(
@@ -216,8 +239,9 @@ def build_profile_parser() -> argparse.ArgumentParser:
     p.add_argument("input",
                    help="graph file (.mtx, .graph or edge list) or a "
                         "registry dataset name")
-    p.add_argument("--engine", choices=["batch", "loop", "threads"],
+    p.add_argument("--engine", choices=list(ENGINE_CHOICES),
                    default="batch")
+    _add_workers_arg(p)
     p.add_argument("--quality", choices=["modularity", "cpm"],
                    default="modularity")
     p.add_argument("--max-passes", type=int, default=10)
@@ -247,7 +271,6 @@ def profile_main(argv: list[str] | None = None) -> int:
         validate_chrome_trace,
     )
     from repro.observability.tracer import Tracer
-    from repro.parallel.runtime import Runtime
 
     args = build_profile_parser().parse_args(argv)
     graph = _load(args.input)
@@ -259,9 +282,11 @@ def profile_main(argv: list[str] | None = None) -> int:
     )
     tracer = Tracer()
     profiler = Profiler(num_threads=args.threads)
-    rt = Runtime(num_threads=1, seed=args.seed, tracer=tracer,
-                 profiler=profiler)
-    leiden(graph, config, runtime=rt)
+    rt = _make_runtime(args, tracer=tracer, profiler=profiler)
+    try:
+        leiden(graph, config, runtime=rt)
+    finally:
+        rt.close()
     timeline = profiler.timeline()
     trace_doc = tracer.to_dict(experiment=str(args.input), seed=args.seed)
     report = format_profile_report(
@@ -292,8 +317,9 @@ def build_metrics_parser() -> argparse.ArgumentParser:
     p.add_argument("input",
                    help="graph file (.mtx, .graph or edge list) or a "
                         "registry dataset name")
-    p.add_argument("--engine", choices=["batch", "loop", "threads"],
+    p.add_argument("--engine", choices=list(ENGINE_CHOICES),
                    default="batch")
+    _add_workers_arg(p)
     p.add_argument("--quality", choices=["modularity", "cpm"],
                    default="modularity")
     p.add_argument("--max-passes", type=int, default=10)
@@ -325,7 +351,10 @@ def metrics_main(argv: list[str] | None = None) -> int:
         seed=args.seed,
     )
     registry, _tracer, result = collect_leiden_metrics(
-        graph, config, seed=args.seed)
+        graph, config, seed=args.seed,
+        num_threads=args.workers if args.engine == "process" else 1,
+        executor="process" if args.engine == "process" else "serial",
+    )
     q = modularity(graph, result.membership)
     if args.fmt == "prom":
         doc = registry.to_prometheus()
@@ -512,7 +541,11 @@ def main(argv: list[str] | None = None) -> int:
         seed=args.seed,
     )
     algo = leiden if args.algorithm == "leiden" else louvain
-    result = algo(graph, config)
+    rt = _make_runtime(args)
+    try:
+        result = algo(graph, config, runtime=rt)
+    finally:
+        rt.close()
 
     q = modularity(graph, result.membership, resolution=args.resolution)
     print(f"graph: {args.input}")

@@ -23,7 +23,7 @@ from repro.errors import ConfigError
 
 _REFINEMENTS = ("greedy", "random")
 _LABELS = ("move", "refine")
-_ENGINES = ("batch", "loop", "threads")
+_ENGINES = ("batch", "loop", "threads", "process")
 _KERNEL_ENGINES = ("sort", "count")
 _VARIANTS = ("default", "medium", "heavy")
 
@@ -64,7 +64,11 @@ class LeidenConfig:
     #: semantics with per-thread hashtables — the reference path) or
     #: ``"threads"`` (real Python threads with lock-guarded atomics for
     #: the local-moving phase; refinement/aggregation use the reference
-    #: path).
+    #: path) or ``"process"`` (worker *processes* over shared-memory
+    #: arenas — the only engine that sidesteps the GIL; local-moving
+    #: fans out to the pool, the remaining phases run the batch path,
+    #: and membership is bitwise-identical to ``"batch"`` at any worker
+    #: count).
     engine: str = "batch"
     #: Kernel family the batch engine's workspace drives: ``"count"``
     #: (counting-sort/bincount kernels over compacted community keys —

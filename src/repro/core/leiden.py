@@ -33,6 +33,7 @@ from repro.core.aggregate import aggregate_batch, aggregate_loop
 from repro.core.config import LeidenConfig
 from repro.core.dendrogram import Dendrogram
 from repro.core.local_move import local_move_batch, local_move_loop
+from repro.core.local_move_process import local_move_process
 from repro.core.local_move_threads import local_move_threads
 from repro.core.quality import Quality
 from repro.core.refine import refine_batch, refine_loop
@@ -54,6 +55,12 @@ from repro.parallel.simthread import WorkLedger
 from repro.types import VERTEX_DTYPE
 
 __all__ = ["leiden"]
+
+#: Engines that drive the vectorized batch kernels for the refine and
+#: aggregate phases (the process engine parallelizes local-moving across
+#: worker processes and runs the remaining phases on the batch path, so
+#: end-to-end membership matches ``"batch"`` bitwise).
+_BATCH_LIKE = ("batch", "process")
 
 
 def leiden(
@@ -141,7 +148,7 @@ def leiden(
             # -- initialization (line 4) -------------------------------------
             t0 = time.perf_counter()
             with tracer.span("init"):
-                if cfg.engine == "batch":
+                if cfg.engine in _BATCH_LIKE:
                     # One workspace per pass: the kernel scratch buffers are
                     # allocated here and reused by every batch of the move,
                     # refine and aggregate phases — the analogue of the
@@ -181,6 +188,21 @@ def leiden(
                                           else None),
                         pruning=cfg.vertex_pruning,
                     )
+                elif cfg.engine == "process":
+                    li, _dq = local_move_process(
+                        G, C, K, Sigma, tau,
+                        runtime=rt,
+                        pool=rt.procpool(),
+                        max_iterations=cfg.max_iterations,
+                        batch_size=cfg.batch_size,
+                        quality=qual,
+                        quantities=Qv,
+                        unprocessed_mask=(first_unprocessed if pass_index == 0
+                                          else None),
+                        pruning=cfg.vertex_pruning,
+                        order_ranks=ranks,
+                        workspace=workspace,
+                    )
                 elif cfg.engine == "batch":
                     li, _dq = local_move_batch(
                         G, C, K, Sigma, tau,
@@ -217,7 +239,7 @@ def leiden(
                 if cfg.use_refinement:
                     C_ref = np.arange(n, dtype=VERTEX_DTYPE)
                     Sigma_ref = Qv.copy()
-                    if cfg.engine == "batch":
+                    if cfg.engine in _BATCH_LIKE:
                         lj = refine_batch(
                             G, C_B, C_ref, K, Sigma_ref,
                             runtime=rt,
@@ -296,7 +318,7 @@ def leiden(
             # -- aggregation phase (line 13) ------------------------------------------
             t0 = time.perf_counter()
             with tracer.span("aggregate") as ag_span:
-                if cfg.engine == "batch":
+                if cfg.engine in _BATCH_LIKE:
                     G = aggregate_batch(
                         G, C_ref_ren, num_comms, runtime=rt,
                         workspace=workspace,
@@ -355,6 +377,10 @@ def leiden(
         # spans left open by an exception) so partial traces
         # still carry seconds.
         tracer.unwind(run_span)
+        # A runtime we created ourselves has no outer lifetime managing
+        # it — reap its worker pool rather than leave daemons behind.
+        if runtime is None:
+            rt.close()
     return LeidenResult(
         membership=C_top,
         dendrogram=dendrogram,

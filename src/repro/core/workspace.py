@@ -63,6 +63,11 @@ class KernelWorkspace:
     dense_grid_limit:
         Cap (entries) on the dense bincount accumulation grid before the
         count kernels fall back to the compacted-key counting sort.
+    scratch_map:
+        An externally-owned compaction map to drive the kernels over
+        instead of allocating one — the process engine hands each worker
+        its slab of a shared-memory scratch segment this way (int64, at
+        least ``num_vertices`` slots, never needs clearing).
     """
 
     def __init__(
@@ -73,6 +78,7 @@ class KernelWorkspace:
         runtime=None,
         phase: str = "other",
         dense_grid_limit: int = DENSE_GRID_LIMIT,
+        scratch_map: np.ndarray | None = None,
     ) -> None:
         if engine not in KERNEL_ENGINES:
             raise ConfigError(f"kernel engine must be one of {KERNEL_ENGINES}")
@@ -83,7 +89,14 @@ class KernelWorkspace:
         # hashtable covering the whole id domain; only slots named by a
         # batch are ever touched, so it is allocated once and never
         # cleared.  np.empty: contents are irrelevant by construction.
-        self._map = np.empty(max(self.num_vertices, 1), dtype=np.int64)
+        if scratch_map is not None:
+            if (scratch_map.dtype != np.int64
+                    or scratch_map.shape[0] < max(self.num_vertices, 1)):
+                raise ConfigError(
+                    "scratch_map must be int64 with >= num_vertices slots")
+            self._map = scratch_map
+        else:
+            self._map = np.empty(max(self.num_vertices, 1), dtype=np.int64)
         self._tracer = runtime.tracer if runtime is not None else NULL_TRACER
         metrics = runtime.metrics if runtime is not None else NULL_REGISTRY
         self._m_dispatch = metrics.counter(

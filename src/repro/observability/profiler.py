@@ -16,7 +16,9 @@ Consumers:
 - :func:`to_chrome_trace` emits the timeline in Chrome trace-event JSON
   (``chrome://tracing`` / Perfetto; one lane per simulated thread, one
   extra ``service`` lane for :class:`~repro.service.server.
-  PartitionServer` request events, counter tracks for convergence marks);
+  PartitionServer` request events, counter tracks for convergence marks,
+  and — when the process engine ran under a profiler — real wall-clock
+  lanes for its pool workers under their own process group);
 - :mod:`repro.observability.profile_report` computes the critical-path /
   barrier-wait / load-imbalance attribution and the top-N text report
   behind ``repro profile``.
@@ -50,6 +52,7 @@ __all__ = [
     "RequestRecord",
     "ThreadEvent",
     "Timeline",
+    "WorkerRecord",
     "to_chrome_trace",
     "validate_chrome_trace",
 ]
@@ -63,10 +66,13 @@ CAT_ATOMICS = "atomics"
 CAT_BARRIER = "barrier"
 CAT_SERIAL = "serial"
 CAT_REQUEST = "request"
+CAT_WORKER = "worker"
 
-#: Chrome trace process ids: the simulated machine and the service lane.
+#: Chrome trace process ids: the simulated machine, the service lane and
+#: the process-engine worker lanes (real wall-clock, one lane per worker).
 PID_MACHINE = 0
 PID_SERVICE = 1
+PID_WORKERS = 2
 
 
 @dataclass(frozen=True)
@@ -101,6 +107,27 @@ class RequestRecord:
     start_units: float
     duration_units: float
     args: Tuple[Tuple[str, object], ...] = ()
+
+
+@dataclass(frozen=True)
+class WorkerRecord:
+    """One *measured* kernel execution on a worker process.
+
+    Unlike every other record these carry real wall-clock seconds
+    (relative to the pool's epoch), so they are only captured when the
+    caller explicitly profiles the process engine — the default capture
+    path stays byte-deterministic.
+    """
+
+    worker_id: int
+    name: str
+    start: float
+    end: float
+    args: Tuple[Tuple[str, object], ...] = ()
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
 
 
 @dataclass(frozen=True)
@@ -146,6 +173,7 @@ class Timeline:
         regions: List[RegionTiming],
         marks: List[Tuple[float, Mark]],
         requests: List[RequestRecord],
+        workers: List[WorkerRecord] | None = None,
     ) -> None:
         self.num_threads = num_threads
         self.machine = machine
@@ -153,6 +181,7 @@ class Timeline:
         self.regions = regions
         self.marks = marks
         self.requests = requests
+        self.workers = workers if workers is not None else []
 
     @property
     def total_seconds(self) -> float:
@@ -235,6 +264,7 @@ class Profiler:
         self.regions: List[RegionRecord] = []
         self.marks: List[Mark] = []
         self.requests: List[RequestRecord] = []
+        self.workers: List[WorkerRecord] = []
         self._request_cursor = 0.0
 
     # -- capture (called by the runtime / phases / server) -----------------
@@ -266,6 +296,22 @@ class Profiler:
             tuple(sorted(args.items())),
         ))
         self._request_cursor += float(duration_units)
+
+    def worker_event(
+        self, worker_id: int, name: str, start: float, end: float, **args
+    ) -> None:
+        """Record one *measured* kernel execution on a pool worker.
+
+        ``start``/``end`` are wall-clock seconds relative to the pool's
+        epoch (what :class:`~repro.parallel.procpool.TaskResult`
+        carries).  These land on real-time worker lanes in the Chrome
+        trace — deliberately separate from the simulated-machine lanes,
+        whose clock stays deterministic.
+        """
+        self.workers.append(WorkerRecord(
+            int(worker_id), name, float(start), float(end),
+            tuple(sorted(args.items())),
+        ))
 
     # -- timing ------------------------------------------------------------
 
@@ -380,7 +426,7 @@ class Profiler:
             for mk in self.marks
         ]
         return Timeline(T, m, events, regions, placed_marks,
-                        list(self.requests))
+                        list(self.requests), list(self.workers))
 
 
 class NullProfiler:
@@ -395,6 +441,11 @@ class NullProfiler:
         return None
 
     def request(self, name: str, duration_units: float, **args) -> None:
+        return None
+
+    def worker_event(
+        self, worker_id: int, name: str, start: float, end: float, **args
+    ) -> None:
         return None
 
 
@@ -429,6 +480,14 @@ def to_chrome_trace(timeline: Timeline, **meta) -> dict:
                        "args": {"name": "partition server"}})
         events.append({"ph": "M", "name": "thread_name", "pid": PID_SERVICE,
                        "tid": 0, "args": {"name": "service"}})
+    if timeline.workers:
+        events.append({"ph": "M", "name": "process_name",
+                       "pid": PID_WORKERS, "tid": 0,
+                       "args": {"name": "pool workers (wall clock)"}})
+        for wid in sorted({w.worker_id for w in timeline.workers}):
+            events.append({"ph": "M", "name": "thread_name",
+                           "pid": PID_WORKERS, "tid": wid,
+                           "args": {"name": f"worker {wid}"}})
     for ev in timeline.events:
         events.append({
             "ph": "X", "name": ev.name, "cat": ev.cat,
@@ -441,6 +500,17 @@ def to_chrome_trace(timeline: Timeline, **meta) -> dict:
             "ph": "C", "name": mk.name, "cat": "convergence",
             "pid": PID_MACHINE, "tid": 0, "ts": ts * 1e6,
             "args": {"value": mk.value},
+        })
+    # Worker lanes carry measured wall-clock; emit each lane in start
+    # order so the per-lane non-overlap contract holds (a worker runs
+    # its tasks serially, but barrier drains return them index-sorted).
+    for w in sorted(timeline.workers,
+                    key=lambda r: (r.worker_id, r.start, r.end)):
+        events.append({
+            "ph": "X", "name": w.name, "cat": CAT_WORKER,
+            "pid": PID_WORKERS, "tid": w.worker_id,
+            "ts": w.start * 1e6, "dur": w.duration * 1e6,
+            "args": dict(w.args),
         })
     unit_us = m.time_per_unit * 1e6
     for req in timeline.requests:

@@ -528,6 +528,8 @@ def collect_leiden_metrics(
     config: Optional[LeidenConfig] = None,
     *,
     seed: int = 42,
+    num_threads: int = 1,
+    executor: str = "serial",
 ):
     """One detection run with metrics + tracing attached.
 
@@ -535,15 +537,22 @@ def collect_leiden_metrics(
     histograms (batch sizes, color-class sizes — all deterministic
     counts) are re-exported into the registry as ``trace_*`` histograms,
     so ``repro metrics`` reports the same p50/p99 as ``repro trace``.
+
+    ``num_threads``/``executor`` size the runtime — pass
+    ``executor="process"`` for the process engine so its worker pool
+    (reaped here before returning) matches the requested width.
     """
     from repro.observability.metrics import MetricsRegistry
 
     cfg = config or LeidenConfig(seed=seed)
     registry = MetricsRegistry()
     tracer = Tracer()
-    rt = Runtime(num_threads=1, seed=cfg.seed, tracer=tracer,
-                 metrics=registry)
-    result = leiden(graph, cfg, runtime=rt)
+    rt = Runtime(num_threads=num_threads, executor=executor,
+                 seed=cfg.seed, tracer=tracer, metrics=registry)
+    try:
+        result = leiden(graph, cfg, runtime=rt)
+    finally:
+        rt.close()
     registry.merge_tracer(tracer)
     return registry, tracer, result
 
@@ -647,10 +656,25 @@ def _check_metrics_baseline(baseline: MetricsBaseline, print_fn) -> bool:
     return ok
 
 
+def expected_baseline_names() -> List[str]:
+    """Filenames ``--check`` requires to be present in the baseline dir.
+
+    Derived from the recorders' defaults (:func:`record_baselines`,
+    :func:`record_service_baselines`, :func:`record_metrics_baselines`)
+    — the set ``--update-baselines`` writes and CI commits.
+    """
+    names = [f"{g}.json" for g in DEFAULT_BASELINE_GRAPHS]
+    names.append("service_quick.json")
+    names.append("metrics_asia_osm.json")
+    names.append("metrics_service_quick.json")
+    return sorted(names)
+
+
 def run_check(
     baseline_dir: Path | str | None = None,
     *,
     thresholds: Optional[Thresholds] = None,
+    require_complete: bool = False,
     print_fn=print,
 ) -> int:
     """Re-run every committed baseline and compare; 0 = all pass.
@@ -659,12 +683,29 @@ def run_check(
     gate, the printed diff is the human-readable artifact.  Dispatches on
     each file's ``schema`` tag: perf baselines gate on thresholds,
     service baselines on exact stats equality.
+
+    With ``require_complete`` (the CLI always sets it), a *missing*
+    expected baseline file is a hard error (exit 2), not a silent pass —
+    a gate that skips absent baselines checks nothing.  Library callers
+    checking a deliberately partial directory leave it off.
     """
     directory = Path(baseline_dir) if baseline_dir else default_baseline_dir()
     paths = sorted(directory.glob("*.json"))
     if not paths:
         print_fn(f"no baselines found under {directory}")
         return 2
+    if require_complete:
+        found = {p.name for p in paths}
+        missing = [name for name in expected_baseline_names()
+                   if name not in found]
+        if missing:
+            for name in missing:
+                print_fn(f"MISSING baseline {directory / name}")
+            print_fn(
+                f"error: {len(missing)} expected baseline file(s) missing "
+                f"— run `repro bench --update-baselines` and commit the "
+                f"result")
+            return 2
     failures = 0
     for path in paths:
         doc = json.loads(path.read_text())

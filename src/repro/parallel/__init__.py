@@ -15,11 +15,15 @@ provides the equivalent abstractions for a pure-Python reproduction:
   execution (the GIL makes real thread scaling unobservable in Python);
 - :mod:`repro.parallel.costmodel` — the machine model (cores, SMT, memory
   contention, NUMA) that converts ledger work into modelled seconds;
-- :mod:`repro.parallel.atomics` — atomic-op emulation with accounting;
+- :mod:`repro.parallel.atomics` — atomic-op emulation with accounting,
+  plus real cross-process atomics over shared memory;
+- :mod:`repro.parallel.shm` — shared-memory numpy arenas (owner/attacher);
+- :mod:`repro.parallel.procpool` — the persistent worker-process pool
+  behind the ``process`` engine (the one executor that sidesteps the GIL);
 - :mod:`repro.parallel.runtime` — the facade tying it all together.
 """
 
-from repro.parallel.atomics import AtomicArray
+from repro.parallel.atomics import AtomicArray, SharedAtomicArray
 from repro.parallel.costmodel import (
     IMPLEMENTATION_PROFILES,
     PAPER_MACHINE,
@@ -27,13 +31,27 @@ from repro.parallel.costmodel import (
     MachineModel,
 )
 from repro.parallel.hashtable import CollisionFreeHashtable
+from repro.parallel.procpool import (
+    ProcessPool,
+    TaskResult,
+    WorkerCrashError,
+    pool_kernel,
+)
 from repro.parallel.rng import Xorshift32
 from repro.parallel.runtime import Runtime
 from repro.parallel.scan import blocked_exclusive_scan, exclusive_scan, inclusive_scan
 from repro.parallel.schedule import Schedule, assign_chunks, chunk_spans, makespan
+from repro.parallel.shm import AttachedArena, ShmArena
 from repro.parallel.simthread import Region, WorkLedger
 
 __all__ = [
+    "AttachedArena",
+    "ProcessPool",
+    "SharedAtomicArray",
+    "ShmArena",
+    "TaskResult",
+    "WorkerCrashError",
+    "pool_kernel",
     "Xorshift32",
     "CollisionFreeHashtable",
     "exclusive_scan",

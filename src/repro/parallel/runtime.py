@@ -25,7 +25,7 @@ from repro.parallel.rng import Xorshift32
 from repro.parallel.schedule import DEFAULT_CHUNK, Schedule, chunk_spans
 from repro.parallel.simthread import SimulatedTime, WorkLedger
 
-_EXECUTORS = ("serial", "threads")
+_EXECUTORS = ("serial", "threads", "process")
 
 
 class Runtime:
@@ -41,7 +41,10 @@ class Runtime:
         Seed for the master xorshift32; per-thread generators are spawned
         from it.
     executor:
-        ``"serial"`` (deterministic, default) or ``"threads"``.
+        ``"serial"`` (deterministic, default), ``"threads"`` or
+        ``"process"`` (worker processes over shared memory; phases use
+        :meth:`procpool` — ``map_chunks`` still runs serially because
+        arbitrary closures cannot cross process boundaries).
     machine:
         Machine model used by :meth:`simulate`; defaults to the paper's
         dual-Xeon testbed.
@@ -103,9 +106,11 @@ class Runtime:
         self._m_serial_work = m.counter(
             "runtime_serial_work_units_total",
             "sequential work units recorded", ("phase",))
+        self.seed = int(seed)
         self.master_rng = Xorshift32(seed)
         self.thread_rngs: List[Xorshift32] = self.master_rng.spawn(self.num_threads)
         self._pool: ThreadPoolExecutor | None = None
+        self._procpool = None
 
     # -- per-thread resources ------------------------------------------------
 
@@ -144,7 +149,10 @@ class Runtime:
         spans = chunk_spans(n_items, sched, self.num_threads)
         if not spans:
             return
-        if self.executor == "serial" or self.num_threads == 1:
+        # The process executor parallelizes through named pool kernels
+        # (closures don't cross process boundaries) — chunked closure
+        # loops run serially there, exactly like the simulated machine.
+        if self.executor in ("serial", "process") or self.num_threads == 1:
             for c, (lo, hi) in enumerate(spans):
                 body(lo, hi, c % self.num_threads)
             return
@@ -161,11 +169,36 @@ class Runtime:
             self._pool = ThreadPoolExecutor(max_workers=self.num_threads)
         return self._pool
 
+    def procpool(self, num_workers: int | None = None):
+        """The runtime's persistent worker-process pool (lazily created).
+
+        ``num_threads`` doubles as the worker count — the modelled width
+        and the real width stay in lockstep.  The pool persists across
+        passes (workers start once; arenas are bound per phase) and is
+        reaped by :meth:`close`.
+        """
+        from repro.parallel.procpool import ProcessPool
+
+        if self._procpool is None:
+            self._procpool = ProcessPool(
+                num_workers if num_workers is not None else self.num_threads,
+                seed=self.seed,
+            )
+            if self.metrics.enabled:
+                self.metrics.gauge(
+                    "proc_pool_workers",
+                    "worker processes in the runtime's pool",
+                ).set(self._procpool.num_workers)
+        return self._procpool
+
     def close(self) -> None:
-        """Shut down the thread pool, if one was created."""
+        """Shut down the thread pool and process pool, if created."""
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+        if self._procpool is not None:
+            self._procpool.close()
+            self._procpool = None
 
     def __enter__(self) -> "Runtime":
         return self

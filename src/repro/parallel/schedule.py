@@ -62,6 +62,28 @@ def chunk_spans(n_items: int, schedule: Schedule, num_threads: int) -> List[Tupl
     return spans
 
 
+def seeded_chunk_order(n_chunks: int, seed: int) -> np.ndarray:
+    """A deterministic seeded permutation of ``[0, n_chunks)``.
+
+    The process executor hands chunks to its task queue in this order: a
+    xorshift32 Fisher-Yates shuffle, so the dispatch sequence (a) is
+    byte-reproducible for a given seed — the scheduling analogue of the
+    simulated runtime's determinism — and (b) decorrelates chunk cost
+    from queue position, which is what OpenMP's dynamic schedule achieves
+    by handing out chunks to whichever thread frees first.
+    """
+    from repro.parallel.rng import Xorshift32
+
+    order = np.arange(n_chunks, dtype=np.int64)
+    if n_chunks <= 1:
+        return order
+    rng = Xorshift32((seed & 0xFFFFFFFF) or 1)
+    for i in range(n_chunks - 1, 0, -1):
+        j = rng.next_below(i + 1)
+        order[i], order[j] = order[j], order[i]
+    return order
+
+
 def assign_chunks(
     chunk_costs: np.ndarray,
     num_threads: int,

@@ -1,0 +1,134 @@
+"""Oracle-equivalence tests for the process engine.
+
+The contract (see :mod:`repro.core.local_move_process`) is *bitwise*
+equality: at any worker count, the process engine's membership must equal
+the simulated ``batch`` engine's, because each worker computes an exact
+per-chunk restriction of the frozen-snapshot batch scan and the parent
+applies moves in batch position order.
+
+Set ``REPRO_FULL_REGISTRY=1`` (the CI cron job does) to sweep every
+registry graph instead of the smoke subset.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.config import LeidenConfig
+from repro.core.leiden import leiden
+from repro.core.local_move import local_move_batch
+from repro.core.local_move_process import local_move_process
+from repro.datasets.registry import load_graph, registry_names
+from repro.parallel.runtime import Runtime
+from repro.types import VERTEX_DTYPE
+from tests.conftest import random_graph, two_cliques_graph
+
+FULL_REGISTRY = os.environ.get("REPRO_FULL_REGISTRY") == "1"
+
+SMOKE_GRAPHS = ("asia_osm", "com-Orkut")
+
+
+def run_leiden(graph, engine, *, workers=2, seed=42, **cfg_kwargs):
+    cfg = LeidenConfig(engine=engine, seed=seed, **cfg_kwargs)
+    if engine == "process":
+        rt = Runtime(num_threads=workers, executor="process", seed=seed)
+    else:
+        rt = Runtime(num_threads=1, seed=seed)
+    try:
+        return leiden(graph, cfg, runtime=rt)
+    finally:
+        rt.close()
+
+
+class TestKernelEquivalence:
+    """local_move_process against local_move_batch, same inputs."""
+
+    def _pair(self, graph, workers, **kwargs):
+        n = graph.num_vertices
+        out = []
+        for which in ("batch", "process"):
+            C = np.arange(n, dtype=VERTEX_DTYPE)
+            K = graph.vertex_weights().copy()
+            Sigma = K.copy()
+            if which == "batch":
+                with Runtime(num_threads=1, seed=1) as rt:
+                    iters, dq = local_move_batch(
+                        graph, C, K, Sigma, 0.01, runtime=rt, **kwargs)
+            else:
+                with Runtime(num_threads=workers, executor="process",
+                             seed=1) as rt:
+                    iters, dq = local_move_process(
+                        graph, C, K, Sigma, 0.01, runtime=rt,
+                        pool=rt.procpool(), **kwargs)
+            out.append((C, Sigma, iters, dq))
+        return out
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_bitwise_identical_membership(self, workers):
+        g = random_graph(n=200, avg_degree=8, seed=3)
+        (Cb, Sb, ib, dqb), (Cp, Sp, ip, dqp) = self._pair(g, workers)
+        assert np.array_equal(Cb, Cp)
+        assert np.array_equal(Sb, Sp)   # Σ bitwise too, not approx
+        assert ib == ip
+        assert dqb == dqp
+
+    def test_small_batches_cross_chunk_boundaries(self):
+        g = random_graph(n=150, avg_degree=6, seed=9)
+        (Cb, _, _, _), (Cp, _, _, _) = self._pair(g, 3, batch_size=17)
+        assert np.array_equal(Cb, Cp)
+
+    def test_finds_cliques(self):
+        g = two_cliques_graph()
+        _, (Cp, _, _, _) = self._pair(g, 2)
+        assert len(np.unique(Cp[:5])) == 1
+        assert len(np.unique(Cp[5:])) == 1
+        assert Cp[0] != Cp[5]
+
+    def test_records_work_and_pool_tasks(self):
+        g = random_graph(n=120, avg_degree=6, seed=5)
+        with Runtime(num_threads=2, executor="process", seed=1) as rt:
+            n = g.num_vertices
+            C = np.arange(n, dtype=VERTEX_DTYPE)
+            K = g.vertex_weights().copy()
+            local_move_process(g, C, K, K.copy(), 0.01, runtime=rt,
+                               pool=rt.procpool())
+            assert rt.ledger.total_work > 0
+            assert rt.procpool().tasks_dispatched > 0
+
+
+class TestEndToEndOracle:
+    """Full leiden() pipeline: engine="process" vs engine="batch"."""
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_random_graph_any_worker_count(self, workers):
+        g = random_graph(n=180, avg_degree=7, seed=11)
+        oracle = run_leiden(g, "batch")
+        got = run_leiden(g, "process", workers=workers)
+        assert np.array_equal(got.membership, oracle.membership)
+        assert got.num_passes == oracle.num_passes
+
+    def test_config_variants(self):
+        g = random_graph(n=160, avg_degree=8, seed=2)
+        variants = [
+            dict(quality="cpm", resolution=0.5),
+            dict(vertex_pruning=False),
+            dict(vertex_order="degree-desc"),
+            dict(batch_size=37),
+            dict(use_refinement=False),
+            dict(refinement="random"),
+        ]
+        for kwargs in variants:
+            oracle = run_leiden(g, "batch", **kwargs)
+            got = run_leiden(g, "process", workers=3, **kwargs)
+            assert np.array_equal(got.membership, oracle.membership), kwargs
+
+    @pytest.mark.parametrize(
+        "name",
+        sorted(registry_names()) if FULL_REGISTRY else list(SMOKE_GRAPHS))
+    def test_registry_graphs(self, name):
+        g = load_graph(name, seed=1)
+        oracle = run_leiden(g, "batch")
+        got = run_leiden(g, "process", workers=2)
+        assert np.array_equal(got.membership, oracle.membership)
+        assert got.num_communities == oracle.num_communities

@@ -324,3 +324,56 @@ class TestRunProfile:
         assert json.dumps(ea["chrome"], sort_keys=True) == json.dumps(
             eb["chrome"], sort_keys=True)
         assert ea["report"] == eb["report"]
+
+
+class TestMissingBaselines:
+    """`bench --check` must hard-error when expected files are absent —
+    a gate that silently skips missing baselines checks nothing."""
+
+    def test_expected_names_cover_all_recorder_families(self):
+        names = regression.expected_baseline_names()
+        assert names == sorted(names)
+        for g in regression.DEFAULT_BASELINE_GRAPHS:
+            assert f"{g}.json" in names
+        assert "service_quick.json" in names
+        assert any(n.startswith("metrics_") for n in names)
+
+    def test_partial_dir_fails_before_any_rerun(self, tmp_path, capsys):
+        # A lone perf baseline: complete enough to re-run, but the gate
+        # must refuse before measuring anything.
+        record_baselines(tmp_path, [GRAPH])
+        assert run_check(tmp_path, require_complete=True) == 2
+        out = capsys.readouterr().out
+        assert "MISSING baseline" in out
+        assert "service_quick.json" in out
+        assert "--update-baselines" in out
+        assert "[OK]" not in out  # no baseline was re-measured
+
+    def test_partial_dir_passes_without_require_complete(self, tmp_path):
+        record_baselines(tmp_path, [GRAPH])
+        assert run_check(tmp_path) == 0
+
+    def test_cli_check_is_strict(self, tmp_path, capsys):
+        from repro.bench.__main__ import main as bench_main
+
+        record_baselines(tmp_path, [GRAPH])
+        assert bench_main(["--check", "--baselines", str(tmp_path)]) == 2
+        assert "MISSING baseline" in capsys.readouterr().out
+
+    def test_cli_check_empty_dir_is_error(self, tmp_path, capsys):
+        from repro.bench.__main__ import main as bench_main
+
+        empty = tmp_path / "none"
+        empty.mkdir()
+        assert bench_main(["--check", "--baselines", str(empty)]) == 2
+        assert "no baselines" in capsys.readouterr().out
+
+    def test_committed_tree_is_complete(self):
+        # The repo's own baseline dir must satisfy the strict gate's
+        # completeness precondition (the re-run itself is the slow CI
+        # job; here we only assert no file is missing).
+        directory = regression.default_baseline_dir()
+        found = {p.name for p in directory.glob("*.json")}
+        missing = [n for n in regression.expected_baseline_names()
+                   if n not in found]
+        assert missing == []

@@ -1,0 +1,203 @@
+"""Tests for the shared-memory arena lifecycle (ShmArena/AttachedArena).
+
+The leak tests run a child interpreter with resource-tracker warnings
+promoted to errors: any "leaked shared_memory objects" message — from the
+child itself or its tracker daemon — lands on the shared stderr and fails
+the assertion.
+"""
+
+import glob
+import os
+import pathlib
+import subprocess
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+import numpy as np
+import pytest
+
+from repro.parallel.shm import AttachedArena, ShmArena
+
+SHM_DIR = "/dev/shm"
+
+
+def _live_segments(tag):
+    return glob.glob(f"{SHM_DIR}/repro_{tag}_*")
+
+
+class TestShmArena:
+    def test_create_zero_initialized(self):
+        with ShmArena() as arena:
+            a = arena.create("x", (7,), np.float64)
+            assert a.shape == (7,)
+            assert a.dtype == np.float64
+            assert np.all(a == 0.0)
+
+    def test_from_array_round_trip(self):
+        src = np.arange(12, dtype=np.int32).reshape(3, 4)
+        with ShmArena() as arena:
+            a = arena.from_array("m", src)
+            assert np.array_equal(a, src)
+            # The arena holds a copy, not a view of the source.
+            src[0, 0] = 99
+            assert a[0, 0] == 0
+
+    def test_duplicate_key_rejected(self):
+        with ShmArena() as arena:
+            arena.create("x", (3,), np.int64)
+            with pytest.raises(ValueError, match="already holds"):
+                arena.create("x", (3,), np.int64)
+
+    def test_create_after_close_rejected(self):
+        arena = ShmArena()
+        arena.create("x", (3,), np.int64)
+        arena.unlink()
+        with pytest.raises(ValueError, match="closed"):
+            arena.create("y", (3,), np.int64)
+
+    def test_double_close_and_unlink_idempotent(self):
+        arena = ShmArena()
+        arena.create("x", (3,), np.int64)
+        arena.close()
+        arena.close()
+        arena.unlink()
+        arena.unlink()
+
+    def test_context_manager_unlinks_segments(self):
+        with ShmArena() as arena:
+            arena.create("x", (5,), np.float64)
+            tag = arena._tag
+            assert _live_segments(tag)
+        assert _live_segments(tag) == []
+
+    def test_unlink_on_exception_inside_with(self):
+        with pytest.raises(RuntimeError):
+            with ShmArena() as arena:
+                arena.create("x", (5,), np.float64)
+                tag = arena._tag
+                raise RuntimeError("boom")
+        assert _live_segments(tag) == []
+
+    def test_nbytes_counts_all_segments(self):
+        with ShmArena() as arena:
+            arena.create("a", (10,), np.float64)
+            arena.create("b", (10,), np.int32)
+            assert arena.nbytes >= 10 * 8 + 10 * 4
+
+    def test_spec_is_picklable_description(self):
+        with ShmArena() as arena:
+            arena.create("x", (2, 3), np.float64)
+            spec = arena.spec()
+            name, shape, dtype = spec["x"]
+            assert name.startswith("repro_")
+            assert tuple(shape) == (2, 3)
+            assert np.dtype(dtype) == np.float64
+
+
+class TestAttachedArena:
+    def test_attach_sees_owner_writes_and_vice_versa(self):
+        with ShmArena() as arena:
+            owner = arena.from_array("x", np.arange(6, dtype=np.float64))
+            with AttachedArena(arena.spec()) as att:
+                assert np.array_equal(att["x"], owner)
+                att["x"][2] = 42.0   # zero-copy: same pages
+                assert owner[2] == 42.0
+                owner[3] = -1.0
+                assert att["x"][3] == -1.0
+
+    def test_close_idempotent_and_does_not_unlink(self):
+        with ShmArena() as arena:
+            arena.create("x", (4,), np.int64)
+            att = AttachedArena(arena.spec())
+            att.close()
+            att.close()
+            # Owner's segment must survive a worker detach.
+            assert _live_segments(arena._tag)
+
+    def test_attach_unknown_segment_raises_and_cleans_up(self):
+        spec = {"ghost": ("repro_deadbeef_ghost", (3,), "<f8")}
+        with pytest.raises(FileNotFoundError):
+            AttachedArena(spec)
+
+
+class TestLeakDetection:
+    """Run arena/pool lifecycles in a child interpreter and require a
+    byte-clean stderr — resource-tracker leak warnings are errors."""
+
+    def _run(self, body, expect_returncode=0):
+        script = (
+            "import warnings\n"
+            "warnings.simplefilter('error')\n"
+            + body
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [str(REPO_ROOT / "src"), str(REPO_ROOT)])
+        proc = subprocess.run(
+            [sys.executable, "-W", "error::UserWarning", "-c", script],
+            capture_output=True, text=True, timeout=120,
+            cwd=str(REPO_ROOT), env=env,
+        )
+        assert proc.returncode == expect_returncode, (
+            proc.stdout + proc.stderr)
+        for needle in ("leaked", "resource_tracker", "Traceback"):
+            assert needle not in proc.stderr, proc.stderr
+        return proc
+
+    def test_clean_run_leaves_no_tracker_warnings(self):
+        self._run(
+            "import numpy as np\n"
+            "from repro.parallel.procpool import ProcessPool\n"
+            "from repro.parallel.shm import ShmArena\n"
+            "with ShmArena() as arena:\n"
+            "    arena.from_array('out', np.zeros(16, dtype=np.float64))\n"
+            "    with ProcessPool(2, kernel_modules=("
+            "'tests.parallel.pool_kernels',)) as pool:\n"
+            "        pool.bind(arena.spec())\n"
+            "        pool.run('t_fill', [{'lo': 0, 'hi': 8, 'value': 1.0},\n"
+            "                            {'lo': 8, 'hi': 16, 'value': 2.0}])\n"
+            "        pool.release()\n"
+            "    assert arena['out'].sum() == 24.0\n"
+        )
+
+    def test_worker_crash_leaves_no_segments(self):
+        self._run(
+            "import numpy as np\n"
+            "from repro.parallel.procpool import ProcessPool, "
+            "WorkerCrashError\n"
+            "from repro.parallel.shm import ShmArena\n"
+            "with ShmArena() as arena:\n"
+            "    arena.from_array('out', np.zeros(4, dtype=np.float64))\n"
+            "    pool = ProcessPool(2, kernel_modules=("
+            "'tests.parallel.pool_kernels',))\n"
+            "    pool.bind(arena.spec())\n"
+            "    try:\n"
+            "        pool.run('t_crash', [{}])\n"
+            "    except WorkerCrashError:\n"
+            "        pass\n"
+            "    else:\n"
+            "        raise AssertionError('expected WorkerCrashError')\n"
+            "    pool.close()\n"
+        )
+
+    def test_keyboard_interrupt_in_parent_leaves_no_segments(self):
+        # The arena context manager must unlink on the way out of a
+        # KeyboardInterrupt; exit code 7 proves the interrupt propagated
+        # through the cleanup rather than being swallowed.
+        self._run(
+            "import sys\n"
+            "import numpy as np\n"
+            "from repro.parallel.procpool import ProcessPool\n"
+            "from repro.parallel.shm import ShmArena\n"
+            "try:\n"
+            "    with ShmArena() as arena:\n"
+            "        arena.from_array('out', np.zeros(4, dtype=np.float64))\n"
+            "        with ProcessPool(2, kernel_modules=("
+            "'tests.parallel.pool_kernels',)) as pool:\n"
+            "            pool.bind(arena.spec())\n"
+            "            raise KeyboardInterrupt\n"
+            "except KeyboardInterrupt:\n"
+            "    sys.exit(7)\n",
+            expect_returncode=7,
+        )

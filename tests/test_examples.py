@@ -20,6 +20,7 @@ EXPECTED_OUTPUT = {
     "cpm_resolution.py": "resolution limit",
     "community_analysis.py": "seed stability",
     "partition_server.py": "served == from-scratch: True",
+    "process_engine.py": "bitwise-identical to the simulated oracle: True",
     "profile_smoke.py": "convergence monitor",
     "metrics_smoke.py": "health=PAGE",
 }
