@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Community-aware relabeling as a cache-locality preprocessor.
+
+Real-world graphs often arrive with hashed or arbitrary vertex ids, so
+the `membership[targets]` gathers at the heart of every Leiden pass
+jump all over memory.  This example simulates that (scrambling a road
+network's ids), then uses a community partition itself to relabel the
+graph — members of one community become contiguous ids — and measures
+the modelled cache misses per edge of each layout.
+
+Also shown: quality is *exactly* layout-invariant (the same partition
+scores bit-identically however the vertices are labeled), and the
+`relabel=` config knob that runs the whole pipeline internally.
+
+Run with:  python examples/reorder_locality.py
+"""
+
+import numpy as np
+
+from repro import LeidenConfig, leiden, modularity
+from repro.datasets import load_graph
+from repro.graph.relabel import community_relabeling
+from repro.observability import measure_locality
+
+
+def miss_ratio(graph) -> float:
+    return measure_locality(graph).miss_ratio
+
+
+def main() -> None:
+    graph = load_graph("asia_osm", seed=1)
+    print(f"asia_osm: {graph.num_vertices} vertices, "
+          f"{graph.num_edges} edges")
+
+    # Simulate hashed ids: a seeded random permutation of the vertices.
+    rng = np.random.default_rng(7)
+    scramble = rng.permutation(graph.num_vertices).astype(np.int64)
+    scrambled, _ = graph.permute(scramble)
+
+    # The cure is the partition itself: solve on the scrambled graph,
+    # then group each community's vertices into a contiguous id range.
+    result = leiden(scrambled, LeidenConfig(seed=42))
+    layout = community_relabeling(
+        scrambled, result.dendrogram.memberships(), mode="community")
+    relabeled, _ = scrambled.permute(layout.perm)
+
+    print(f"layout communities: {layout.num_communities}")
+    print("modelled LRU misses per edge gather (lower = more local):")
+    for name, g in (("original", graph), ("scrambled", scrambled),
+                    ("relabeled", relabeled)):
+        print(f"  {name:9s} {miss_ratio(g):.4f}")
+
+    # The same partition, expressed in either labeling, has the same Q.
+    q_scrambled = modularity(scrambled, result.membership)
+    q_relabeled = modularity(relabeled, layout.to_relabeled(result.membership))
+    print(f"Q invariant under relabeling: {q_scrambled == q_relabeled}")
+
+    # One-knob version: the solver pilots, relabels, solves, and maps
+    # the result back to the caller's original vertex ids.
+    auto = leiden(scrambled, LeidenConfig(seed=42, relabel="community"))
+    q_auto = modularity(scrambled, auto.membership)
+    print(f"config.relabel='community': Q = {q_auto:.4f} on "
+          f"{auto.num_communities} communities "
+          f"(layout of {auto.relabeling.num_communities})")
+
+
+if __name__ == "__main__":
+    main()

@@ -89,6 +89,11 @@ def main(argv: list[str] | None = None) -> int:
                         help="with --engines: fail when the process "
                              "engine's speedup over threading falls "
                              "below this on any graph")
+    parser.add_argument("--relabel", default="none",
+                        choices=["none", "community", "community-degree"],
+                        help="with --engines: run every engine (and the "
+                             "batch oracle) through the community-aware "
+                             "relabeled solve path")
     args = parser.parse_args(argv)
 
     if args.kernels:
@@ -104,6 +109,7 @@ def main(argv: list[str] | None = None) -> int:
         return engines_main(
             graphs=graphs, workers=args.workers, seed=args.seed,
             output=args.engines_output, min_speedup=args.min_speedup,
+            relabel=args.relabel,
         )
 
     if (args.check or args.trace_path or args.profile_path
@@ -129,6 +135,9 @@ def main(argv: list[str] | None = None) -> int:
                 n_fams = len(mb.expected["families"])
                 print(f"recorded metrics baseline {mb.name} "
                       f"({mb.kind}, {n_fams} instrument families)")
+            for rb in regression.record_reorder_baselines(baseline_dir):
+                print(f"recorded reorder baseline {rb.name} "
+                      f"(graphs={','.join(rb.graphs)}, mode={rb.mode})")
         if args.trace_path:
             bundle = regression.run_trace(seed=args.seed)
             Path(args.trace_path).write_text(

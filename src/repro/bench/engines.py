@@ -63,9 +63,10 @@ def largest_registry_graphs(count: int = 2) -> List[str]:
     return [name for _, name in sized[:count]]
 
 
-def _run_one(graph, engine: str, *, workers: int, seed: int):
+def _run_one(graph, engine: str, *, workers: int, seed: int,
+             relabel: str = "none"):
     """One timed end-to-end run; returns (result, wall_seconds)."""
-    cfg = LeidenConfig(engine=engine, seed=seed)
+    cfg = LeidenConfig(engine=engine, seed=seed, relabel=relabel)
     if engine == "process":
         rt = Runtime(num_threads=workers, executor="process", seed=seed)
     else:
@@ -85,13 +86,21 @@ def run_engine_ab(
     workers: int = 4,
     seed: int = 42,
     engines: Sequence[str] = ("threads", "process"),
+    relabel: str = "none",
 ) -> Dict:
-    """Time the engines on each graph; verify against the batch oracle."""
+    """Time the engines on each graph; verify against the batch oracle.
+
+    ``relabel`` applies the community-aware layout pipeline
+    (:mod:`repro.graph.relabel`) to every engine *and* the oracle, so
+    the bitwise process-vs-batch contract is checked on the relabeled
+    solve path too.
+    """
     names = list(graphs) if graphs is not None else list(DEFAULT_AB_GRAPHS)
     rows: List[Dict] = []
     for name in names:
         g = load_graph(name, seed=1)
-        oracle = leiden(g, LeidenConfig(engine="batch", seed=seed))
+        oracle = leiden(
+            g, LeidenConfig(engine="batch", seed=seed, relabel=relabel))
         row: Dict = {
             "name": name,
             "vertices": int(g.num_vertices),
@@ -99,7 +108,8 @@ def run_engine_ab(
             "engines": {},
         }
         for engine in engines:
-            result, wall = _run_one(g, engine, workers=workers, seed=seed)
+            result, wall = _run_one(
+                g, engine, workers=workers, seed=seed, relabel=relabel)
             row["engines"][engine] = {
                 "wall_seconds": round(wall, 4),
                 "passes": int(result.num_passes),
@@ -117,6 +127,7 @@ def run_engine_ab(
         "schema": ENGINES_SCHEMA,
         "workers": int(workers),
         "seed": int(seed),
+        "relabel": relabel,
         "graphs": rows,
     }
 
@@ -124,7 +135,9 @@ def run_engine_ab(
 def format_engine_ab(report: Dict) -> str:
     """Human-readable table of an A/B report."""
     lines = [
-        f"engine A/B at {report['workers']} workers (seed {report['seed']})",
+        f"engine A/B at {report['workers']} workers (seed {report['seed']}"
+        + (f", relabel={report['relabel']}"
+           if report.get("relabel", "none") != "none" else "") + ")",
         f"{'graph':<18s} {'engine':<9s} {'wall s':>8s} {'passes':>6s} "
         f"{'comms':>7s} {'oracle':>7s}",
     ]
@@ -149,6 +162,7 @@ def main(
     seed: int = 42,
     output: str | None = None,
     min_speedup: float | None = None,
+    relabel: str = "none",
 ) -> int:
     """CLI entry for ``repro bench --engines``.
 
@@ -156,7 +170,8 @@ def main(
     oracle, or — with ``min_speedup`` — when the process engine's
     speedup over threading falls short on any graph.
     """
-    report = run_engine_ab(graphs, workers=workers, seed=seed)
+    report = run_engine_ab(
+        graphs, workers=workers, seed=seed, relabel=relabel)
     print(format_engine_ab(report))
     if output:
         from pathlib import Path

@@ -22,6 +22,12 @@ Subcommands:
 - ``repro bench …`` — the evaluation harness
   (:mod:`repro.bench.__main__`), including the ``--check`` perf-
   regression gate and ``--trace`` artifact writer used by CI;
+- ``repro reorder <input>`` — solve once, derive the community-aware
+  vertex relabeling (:mod:`repro.graph.relabel`), and emit a
+  deterministic JSON report of the modelled cache-locality delta
+  between the original and relabeled layouts; ``--perm`` /
+  ``--membership`` write the permutation and original-id membership
+  as text files;
 - ``repro serve --workload <profile>`` — drive the partition-serving
   subsystem (:mod:`repro.service`) through a seeded closed-loop
   workload and emit its deterministic stats document
@@ -47,6 +53,17 @@ from repro.metrics.modularity import modularity
 
 #: Engine choices shared by every subcommand that runs a detection.
 ENGINE_CHOICES = ("batch", "loop", "threads", "process")
+
+#: Relabel-mode choices mirrored from :data:`repro.graph.relabel.RELABEL_MODES`.
+RELABEL_CHOICES = ("none", "community", "community-degree")
+
+
+def _add_relabel_arg(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--relabel", choices=list(RELABEL_CHOICES),
+                   default="none",
+                   help="solve on a community-aware relabeled layout "
+                        "(pilot pass derives the layout; memberships are "
+                        "reported in original ids)")
 
 
 def _add_workers_arg(p: argparse.ArgumentParser) -> None:
@@ -88,6 +105,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--engine", choices=list(ENGINE_CHOICES),
                    default="batch")
     _add_workers_arg(p)
+    _add_relabel_arg(p)
     p.add_argument("--resolution", type=float, default=1.0)
     p.add_argument("--max-passes", type=int, default=10)
     p.add_argument("--seed", type=int, default=42)
@@ -242,6 +260,7 @@ def build_profile_parser() -> argparse.ArgumentParser:
     p.add_argument("--engine", choices=list(ENGINE_CHOICES),
                    default="batch")
     _add_workers_arg(p)
+    _add_relabel_arg(p)
     p.add_argument("--quality", choices=["modularity", "cpm"],
                    default="modularity")
     p.add_argument("--max-passes", type=int, default=10)
@@ -279,6 +298,7 @@ def profile_main(argv: list[str] | None = None) -> int:
         quality=args.quality,
         max_passes=args.max_passes,
         seed=args.seed,
+        relabel=args.relabel,
     )
     tracer = Tracer()
     profiler = Profiler(num_threads=args.threads)
@@ -499,8 +519,121 @@ def serve_main(argv: list[str] | None = None) -> int:
     return 0
 
 
+def build_reorder_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro reorder",
+        description="Solve once, derive the community-aware vertex "
+                    "relabeling and report the modelled cache-locality "
+                    "delta between the original and relabeled layouts. "
+                    "The JSON report has no wall-clock fields: two runs "
+                    "with the same arguments are byte-identical",
+    )
+    p.add_argument("input",
+                   help="graph file (.mtx, .graph or edge list) or a "
+                        "registry dataset name")
+    p.add_argument("--mode", choices=[m for m in RELABEL_CHOICES
+                                      if m != "none"],
+                   default="community",
+                   help="layout mode: communities contiguous in "
+                        "dendrogram order, optionally degree-sorted "
+                        "within each community")
+    p.add_argument("--engine", choices=list(ENGINE_CHOICES),
+                   default="batch")
+    _add_workers_arg(p)
+    p.add_argument("--quality", choices=["modularity", "cpm"],
+                   default="modularity")
+    p.add_argument("--max-passes", type=int, default=10)
+    p.add_argument("--seed", type=int, default=42)
+    p.add_argument("--perm", type=Path, default=None,
+                   help="write the permutation (line i = original id of "
+                        "new vertex i) to this file")
+    p.add_argument("--membership", type=Path, default=None,
+                   help="write the original-id membership (one community "
+                        "per line) to this file")
+    p.add_argument("--output", type=Path, default=None,
+                   help="write the JSON report here instead of stdout")
+    p.add_argument("--compact", action="store_true",
+                   help="single-line JSON (default: indented)")
+    return p
+
+
+def reorder_main(argv: list[str] | None = None) -> int:
+    """``repro reorder`` — derive a layout, report the locality delta."""
+    import json
+
+    from repro.graph.relabel import community_relabeling
+    from repro.observability.locality import measure_locality
+
+    args = build_reorder_parser().parse_args(argv)
+    graph = _load(args.input)
+    config = LeidenConfig(
+        engine=args.engine,
+        quality=args.quality,
+        max_passes=args.max_passes,
+        seed=args.seed,
+    )
+    rt = _make_runtime(args)
+    try:
+        result = leiden(graph, config, runtime=rt)
+    finally:
+        rt.close()
+    levels = (result.dendrogram.memberships()
+              if result.dendrogram.num_levels else [result.membership])
+    relab = community_relabeling(graph, levels, mode=args.mode)
+    relabeled, _ = graph.permute(relab.perm)
+    before = measure_locality(graph)
+    after = measure_locality(relabeled)
+    q = modularity(graph, result.membership)
+    q_relab = modularity(relabeled, relab.to_relabeled(result.membership))
+    doc = {
+        "schema": "repro.reorder/1",
+        "input": str(args.input),
+        "mode": args.mode,
+        "engine": args.engine,
+        "seed": int(args.seed),
+        "num_vertices": int(graph.num_vertices),
+        "num_edges": int(graph.num_edges),
+        "num_communities": int(relab.num_communities),
+        "modularity": round(q, 12),
+        # Exact layout invariance: Q of the same partition expressed on
+        # the relabeled graph must match bit for bit.
+        "modularity_relabeled": round(q_relab, 12),
+        "q_invariant": bool(q == q_relab),
+        "locality": {
+            "original": before.to_dict(),
+            "relabeled": after.to_dict(),
+        },
+    }
+    if before.gather_lines:
+        doc["gather_lines_saved_pct"] = round(
+            100.0 * (1.0 - after.gather_lines / before.gather_lines), 3)
+    if before.miss_lines:
+        doc["miss_lines_saved_pct"] = round(
+            100.0 * (1.0 - after.miss_lines / before.miss_lines), 3)
+    text = json.dumps(doc, sort_keys=True,
+                      indent=None if args.compact else 2)
+    if args.perm is not None:
+        args.perm.write_text(
+            "\n".join(str(int(v)) for v in relab.perm) + "\n")
+        print(f"permutation written to {args.perm}")
+    if args.membership is not None:
+        args.membership.write_text(
+            "\n".join(str(int(c)) for c in result.membership) + "\n")
+        print(f"membership written to {args.membership}")
+    if args.output is not None:
+        args.output.write_text(text + "\n")
+        print(f"reorder report written to {args.output}")
+    else:
+        print(text)
+    if not doc["q_invariant"]:  # pragma: no cover - correctness guard
+        print("error: modularity changed under relabeling", file=sys.stderr)
+        return 1
+    return 0
+
+
 #: First-token subcommands understood by :func:`main`.
-_SUBCOMMANDS = ("run", "trace", "profile", "metrics", "bench", "serve")
+_SUBCOMMANDS = ("run", "trace", "profile", "metrics", "bench", "serve",
+                "reorder")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -517,6 +650,8 @@ def main(argv: list[str] | None = None) -> int:
         return metrics_main(argv[1:])
     if argv and argv[0] == "serve":
         return serve_main(argv[1:])
+    if argv and argv[0] == "reorder":
+        return reorder_main(argv[1:])
     if argv and argv[0] == "run":
         argv = argv[1:]
     parser = build_parser()
@@ -539,6 +674,7 @@ def main(argv: list[str] | None = None) -> int:
         resolution=args.resolution,
         max_passes=args.max_passes,
         seed=args.seed,
+        relabel=args.relabel,
     )
     algo = leiden if args.algorithm == "leiden" else louvain
     rt = _make_runtime(args)
@@ -552,6 +688,10 @@ def main(argv: list[str] | None = None) -> int:
     print(f"vertices: {graph.num_vertices}  edges: {graph.num_edges}")
     print(f"algorithm: {args.algorithm} ({args.refinement}, {args.variant})")
     print(f"passes: {result.num_passes}  communities: {result.num_communities}")
+    if getattr(result, "relabeling", None) is not None:
+        relab = result.relabeling
+        print(f"relabel: {relab.mode} "
+              f"({relab.num_communities} layout communities)")
     print(f"modularity: {q:.6f}")
     print(f"wall time: {result.wall_seconds:.3f}s")
     if args.check_connectivity:

@@ -26,6 +26,7 @@ _LABELS = ("move", "refine")
 _ENGINES = ("batch", "loop", "threads", "process")
 _KERNEL_ENGINES = ("sort", "count")
 _VARIANTS = ("default", "medium", "heavy")
+_RELABELS = ("none", "community", "community-degree")
 
 
 @dataclass(frozen=True)
@@ -92,6 +93,15 @@ class LeidenConfig:
     #: Flag-based vertex pruning in the local-moving phase (the paper's
     #: optimization over queue-based pruning); disable for ablations.
     vertex_pruning: bool = True
+    #: Community-aware vertex relabeling before the main solve:
+    #: ``"none"`` solves the input layout as-is; ``"community"`` runs a
+    #: cheap pilot pass (or reuses a provided warm partition) to derive
+    #: a layout with communities contiguous, then solves the relabeled
+    #: graph and maps memberships back to original ids;
+    #: ``"community-degree"`` additionally sorts each community's
+    #: members by descending weighted degree.  See
+    #: :mod:`repro.graph.relabel` and docs/PERFORMANCE.md.
+    relabel: str = "none"
     #: Refinement move guard: ``"cas"`` (GVE's isolation + CAS — the
     #: connectivity guarantee), ``"racy"`` (isolation, no commit
     #: serialization — cuGraph-like), ``"none"`` (unguarded —
@@ -136,6 +146,8 @@ class LeidenConfig:
                 "'random' or 'bfs'")
         if self.resolution <= 0:
             raise ConfigError("resolution must be positive")
+        if self.relabel not in _RELABELS:
+            raise ConfigError(f"relabel must be one of {_RELABELS}")
 
     # -- variants -----------------------------------------------------------
 

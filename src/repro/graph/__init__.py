@@ -21,6 +21,13 @@ from repro.graph.ops import (
     remove_self_loops,
     symmetrize_edges,
 )
+from repro.graph.relabel import (
+    RELABEL_MODES,
+    Relabeling,
+    community_relabeling,
+    is_community_contiguous,
+    validate_permutation,
+)
 from repro.graph.reorder import order_ranks, vertex_order
 from repro.graph.traversal import bfs_levels, bfs_order
 from repro.graph.validate import validate_csr
@@ -39,6 +46,11 @@ __all__ = [
     "induced_subgraph",
     "vertex_order",
     "order_ranks",
+    "RELABEL_MODES",
+    "Relabeling",
+    "community_relabeling",
+    "is_community_contiguous",
+    "validate_permutation",
     "bfs_levels",
     "bfs_order",
     "read_edgelist",

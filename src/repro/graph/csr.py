@@ -289,6 +289,37 @@ class CSRGraph:
         np.cumsum(self.degrees, out=offsets[1:])
         return CSRGraph(offsets, dst, wgt, validate=False)
 
+    def permute(self, perm) -> Tuple["CSRGraph", np.ndarray]:
+        """Relabel vertices by ``perm`` (``perm[new_id] = old_id``).
+
+        Returns ``(relabeled, inv)`` where ``inv[old_id] = new_id`` maps
+        memberships over the relabeled graph back to original ids
+        (``membership_new[inv]``).  Rows are gathered in permutation
+        order and each row's edge order is preserved (targets are only
+        *renamed* through ``inv``, never reordered), which makes the
+        round trip exact: ``relabeled.permute(inv)[0]`` reproduces this
+        graph's dense form bitwise.  Holey CSR graphs are compacted
+        first, so the result is always dense.
+        """
+        from repro.graph.relabel import (
+            inverse_permutation,
+            validate_permutation,
+        )
+        from repro.graph.segments import ragged_indices
+
+        g = self.compact()
+        n = g.num_vertices
+        p = validate_permutation(perm, n)
+        inv = inverse_permutation(p)
+        degrees = g.degrees[p]
+        offsets = np.zeros(n + 1, dtype=OFFSET_DTYPE)
+        np.cumsum(degrees, out=offsets[1:])
+        _, idx = ragged_indices(g.offsets[:-1][p], degrees)
+        targets = inv[g.targets[idx]].astype(VERTEX_DTYPE, copy=False)
+        weights = g.weights[idx]
+        relabeled = CSRGraph(offsets, targets, weights, validate=False)
+        return relabeled, inv
+
     # -- dunder ------------------------------------------------------------
 
     def __len__(self) -> int:

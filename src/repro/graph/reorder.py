@@ -38,6 +38,10 @@ def vertex_order(
     - ``random``: uniformly random permutation;
     - ``bfs``: breadth-first discovery order from high-degree roots
       (locality-friendly on road-like graphs).
+
+    Every strategy returns a C-contiguous ``int64`` array; conversions
+    are no-ops (``copy=False`` / ``ascontiguousarray``) whenever the
+    producing routine already satisfies that policy.
     """
     n = graph.num_vertices
     if strategy not in ORDERINGS:
@@ -46,16 +50,18 @@ def vertex_order(
         return np.arange(n, dtype=np.int64)
     if strategy == "random":
         rng = np.random.default_rng(seed)
-        return rng.permutation(n).astype(np.int64)
+        return rng.permutation(n).astype(np.int64, copy=False)
     if strategy == "bfs":
         from repro.graph.traversal import bfs_order
 
-        return bfs_order(graph, seed=seed)
+        return np.ascontiguousarray(bfs_order(graph, seed=seed),
+                                    dtype=np.int64)
     K = graph.vertex_weights()
-    order = np.argsort(K, kind="stable")
+    order = np.argsort(K, kind="stable").astype(np.int64, copy=False)
     if strategy == "degree-desc":
-        order = order[::-1].copy()
-    return order.astype(np.int64)
+        # One copy total: the reversed view is materialized contiguous.
+        order = np.ascontiguousarray(order[::-1])
+    return order
 
 
 def order_ranks(order: np.ndarray) -> np.ndarray:

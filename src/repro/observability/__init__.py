@@ -39,6 +39,12 @@ from repro.observability.health import (
     SLObjective,
     default_service_slos,
 )
+from repro.observability.locality import (
+    CACHE_LINE_BYTES,
+    LRU_CAPACITY_LINES,
+    LocalityReport,
+    measure_locality,
+)
 from repro.observability.metrics import (
     METRICS_SCHEMA,
     NULL_REGISTRY,
@@ -76,10 +82,14 @@ _REGRESSION_EXPORTS = frozenset({
     "Baseline",
     "METRICS_BASELINE_SCHEMA",
     "MetricsBaseline",
+    "REORDER_BASELINE_SCHEMA",
+    "ReorderBaseline",
     "collect_leiden_metrics",
     "measure_metrics",
+    "measure_reorder",
     "measure_service_metrics",
     "record_metrics_baselines",
+    "record_reorder_baselines",
     "MetricCheck",
     "RunMetrics",
     "Thresholds",
@@ -106,9 +116,13 @@ def __getattr__(name: str):
 
 
 __all__ = [
+    "CACHE_LINE_BYTES",
     "HEALTH_SCHEMA",
+    "LRU_CAPACITY_LINES",
     "HealthEvaluator",
+    "LocalityReport",
     "METRICS_SCHEMA",
+    "measure_locality",
     "NULL_PROFILER",
     "NULL_REGISTRY",
     "NULL_TRACER",
@@ -133,10 +147,14 @@ __all__ = [
     "BASELINE_SCHEMA",
     "METRICS_BASELINE_SCHEMA",
     "MetricsBaseline",
+    "REORDER_BASELINE_SCHEMA",
+    "ReorderBaseline",
     "collect_leiden_metrics",
     "measure_metrics",
+    "measure_reorder",
     "measure_service_metrics",
     "record_metrics_baselines",
+    "record_reorder_baselines",
     "Baseline",
     "MetricCheck",
     "RunMetrics",

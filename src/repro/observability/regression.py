@@ -45,10 +45,12 @@ from repro.parallel.runtime import Runtime
 __all__ = [
     "BASELINE_SCHEMA",
     "METRICS_BASELINE_SCHEMA",
+    "REORDER_BASELINE_SCHEMA",
     "SERVICE_BASELINE_SCHEMA",
     "Baseline",
     "MetricCheck",
     "MetricsBaseline",
+    "ReorderBaseline",
     "RunMetrics",
     "ServiceBaseline",
     "Thresholds",
@@ -61,11 +63,13 @@ __all__ = [
     "format_trace_diff",
     "measure_experiment",
     "measure_metrics",
+    "measure_reorder",
     "measure_service",
     "measure_service_metrics",
     "migrate_trace",
     "record_baselines",
     "record_metrics_baselines",
+    "record_reorder_baselines",
     "record_service_baselines",
     "run_check",
     "run_profile",
@@ -84,6 +88,13 @@ SERVICE_BASELINE_SCHEMA = "repro.service-baseline/1"
 #: Version tag of the metrics-snapshot baseline files.  Metrics snapshots
 #: contain no wall-clock fields, so these also gate on exact equality.
 METRICS_BASELINE_SCHEMA = "repro.metrics-baseline/1"
+
+#: Version tag of the reorder-locality baseline file.  The document
+#: holds modelled cache-line counts, modelled per-phase seconds,
+#: atomics and exact modularities for the original/scrambled/relabeled
+#: layouts of the largest registry graphs — all counting passes, no
+#: wall clock — so it too gates on exact equality.
+REORDER_BASELINE_SCHEMA = "repro.reorder-baseline/1"
 
 #: Version tag of the multi-experiment bundle written by ``bench --trace``.
 TRACE_BUNDLE_SCHEMA = "repro.trace-bundle/1"
@@ -656,17 +667,142 @@ def _check_metrics_baseline(baseline: MetricsBaseline, print_fn) -> bool:
     return ok
 
 
+# -- reorder-locality baselines (exact-match gate) ---------------------------
+
+#: Graphs the committed reorder-locality baseline covers: the two
+#: largest registry graphs (by vertices + edges).
+DEFAULT_REORDER_GRAPHS = ("com-LiveJournal", "kmer_V1r")
+
+
+@dataclass(frozen=True)
+class ReorderBaseline:
+    """The committed reorder-locality expectations, one doc per graph.
+
+    ``expected`` maps each graph name to the deterministic document of
+    :func:`repro.bench.experiments.ext_reorder_locality.
+    measure_reorder_locality` — modelled locality of the original,
+    scrambled and community-relabeled layouts plus batch-solve
+    summaries.  The gate is exact equality.
+    """
+
+    name: str
+    graphs: Tuple[str, ...]
+    seed: int
+    scramble_seed: int
+    mode: str
+    expected: Dict[str, dict] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": REORDER_BASELINE_SCHEMA,
+            "name": self.name,
+            "graphs": list(self.graphs),
+            "seed": self.seed,
+            "scramble_seed": self.scramble_seed,
+            "mode": self.mode,
+            "expected": self.expected,
+            "recorded_with": __version__,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "ReorderBaseline":
+        schema = d.get("schema")
+        if schema != REORDER_BASELINE_SCHEMA:
+            raise ValueError(
+                f"unsupported reorder baseline schema {schema!r} "
+                f"(expected {REORDER_BASELINE_SCHEMA!r})"
+            )
+        return cls(
+            name=str(d["name"]),
+            graphs=tuple(d["graphs"]),
+            seed=int(d["seed"]),
+            scramble_seed=int(d["scramble_seed"]),
+            mode=str(d["mode"]),
+            expected=dict(d["expected"]),
+        )
+
+    @classmethod
+    def load(cls, path: Path | str) -> "ReorderBaseline":
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+    def save(self, path: Path | str) -> None:
+        Path(path).write_text(
+            json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+        )
+
+
+def measure_reorder(
+    graphs: Sequence[str] = DEFAULT_REORDER_GRAPHS,
+    *,
+    seed: int = 42,
+    scramble_seed: int = 7,
+    mode: str = "community",
+) -> Dict[str, dict]:
+    """Deterministic reorder-locality documents, one per graph."""
+    from repro.bench.experiments.ext_reorder_locality import (
+        measure_reorder_locality,
+    )
+
+    return {
+        name: measure_reorder_locality(
+            name, seed=seed, scramble_seed=scramble_seed, mode=mode)
+        for name in graphs
+    }
+
+
+def record_reorder_baselines(
+    directory: Path | str,
+    graphs: Sequence[str] = DEFAULT_REORDER_GRAPHS,
+    *,
+    seed: int = 42,
+    scramble_seed: int = 7,
+    mode: str = "community",
+) -> List[ReorderBaseline]:
+    """(Re)write the reorder-locality baseline file."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    baseline = ReorderBaseline(
+        name="reorder_locality",
+        graphs=tuple(graphs),
+        seed=seed,
+        scramble_seed=scramble_seed,
+        mode=mode,
+        expected=measure_reorder(
+            graphs, seed=seed, scramble_seed=scramble_seed, mode=mode),
+    )
+    baseline.save(directory / "reorder_locality.json")
+    return [baseline]
+
+
+def _check_reorder_baseline(baseline: ReorderBaseline, print_fn) -> bool:
+    current = measure_reorder(
+        baseline.graphs, seed=baseline.seed,
+        scramble_seed=baseline.scramble_seed, mode=baseline.mode)
+    diffs = compare_service_docs(baseline.expected, current)
+    ok = not diffs
+    print_fn(f"{'PASS' if ok else 'FAIL'} {baseline.name} "
+             f"(exact match, graphs={','.join(baseline.graphs)}, "
+             f"mode={baseline.mode}, seed={baseline.seed})")
+    for path, exp, act in diffs[:20]:
+        print_fn(f"  [REG] {path}: baseline={exp!r}  current={act!r}")
+    if len(diffs) > 20:
+        print_fn(f"  ... and {len(diffs) - 20} more differing fields")
+    return ok
+
+
 def expected_baseline_names() -> List[str]:
     """Filenames ``--check`` requires to be present in the baseline dir.
 
     Derived from the recorders' defaults (:func:`record_baselines`,
-    :func:`record_service_baselines`, :func:`record_metrics_baselines`)
-    — the set ``--update-baselines`` writes and CI commits.
+    :func:`record_service_baselines`, :func:`record_metrics_baselines`,
+    :func:`record_reorder_baselines`) — the set ``--update-baselines``
+    writes and CI commits.
     """
     names = [f"{g}.json" for g in DEFAULT_BASELINE_GRAPHS]
     names.append("service_quick.json")
     names.append("metrics_asia_osm.json")
     names.append("metrics_service_quick.json")
+    names.append("reorder_locality.json")
     return sorted(names)
 
 
@@ -717,6 +853,11 @@ def run_check(
         if doc.get("schema") == METRICS_BASELINE_SCHEMA:
             if not _check_metrics_baseline(
                     MetricsBaseline.from_dict(doc), print_fn):
+                failures += 1
+            continue
+        if doc.get("schema") == REORDER_BASELINE_SCHEMA:
+            if not _check_reorder_baseline(
+                    ReorderBaseline.from_dict(doc), print_fn):
                 failures += 1
             continue
         baseline = Baseline.from_dict(doc)

@@ -41,9 +41,17 @@ def graph_fingerprint(graph: CSRGraph) -> str:
 
 
 def config_fingerprint(config: LeidenConfig | None) -> str:
-    """Digest of a config's canonical JSON encoding (``None`` = default)."""
+    """Digest of a config's canonical JSON encoding (``None`` = default).
+
+    Fields still at their default value are omitted from the encoding,
+    so adding a new (defaulted) knob to :class:`LeidenConfig` does not
+    rotate every store key and invalidate persisted partitions.
+    """
     cfg = config or LeidenConfig()
-    doc = json.dumps(dataclasses.asdict(cfg), sort_keys=True)
+    base = dataclasses.asdict(LeidenConfig())
+    doc = json.dumps(
+        {k: v for k, v in dataclasses.asdict(cfg).items() if v != base[k]},
+        sort_keys=True)
     return hashlib.blake2b(doc.encode(), digest_size=8).hexdigest()
 
 

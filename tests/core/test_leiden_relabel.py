@@ -1,0 +1,169 @@
+"""Relabel-oracle tests: the ``config.relabel`` solve pipeline.
+
+The asynchronous engines are *not* permutation-equivariant (coloring
+priorities and argmax tie-breaks are id-dependent), so the gate is not
+"same partition as a relabel='none' run".  The invariants that hold
+exactly — and are gated here on registry graphs per engine — are:
+
+- the result's permutation is a bijection and the relabeled graph
+  round-trips bitwise through the inverse;
+- quality is exactly layout-invariant: the mapped-back membership
+  scores bit-identically on the original graph to the relabeled solve
+  on its own layout;
+- the mapped-back membership is a valid compact partition consistent
+  with the mapped-back dendrogram;
+- the whole pipeline is deterministic (two runs are bitwise equal).
+
+Set ``REPRO_RELABEL_ENGINES`` (comma list) to choose engines — the CI
+engine-matrix runs one engine per job — and ``REPRO_FULL_REGISTRY=1``
+to sweep every registry graph instead of the smoke subset.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.config import LeidenConfig
+from repro.core.leiden import leiden
+from repro.datasets.registry import load_graph, registry_names
+from repro.errors import ConfigError
+from repro.graph.relabel import validate_permutation
+from repro.metrics.modularity import modularity
+from repro.metrics.partition import renumber_membership
+from repro.parallel.runtime import Runtime
+from tests.conftest import random_graph, two_cliques_graph
+
+FULL_REGISTRY = os.environ.get("REPRO_FULL_REGISTRY") == "1"
+
+SMOKE_GRAPHS = ("asia_osm", "com-Orkut")
+
+GRAPHS = tuple(sorted(registry_names())) if FULL_REGISTRY else SMOKE_GRAPHS
+
+ENGINES = tuple(
+    os.environ.get("REPRO_RELABEL_ENGINES", "batch,loop").split(","))
+
+MODES = ("community", "community-degree")
+
+
+def run_relabeled(graph, engine, *, mode="community", workers=2, seed=42,
+                  **cfg_kwargs):
+    cfg = LeidenConfig(engine=engine, seed=seed, relabel=mode, **cfg_kwargs)
+    if engine == "process":
+        rt = Runtime(num_threads=workers, executor="process", seed=seed)
+    else:
+        rt = Runtime(num_threads=1, seed=seed)
+    try:
+        return leiden(graph, cfg, runtime=rt)
+    finally:
+        rt.close()
+
+
+def assert_relabel_invariants(graph, result):
+    relab = result.relabeling
+    assert relab is not None
+    n = graph.num_vertices
+    # (a) bijection + bitwise permute round-trip
+    perm = validate_permutation(relab.perm, n)
+    assert np.array_equal(relab.inv[perm], np.arange(n))
+    g2, inv2 = graph.permute(perm)
+    back, _ = g2.permute(inv2)
+    compact = graph.compact()
+    assert np.array_equal(back.offsets, compact.offsets)
+    assert np.array_equal(back.targets, compact.targets)
+    assert np.array_equal(back.weights, compact.weights)
+    # (b) exact quality layout-invariance of the mapped-back membership
+    q_orig = modularity(graph, result.membership)
+    q_relab = modularity(g2, relab.to_relabeled(result.membership))
+    assert q_orig == q_relab
+    # (c) valid compact partition consistent with the dendrogram
+    m = result.membership
+    assert m.shape[0] == n
+    if n:
+        ids = np.unique(m)
+        assert ids[0] == 0 and ids[-1] == ids.shape[0] - 1
+        flat, _ = renumber_membership(result.dendrogram.flatten())
+        assert np.array_equal(flat, m)
+
+
+class TestConfig:
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ConfigError):
+            LeidenConfig(relabel="hilbert")
+
+    def test_accepts_all_modes(self):
+        for mode in ("none", "community", "community-degree"):
+            assert LeidenConfig(relabel=mode).relabel == mode
+
+    def test_default_off(self):
+        res = leiden(two_cliques_graph(), LeidenConfig(seed=1))
+        assert res.relabeling is None
+
+
+class TestRelabelOracle:
+    @pytest.mark.parametrize("engine", ENGINES)
+    @pytest.mark.parametrize("graph_name", GRAPHS)
+    def test_registry_invariants(self, engine, graph_name):
+        graph = load_graph(graph_name, seed=1)
+        result = run_relabeled(graph, engine, mode="community")
+        assert_relabel_invariants(graph, result)
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_degree_mode(self, engine):
+        graph = load_graph("asia_osm", seed=1)
+        result = run_relabeled(graph, engine, mode="community-degree")
+        assert_relabel_invariants(graph, result)
+        assert result.relabeling.mode == "community-degree"
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_deterministic(self, engine):
+        graph = load_graph("asia_osm", seed=1)
+        a = run_relabeled(graph, engine)
+        b = run_relabeled(graph, engine)
+        assert np.array_equal(a.membership, b.membership)
+        assert np.array_equal(a.relabeling.perm, b.relabeling.perm)
+
+    def test_quality_comparable_to_unrelabeled(self):
+        graph = load_graph("asia_osm", seed=1)
+        base = leiden(graph, LeidenConfig(seed=42))
+        result = run_relabeled(graph, "batch")
+        q_base = modularity(graph, base.membership)
+        q_relab = modularity(graph, result.membership)
+        # different valid partitions, equally good solutions
+        assert abs(q_base - q_relab) < 0.02
+
+
+class TestWarmStart:
+    def test_warm_partition_drives_layout(self):
+        graph = two_cliques_graph()
+        warm = np.array([0] * 5 + [1] * 5)
+        result = leiden(
+            graph, LeidenConfig(seed=3, relabel="community"),
+            initial_membership=warm)
+        assert_relabel_invariants(graph, result)
+        assert result.relabeling.num_communities == 2
+        assert result.num_communities == 2
+
+    def test_warm_random_graph(self):
+        graph = random_graph(n=80, avg_degree=6, seed=9)
+        warm = leiden(graph, LeidenConfig(seed=9)).membership
+        result = leiden(
+            graph, LeidenConfig(seed=9, relabel="community-degree"),
+            initial_membership=warm)
+        assert_relabel_invariants(graph, result)
+
+
+class TestEdgeCases:
+    def test_empty_graph(self):
+        from repro.graph.builder import build_csr_from_edges
+
+        g = build_csr_from_edges([], [], num_vertices=0)
+        result = leiden(g, LeidenConfig(seed=1, relabel="community"))
+        assert result.membership.shape[0] == 0
+
+    def test_ledger_includes_pilot_and_permute(self):
+        graph = load_graph("asia_osm", seed=1)
+        base = leiden(graph, LeidenConfig(seed=42))
+        relab = run_relabeled(graph, "batch")
+        # pilot pass + permute charge extra work on top of the main solve
+        assert relab.ledger.total_work > base.ledger.total_work

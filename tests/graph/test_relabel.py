@@ -1,0 +1,230 @@
+"""Tests for community-aware relabeling and CSRGraph.permute."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, GraphStructureError
+from repro.graph.builder import build_csr_from_edges
+from repro.graph.csr import CSRGraph
+from repro.graph.relabel import (
+    RELABEL_MODES,
+    community_relabeling,
+    inverse_permutation,
+    is_community_contiguous,
+    validate_permutation,
+)
+from repro.types import OFFSET_DTYPE, VERTEX_DTYPE, WEIGHT_DTYPE
+from tests.conftest import random_graph, two_cliques_graph
+
+
+def graphs_equal(a: CSRGraph, b: CSRGraph) -> bool:
+    return (np.array_equal(a.offsets, b.offsets)
+            and np.array_equal(a.targets, b.targets)
+            and np.array_equal(a.weights, b.weights))
+
+
+class TestValidatePermutation:
+    def test_identity_ok(self):
+        p = validate_permutation(np.arange(5), 5)
+        assert p.dtype == np.int64
+
+    def test_wrong_length(self):
+        with pytest.raises(GraphStructureError):
+            validate_permutation(np.arange(4), 5)
+
+    def test_out_of_range(self):
+        with pytest.raises(GraphStructureError):
+            validate_permutation(np.array([0, 1, 5]), 3)
+
+    def test_repeated_entries(self):
+        with pytest.raises(GraphStructureError):
+            validate_permutation(np.array([0, 1, 1]), 3)
+
+    def test_inverse(self):
+        perm = np.array([2, 0, 3, 1], dtype=np.int64)
+        inv = inverse_permutation(perm)
+        assert np.array_equal(inv[perm], np.arange(4))
+        assert np.array_equal(perm[inv], np.arange(4))
+
+
+class TestPermute:
+    def test_roundtrip_bitwise(self, small_random_weighted):
+        g = small_random_weighted
+        rng = np.random.default_rng(3)
+        perm = rng.permutation(g.num_vertices).astype(np.int64)
+        g2, inv = g.permute(perm)
+        back, _ = g2.permute(inv)
+        assert graphs_equal(back, g.compact())
+        assert back.offsets.dtype == OFFSET_DTYPE
+        assert back.targets.dtype == VERTEX_DTYPE
+        assert back.weights.dtype == WEIGHT_DTYPE
+
+    def test_degrees_and_weights_follow(self, star8):
+        perm = np.roll(np.arange(star8.num_vertices), 1).astype(np.int64)
+        g2, inv = star8.permute(perm)
+        assert np.array_equal(g2.degrees, star8.degrees[perm])
+        assert g2.total_weight == star8.total_weight
+        # hub 0 moved to new id inv[0]; its row has all the neighbors
+        hub_new = int(inv[0])
+        assert g2.degrees[hub_new] == star8.degrees[0]
+
+    def test_edge_structure_preserved(self, two_cliques):
+        rng = np.random.default_rng(11)
+        perm = rng.permutation(two_cliques.num_vertices).astype(np.int64)
+        g2, inv = two_cliques.permute(perm)
+        for v in range(two_cliques.num_vertices):
+            nbrs, wgts = two_cliques.edges(v)
+            nbrs2, wgts2 = g2.edges(int(inv[v]))
+            # per-row order is preserved up to renaming
+            assert np.array_equal(inv[nbrs], nbrs2)
+            assert np.array_equal(wgts, wgts2)
+
+    def test_identity_permutation_is_noop(self, small_random):
+        g = small_random.compact()
+        g2, inv = g.permute(np.arange(g.num_vertices))
+        assert graphs_equal(g, g2)
+        assert np.array_equal(inv, np.arange(g.num_vertices))
+
+    def test_bad_perm_rejected(self, path10):
+        with pytest.raises(GraphStructureError):
+            path10.permute(np.zeros(path10.num_vertices, dtype=np.int64))
+
+    def test_empty_graph(self):
+        g = build_csr_from_edges([], [], num_vertices=0)
+        g2, inv = g.permute(np.empty(0, dtype=np.int64))
+        assert g2.num_vertices == 0
+        assert inv.shape[0] == 0
+
+    def test_self_loops_follow_vertex(self):
+        g = build_csr_from_edges([0, 1, 2, 0], [0, 1, 2, 1])
+        perm = np.array([2, 0, 1], dtype=np.int64)
+        g2, inv = g.permute(perm)
+        for v in range(3):
+            nbrs, _ = g.edges(v)
+            nbrs2, _ = g2.edges(int(inv[v]))
+            assert sorted(inv[nbrs].tolist()) == sorted(nbrs2.tolist())
+            # loop at v stays a loop at inv[v]
+            assert (v in nbrs) == (int(inv[v]) in nbrs2)
+
+
+class TestCommunityRelabeling:
+    def test_members_contiguous(self, two_cliques):
+        m = np.array([0] * 5 + [1] * 5)[np.random.default_rng(0).permutation(10)]
+        relab = community_relabeling(two_cliques, [m], mode="community")
+        assert is_community_contiguous(m[relab.perm])
+        assert relab.num_communities == 2
+
+    def test_stable_ascending_ids_within_community(self):
+        m = np.array([1, 0, 1, 0, 1])
+        relab = community_relabeling(None, [m], mode="community")
+        # community 0 = {1, 3}, community 1 = {0, 2, 4}, ids ascending
+        assert relab.perm.tolist() == [1, 3, 0, 2, 4]
+
+    def test_degree_mode_sorts_hubs_first(self, star8):
+        m = np.zeros(star8.num_vertices, dtype=np.int64)
+        relab = community_relabeling(star8, [m], mode="community-degree")
+        assert relab.perm[0] == 0  # the hub has the largest degree
+        assert sorted(relab.perm.tolist()) == list(range(star8.num_vertices))
+
+    def test_degree_mode_needs_graph(self):
+        with pytest.raises(ConfigError):
+            community_relabeling(None, [np.zeros(4)], mode="community-degree")
+
+    def test_mode_none_rejected(self):
+        with pytest.raises(ConfigError):
+            community_relabeling(None, [np.zeros(4)], mode="none")
+        with pytest.raises(ConfigError):
+            community_relabeling(None, [np.zeros(4)], mode="hilbert")
+
+    def test_multi_level_coarsest_is_primary(self):
+        fine = np.array([0, 1, 2, 3])
+        coarse = np.array([1, 0, 1, 0])
+        relab = community_relabeling(None, [fine, coarse], mode="community")
+        # coarse community 0 = {1, 3} first, then coarse 1 = {0, 2};
+        # inside each, the finer level orders members
+        assert relab.perm.tolist() == [1, 3, 0, 2]
+        assert relab.num_communities == 2
+
+    def test_singleton_communities_identity(self):
+        m = np.arange(6)
+        relab = community_relabeling(None, [m], mode="community")
+        assert relab.perm.tolist() == list(range(6))
+        assert relab.num_communities == 6
+
+    def test_one_giant_community_identity(self):
+        m = np.zeros(6, dtype=np.int64)
+        relab = community_relabeling(None, [m], mode="community")
+        assert relab.perm.tolist() == list(range(6))
+        assert relab.num_communities == 1
+
+    def test_empty(self):
+        relab = community_relabeling(None, [np.empty(0, dtype=np.int64)],
+                                     mode="community")
+        assert relab.num_vertices == 0
+        assert relab.num_communities == 0
+
+    def test_membership_mapping_roundtrip(self, small_random):
+        g = small_random
+        rng = np.random.default_rng(5)
+        m = rng.integers(0, 4, g.num_vertices).astype(VERTEX_DTYPE)
+        relab = community_relabeling(g, [m], mode="community")
+        m_new = relab.to_relabeled(m)
+        assert is_community_contiguous(m_new)
+        assert np.array_equal(relab.to_original(m_new), m)
+
+    def test_mapping_rejects_wrong_length(self):
+        relab = community_relabeling(None, [np.zeros(4)], mode="community")
+        with pytest.raises(GraphStructureError):
+            relab.to_original(np.zeros(3))
+        with pytest.raises(GraphStructureError):
+            relab.to_relabeled(np.zeros(5))
+
+    def test_describe(self):
+        relab = community_relabeling(None, [np.array([0, 0, 1])],
+                                     mode="community")
+        assert relab.describe() == {
+            "mode": "community", "num_vertices": 3, "num_communities": 2,
+        }
+
+    def test_modes_tuple(self):
+        assert RELABEL_MODES == ("none", "community", "community-degree")
+
+
+class TestIsCommunityContiguous:
+    def test_cases(self):
+        assert is_community_contiguous(np.array([0, 0, 1, 1, 2]))
+        assert is_community_contiguous(np.array([2, 2, 0, 1]))
+        assert not is_community_contiguous(np.array([0, 1, 0]))
+        assert is_community_contiguous(np.empty(0))
+        assert is_community_contiguous(np.array([7]))
+
+
+class TestSelfLoopHeavy:
+    def test_relabel_keeps_quality_structures(self):
+        g = build_csr_from_edges(
+            [0, 1, 2, 3, 4, 0, 1, 2], [0, 1, 2, 3, 4, 1, 2, 3])
+        m = np.array([0, 0, 0, 1, 1])
+        relab = community_relabeling(g, [m], mode="community-degree")
+        g2, inv = g.permute(relab.perm)
+        assert g2.total_weight == g.total_weight
+        back, _ = g2.permute(inv)
+        assert graphs_equal(back, g.compact())
+
+
+class TestRandomGraphRoundtrip:
+    def test_relabel_roundtrip_many_seeds(self):
+        for seed in range(3):
+            g = random_graph(n=50, avg_degree=5, seed=seed, weighted=True)
+            rng = np.random.default_rng(seed + 100)
+            m = rng.integers(0, 7, g.num_vertices)
+            relab = community_relabeling(g, [m], mode="community")
+            g2, inv = g.permute(relab.perm)
+            back, _ = g2.permute(inv)
+            assert graphs_equal(back, g.compact())
+
+    def test_two_cliques_layout(self):
+        g = two_cliques_graph()
+        m = np.array([0] * 5 + [1] * 5)
+        relab = community_relabeling(g, [m], mode="community")
+        # already contiguous: identity layout
+        assert relab.perm.tolist() == list(range(10))

@@ -45,6 +45,28 @@ class TestVertexOrder:
         with pytest.raises(ConfigError):
             vertex_order(path10, "pagerank")
 
+    @pytest.mark.parametrize("strategy", ORDERINGS)
+    def test_dtype_policy(self, small_random, strategy):
+        # single dtype policy: every strategy returns C-contiguous int64
+        order = vertex_order(small_random, strategy, seed=2)
+        assert order.dtype == np.int64, strategy
+        assert order.flags["C_CONTIGUOUS"], strategy
+
+    @pytest.mark.parametrize("strategy", ORDERINGS)
+    def test_dtype_policy_empty_graph(self, strategy):
+        from repro.graph.builder import build_csr_from_edges
+
+        g = build_csr_from_edges([], [], num_vertices=0)
+        order = vertex_order(g, strategy, seed=2)
+        assert order.dtype == np.int64
+        assert order.flags["C_CONTIGUOUS"]
+        assert order.shape[0] == 0
+
+    def test_degree_desc_reverses_degree(self, small_random):
+        asc = vertex_order(small_random, "degree")
+        desc = vertex_order(small_random, "degree-desc")
+        assert np.array_equal(desc, asc[::-1])
+
     def test_order_ranks_inverse(self):
         order = np.array([2, 0, 1], dtype=np.int64)
         ranks = order_ranks(order)

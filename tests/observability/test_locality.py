@@ -1,0 +1,159 @@
+"""Tests for the deterministic cache-locality model."""
+
+import numpy as np
+import pytest
+
+from repro.graph.builder import build_csr_from_edges
+from repro.observability.locality import (
+    CACHE_LINE_BYTES,
+    LRU_CAPACITY_LINES,
+    LocalityReport,
+    _lru_misses,
+    measure_locality,
+)
+from tests.conftest import two_cliques_graph
+
+
+def path_graph(n: int):
+    src = list(range(n - 1))
+    dst = list(range(1, n))
+    return build_csr_from_edges(src, dst, num_vertices=n)
+
+
+class TestLruMisses:
+    def test_empty_stream(self):
+        assert _lru_misses(np.empty(0, dtype=np.int64), 4) == 0
+
+    def test_single_line_run_is_one_miss(self):
+        assert _lru_misses(np.zeros(100, dtype=np.int64), 4) == 1
+
+    def test_all_distinct_all_miss(self):
+        assert _lru_misses(np.arange(10, dtype=np.int64), 16) == 10
+
+    def test_hits_within_capacity(self):
+        # second sweep over the same 3 lines hits if capacity >= 3
+        stream = np.array([0, 1, 2, 0, 1, 2], dtype=np.int64)
+        assert _lru_misses(stream, 3) == 3
+
+    def test_cyclic_thrash_below_capacity(self):
+        # classic LRU pathology: cycling 3 lines through a 2-line cache
+        # misses every access
+        stream = np.array([0, 1, 2] * 4, dtype=np.int64)
+        assert _lru_misses(stream, 2) == 12
+
+    def test_recency_order_matters(self):
+        # after [0, 1, 0], line 1 is least recent; 2 evicts it, then 0
+        # still hits but 1 misses again
+        stream = np.array([0, 1, 0, 2, 0, 1], dtype=np.int64)
+        assert _lru_misses(stream, 2) == 4
+
+    def test_adjacent_runs_collapse(self):
+        a = np.array([0, 0, 0, 1, 1, 2], dtype=np.int64)
+        b = np.array([0, 1, 2], dtype=np.int64)
+        assert _lru_misses(a, 2) == _lru_misses(b, 2)
+
+
+class TestMeasureLocality:
+    def test_small_graph_single_line(self):
+        # all ten vertex ids fit in one 16-element line at 4 bytes each
+        g = path_graph(10)
+        rep = measure_locality(g, element_bytes=4)
+        assert rep.num_edges == g.num_edges
+        assert rep.gather_lines == 10  # one line per non-empty row
+        assert rep.miss_lines == 1     # a single cold miss for the scan
+        assert 0 < rep.miss_ratio < rep.gather_ratio
+
+    def test_one_vertex_per_line(self):
+        # element_bytes=64 makes every vertex its own cache line
+        g = path_graph(6)
+        rep = measure_locality(g, element_bytes=64)
+        # per row every target is distinct, so gather == edges
+        assert rep.gather_lines == g.num_edges
+        # with capacity >= n the replay only takes cold misses
+        assert rep.miss_lines == 6
+        assert rep.gather_ratio == 1.0
+
+    def test_streamed_lines_formula(self):
+        g = path_graph(10).compact()
+        rep = measure_locality(g)
+        expected = (
+            -(-g.offsets.nbytes // CACHE_LINE_BYTES)
+            + -(-g.targets.nbytes // CACHE_LINE_BYTES)
+            + -(-g.weights.nbytes // CACHE_LINE_BYTES)
+        )
+        assert rep.streamed_lines == expected
+
+    def test_empty_graph(self):
+        g = build_csr_from_edges([], [], num_vertices=0)
+        rep = measure_locality(g)
+        assert rep.num_edges == 0
+        assert rep.gather_lines == 0
+        assert rep.miss_lines == 0
+        assert rep.gather_ratio == 0.0
+        assert rep.miss_ratio == 0.0
+
+    def test_scrambled_layout_costs_more_misses(self):
+        # a clustered graph under a tiny cache: the original layout
+        # keeps each clique's line resident; scattering ids thrashes it
+        g = two_cliques_graph()
+        rng = np.random.default_rng(0)
+        scramble = rng.permutation(g.num_vertices).astype(np.int64)
+        g2, _ = g.permute(scramble)
+        orig = measure_locality(g, element_bytes=64, lru_capacity_lines=4)
+        scram = measure_locality(g2, element_bytes=64, lru_capacity_lines=4)
+        assert scram.miss_lines > orig.miss_lines
+        # the layout-independent stream is unchanged
+        assert scram.streamed_lines == orig.streamed_lines
+        assert scram.num_edges == orig.num_edges
+
+    def test_deterministic(self):
+        g = two_cliques_graph()
+        a = measure_locality(g).to_dict()
+        b = measure_locality(g).to_dict()
+        assert a == b
+
+    def test_default_capacity(self):
+        rep = measure_locality(path_graph(4))
+        assert rep.lru_capacity_lines == LRU_CAPACITY_LINES
+
+
+class TestReportDict:
+    def test_keys_and_rounding(self):
+        rep = LocalityReport(
+            num_vertices=3, num_edges=7, element_bytes=4,
+            streamed_lines=5, gather_lines=3, miss_lines=2,
+            lru_capacity_lines=8)
+        d = rep.to_dict()
+        assert d == {
+            "num_vertices": 3,
+            "num_edges": 7,
+            "element_bytes": 4,
+            "streamed_lines": 5,
+            "gather_lines": 3,
+            "gather_ratio": round(3 / 7, 6),
+            "miss_lines": 2,
+            "miss_ratio": round(2 / 7, 6),
+            "lru_capacity_lines": 8,
+        }
+
+    def test_ratio_zero_edges(self):
+        rep = LocalityReport(1, 0, 4, 1, 0, 0, 8)
+        assert rep.gather_ratio == 0.0
+        assert rep.miss_ratio == 0.0
+
+
+class TestSolveLedgerAtomics:
+    def test_atomics_by_phase_from_solve(self):
+        from repro.core.config import LeidenConfig
+        from repro.core.leiden import leiden
+
+        res = leiden(two_cliques_graph(), LeidenConfig(seed=1))
+        atomics = res.ledger.atomics_by_phase()
+        assert atomics  # the kernels record contention
+        assert all(v > 0 for v in atomics.values())
+        phases = set(res.ledger.phases())
+        assert set(atomics) <= phases
+
+
+if __name__ == "__main__":
+    pytest.main([__file__, "-q"])

@@ -1,0 +1,114 @@
+"""Property-based tests for community-aware relabeling.
+
+Over random graphs and membership levels: every produced permutation is
+a bijection whose relabeled graph round-trips bitwise, grouped
+memberships are contiguous, and the relabeled-solve result's
+dendrogram flattens to its membership (the mapped-back dendrogram and
+membership stay mutually consistent).
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import LeidenConfig
+from repro.core.leiden import leiden
+from repro.graph.builder import build_csr_from_edges
+from repro.graph.relabel import (
+    community_relabeling,
+    is_community_contiguous,
+    validate_permutation,
+)
+from repro.metrics.modularity import modularity
+from repro.metrics.partition import renumber_membership
+
+
+@st.composite
+def graph_and_levels(draw):
+    n = draw(st.integers(1, 40))
+    m = draw(st.integers(0, 120))
+    rng = np.random.default_rng(draw(st.integers(0, 2**31)))
+    src = rng.integers(0, n, m)
+    dst = rng.integers(0, n, m)
+    graph = build_csr_from_edges(src, dst, num_vertices=n)
+    num_levels = draw(st.integers(1, 3))
+    levels = []
+    k = n
+    fine = rng.integers(0, max(1, k), n)
+    for _ in range(num_levels):
+        levels.append(fine.copy())
+        k = max(1, int(fine.max()) + 1)
+        coarse_map = rng.integers(0, max(1, k // 2 + 1), k)
+        fine = coarse_map[fine]
+    return graph, levels
+
+
+@st.composite
+def random_csr(draw):
+    n = draw(st.integers(2, 40))
+    m = draw(st.integers(0, 120))
+    rng = np.random.default_rng(draw(st.integers(0, 2**31)))
+    src = rng.integers(0, n, m)
+    dst = rng.integers(0, n, m)
+    return build_csr_from_edges(src, dst, num_vertices=n)
+
+
+class TestRelabelingProperties:
+    @given(graph_and_levels(), st.sampled_from(["community",
+                                                "community-degree"]))
+    @settings(max_examples=60, deadline=None)
+    def test_perm_is_bijection_and_roundtrips(self, gl, mode):
+        graph, levels = gl
+        n = graph.num_vertices
+        relab = community_relabeling(graph, levels, mode=mode)
+        perm = validate_permutation(relab.perm, n)
+        assert np.array_equal(relab.inv[perm], np.arange(n))
+        g2, inv = graph.permute(perm)
+        back, _ = g2.permute(inv)
+        compact = graph.compact()
+        assert np.array_equal(back.offsets, compact.offsets)
+        assert np.array_equal(back.targets, compact.targets)
+        assert np.array_equal(back.weights, compact.weights)
+
+    @given(graph_and_levels())
+    @settings(max_examples=60, deadline=None)
+    def test_coarsest_level_becomes_contiguous(self, gl):
+        graph, levels = gl
+        relab = community_relabeling(graph, levels, mode="community")
+        grouped = relab.to_relabeled(levels[-1])
+        assert is_community_contiguous(grouped)
+        assert relab.num_communities == np.unique(levels[-1]).shape[0]
+
+    @given(graph_and_levels())
+    @settings(max_examples=40, deadline=None)
+    def test_quality_invariant_under_relabeling(self, gl):
+        graph, levels = gl
+        relab = community_relabeling(graph, levels, mode="community")
+        g2, _ = graph.permute(relab.perm)
+        m = levels[0]
+        assert modularity(graph, m) == modularity(g2, relab.to_relabeled(m))
+
+
+class TestRelabeledSolveProperties:
+    @given(random_csr(), st.sampled_from(["community", "community-degree"]))
+    @settings(max_examples=25, deadline=None)
+    def test_dendrogram_flattens_to_membership(self, graph, mode):
+        res = leiden(graph, LeidenConfig(seed=5, relabel=mode))
+        relab = res.relabeling
+        assert relab is not None
+        validate_permutation(relab.perm, graph.num_vertices)
+        # the mapped-back dendrogram composed down and renumbered equals
+        # the mapped-back membership (renumbering commutes with the
+        # permutation because it assigns ids by sorted community value)
+        flat, _ = renumber_membership(res.dendrogram.flatten())
+        assert np.array_equal(flat, res.membership)
+
+    @given(random_csr())
+    @settings(max_examples=25, deadline=None)
+    def test_membership_is_valid_partition(self, graph):
+        res = leiden(graph, LeidenConfig(seed=7, relabel="community"))
+        C = res.membership
+        assert C.shape[0] == graph.num_vertices
+        if C.shape[0]:
+            assert C.min() >= 0
+            assert len(np.unique(C)) == C.max() + 1

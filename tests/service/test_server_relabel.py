@@ -1,0 +1,114 @@
+"""Service-layer relabeling: the stored partition as a serving layout.
+
+With ``ServiceConfig(relabel=...)`` the server derives a community
+layout from every committed membership; member queries are served as
+slices of the contiguous order.  The answers must be identical (as
+sets) to a layout-free server's, and the layout must track refreshes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import LeidenConfig
+from repro.dynamic.batch import EdgeBatch
+from repro.errors import ServiceError
+from repro.service.server import PartitionServer, ServiceConfig
+from repro.service.store import FRESH
+from tests.conftest import ring_of_cliques_graph, two_cliques_graph
+
+
+def make_server(**kwargs) -> PartitionServer:
+    cfg = ServiceConfig(leiden=LeidenConfig(seed=1), **kwargs)
+    return PartitionServer(cfg)
+
+
+class TestConfig:
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ServiceError):
+            ServiceConfig(relabel="hilbert")
+
+    def test_accepts_modes(self):
+        for mode in ("none", "community", "community-degree"):
+            assert ServiceConfig(relabel=mode).relabel == mode
+
+
+class TestDetectLayout:
+    def test_entry_carries_contiguous_layout(self):
+        srv = make_server(relabel="community")
+        key = srv.detect(two_cliques_graph()).response["key"]
+        entry = srv.store.peek(key)
+        assert entry.layout is not None
+        assert entry.layout.num_communities == entry.num_communities
+        assert entry.index.is_contiguous_layout
+
+    def test_describe_has_layout_block_only_when_on(self):
+        on = make_server(relabel="community-degree")
+        off = make_server()
+        g = two_cliques_graph()
+        key_on = on.detect(g).response["key"]
+        key_off = off.detect(two_cliques_graph()).response["key"]
+        doc_on = on.store.peek(key_on).describe()
+        doc_off = off.store.peek(key_off).describe()
+        assert doc_on["layout"]["mode"] == "community-degree"
+        assert "layout" not in doc_off
+        # everything else matches the layout-free server exactly
+        doc_on.pop("layout")
+        assert doc_on == doc_off
+
+    def test_members_match_layout_free_server(self):
+        g = ring_of_cliques_graph()
+        fast = make_server(relabel="community")
+        plain = make_server()
+        key_f = fast.detect(g).response["key"]
+        key_p = plain.detect(ring_of_cliques_graph()).response["key"]
+        nc = fast.store.peek(key_f).num_communities
+        assert nc == plain.store.peek(key_p).num_communities
+        for c in range(nc):
+            a = fast.query(key_f, "members", community=c).response["value"]
+            b = plain.query(key_p, "members", community=c).response["value"]
+            assert sorted(a.tolist()) == sorted(b.tolist())
+
+    def test_members_cover_all_vertices(self):
+        g = two_cliques_graph()
+        srv = make_server(relabel="community")
+        key = srv.detect(g).response["key"]
+        entry = srv.store.peek(key)
+        everyone = np.concatenate([
+            srv.query(key, "members", community=c).response["value"]
+            for c in range(entry.num_communities)])
+        assert sorted(everyone.tolist()) == list(range(g.num_vertices))
+
+
+class TestRefreshTracksLayout:
+    def test_flush_rebuilds_layout(self):
+        srv = make_server(relabel="community", max_pending_updates=1)
+        g = ring_of_cliques_graph()
+        key = srv.detect(g).response["key"]
+        v0 = srv.store.peek(key).version
+        srv.update(key, EdgeBatch.from_edges([(0, g.num_vertices - 1)]))
+        while srv.step() is not None:
+            pass
+        entry = srv.store.peek(key)
+        assert entry.state == FRESH
+        assert entry.version == v0 + 1
+        # the refreshed layout groups the *new* membership
+        assert entry.index.is_contiguous_layout
+        grouped = entry.membership[np.asarray(entry.layout.perm)]
+        changes = int(np.count_nonzero(grouped[1:] != grouped[:-1]))
+        assert changes + 1 == entry.num_communities
+
+    def test_solver_relabel_composes_with_serving_layout(self):
+        # both knobs on: solves run on a relabeled graph AND the server
+        # derives a serving layout from the mapped-back membership
+        cfg = ServiceConfig(leiden=LeidenConfig(seed=1, relabel="community"),
+                            relabel="community")
+        srv = PartitionServer(cfg)
+        g = two_cliques_graph()
+        key = srv.detect(g).response["key"]
+        entry = srv.store.peek(key)
+        assert entry.index.is_contiguous_layout
+        assert entry.num_communities == 2
+
+
+if __name__ == "__main__":
+    pytest.main([__file__, "-q"])

@@ -146,9 +146,10 @@ class TestBenchSubcommand:
         assert "recorded baseline" in out
         assert "recorded service baseline" in out
         assert "recorded metrics baseline" in out
+        assert "recorded reorder baseline" in out
         assert main(["bench", "--check",
                      "--baselines", str(tmp_path)]) == 0
-        assert "6/6 baselines within thresholds" in capsys.readouterr().out
+        assert "7/7 baselines within thresholds" in capsys.readouterr().out
 
     def test_bench_trace_writes_bundle(self, tmp_path, capsys):
         out_file = tmp_path / "bundle.json"
