@@ -138,6 +138,11 @@ def main(argv: list[str] | None = None) -> int:
             for rb in regression.record_reorder_baselines(baseline_dir):
                 print(f"recorded reorder baseline {rb.name} "
                       f"(graphs={','.join(rb.graphs)}, mode={rb.mode})")
+            for fb in regression.record_fleet_baselines(baseline_dir):
+                runs = fb.expected["runs"]
+                print(f"recorded fleet baseline {fb.name} "
+                      f"({'/'.join(sorted(runs))}, "
+                      f"invariant={fb.expected['invariant']})")
         if args.trace_path:
             bundle = regression.run_trace(seed=args.seed)
             Path(args.trace_path).write_text(

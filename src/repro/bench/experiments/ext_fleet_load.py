@@ -1,0 +1,105 @@
+"""Extension experiment: sharded fleet A/B — 1 shard vs 4 shards.
+
+Drives :func:`repro.fleet.workload.run_fleet_workload` over the same
+``(profile, seed)`` at two fleet widths and reports what sharding buys
+(and what it must preserve):
+
+- **invariance** — the cross-shard ``membership`` fan-out digest and
+  the served partitions must be *identical* at both widths (the request
+  tape never consults fleet state, and every shard runs the same
+  deterministic solve), which is the acceptance contract of the fleet;
+- **load spread** — requests routed per shard, the max/mean imbalance
+  gauge, and the hottest-shard query p99 under the hot-key Zipf skew;
+- **logical cost** — replication multiplies solve work, sharding
+  divides per-shard queue pressure; the clock-unit totals quantify the
+  trade.
+
+:func:`measure_fleet_load` returns the deterministic comparison
+document pinned as the ``fleet_quick.json`` exact-match baseline in
+``repro bench --check``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.bench.tables import format_table
+from repro.fleet.fleet import FleetConfig
+from repro.fleet.workload import FleetWorkloadResult, run_fleet_workload
+
+__all__ = ["FleetLoadResult", "measure_fleet_load", "run", "report", "main"]
+
+#: Fleet widths compared by the A/B (labels used in the result doc).
+SHARD_COUNTS = (1, 4)
+
+
+@dataclass
+class FleetLoadResult:
+    profile: str
+    seed: int
+    #: "shards_1" / "shards_4" -> fleet workload result.
+    outcomes: Dict[str, FleetWorkloadResult]
+
+    @property
+    def invariant(self) -> bool:
+        digests = {r.fanout_digest for r in self.outcomes.values()}
+        return len(digests) == 1
+
+
+def run(profile: str = "quick", *, seed: int = 0) -> FleetLoadResult:
+    outcomes = {
+        f"shards_{n}": run_fleet_workload(
+            profile, seed=seed,
+            fleet_config=FleetConfig(num_shards=n, replicas=1),
+        )
+        for n in SHARD_COUNTS
+    }
+    return FleetLoadResult(profile=profile, seed=seed, outcomes=outcomes)
+
+
+def measure_fleet_load(profile: str = "quick", *, seed: int = 0) -> dict:
+    """Deterministic A/B document (the ``fleet_quick.json`` baseline)."""
+    result = run(profile, seed=seed)
+    return {
+        "profile": result.profile,
+        "seed": result.seed,
+        "invariant": result.invariant,
+        "runs": {
+            label: outcome.to_json_dict()
+            for label, outcome in result.outcomes.items()
+        },
+    }
+
+
+def report(result: FleetLoadResult) -> str:
+    rows = []
+    for label, fr in result.outcomes.items():
+        stats = fr.stats
+        c = stats["router"]["counters"]
+        d = stats["derived"]
+        rows.append([
+            label.replace("shards_", ""),
+            str(c["routed"]),
+            str(c["fanouts"]),
+            f"{stats['clock_units']:,}",
+            f"{d['imbalance']:.3f}",
+            str(int(d["hottest_shard_query_p99"])),
+            f"{c['degraded_serves']}/{c['failed_requests']}",
+            "yes" if all(fr.membership_matches_scratch.values()) else "NO",
+            fr.fanout_digest[:12],
+        ])
+    inv = "identical" if result.invariant else "DIVERGED"
+    return format_table(
+        ["shards", "routed", "fanouts", "clock units", "imbalance",
+         "hot p99", "degr/fail", "== scratch", "fanout digest"],
+        rows,
+        title=f"Extension: fleet load ({result.profile} workload, "
+              f"seed {result.seed}) — fan-out answers {inv} across widths",
+    )
+
+
+def main() -> FleetLoadResult:  # pragma: no cover - CLI
+    result = run()
+    print(report(result))
+    return result

@@ -46,6 +46,7 @@ from repro.core.config import LeidenConfig
 from repro.core.leiden import leiden
 from repro.core.louvain import louvain
 from repro.datasets.registry import load_graph, registry_names
+from repro.errors import ReproError
 from repro.graph.io_edgelist import read_edgelist
 from repro.graph.io_mtx import read_mtx
 from repro.metrics.connectivity import disconnected_communities
@@ -408,8 +409,9 @@ def build_serve_parser() -> argparse.ArgumentParser:
                     "JSON (no wall-clock fields: two runs with the same "
                     "profile and seed are byte-identical)",
     )
-    p.add_argument("--workload", choices=["tiny", "quick", "smoke"],
-                   default="quick", help="workload profile (see PROFILES)")
+    p.add_argument("--workload", default="quick",
+                   help="workload profile name (see PROFILES; unknown "
+                        "names exit 2 with the valid list)")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--no-coalesce", action="store_true",
                    help="disable UPDATE micro-batching (one solve per "
@@ -437,14 +439,30 @@ def build_serve_parser() -> argparse.ArgumentParser:
     return p
 
 
+def _reject_unknown_profile(name: str, known, *, what: str) -> int:
+    """Report an unknown workload profile and return exit code 2.
+
+    Same shape as the bench ``--check`` MISSING output: one line per
+    valid name, then a final ``error:`` summary on stderr.
+    """
+    for valid in sorted(known):
+        print(f"VALID {what} profile {valid}", file=sys.stderr)
+    print(f"error: unknown {what} profile {name!r} — pick one of the "
+          f"profiles listed above", file=sys.stderr)
+    return 2
+
+
 def serve_main(argv: list[str] | None = None) -> int:
     """``repro serve`` — drive the partition server through a workload."""
     import json
 
     from repro.service.server import PartitionServer, ServiceConfig
-    from repro.service.workload import run_workload
+    from repro.service.workload import PROFILES, run_workload
 
     args = build_serve_parser().parse_args(argv)
+    if args.workload not in PROFILES:
+        return _reject_unknown_profile(
+            args.workload, PROFILES, what="workload")
     service_config = ServiceConfig(coalesce_updates=not args.no_coalesce)
     server = None
     if (args.trace_output is not None or args.profile_output is not None
@@ -631,9 +649,132 @@ def reorder_main(argv: list[str] | None = None) -> int:
     return 0
 
 
+def build_fleet_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro fleet",
+        description="Run a seeded hot-key Zipfian workload against a "
+                    "sharded partition-server fleet (consistent-hash "
+                    "routing, replicated writes, cross-shard query "
+                    "fan-out, replica failover) and emit the "
+                    "deterministic stats JSON — no wall-clock fields, "
+                    "so two runs with the same arguments are "
+                    "byte-identical",
+    )
+    p.add_argument("--shards", type=int, default=3,
+                   help="number of partition-server shards")
+    p.add_argument("--replicas", type=int, default=1,
+                   help="replication factor R (placement width is "
+                        "min(R, shards))")
+    p.add_argument("--virtual-nodes", type=int, default=64,
+                   help="virtual nodes per shard on the hash ring")
+    p.add_argument("--profile", default="quick",
+                   help="fleet workload profile name (see "
+                        "FLEET_PROFILES; unknown names exit 2 with the "
+                        "valid list)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--kill", action="append", default=[],
+                   metavar="SHARD:AT",
+                   help="fault script: kill SHARD (a shard id, a shard "
+                        "index, or 'primary' = the hottest key's "
+                        "primary) just before steady-state query AT; "
+                        "repeatable")
+    p.add_argument("--no-verify", action="store_true",
+                   help="skip the served-vs-from-scratch and replica "
+                        "consistency checks")
+    p.add_argument("--output", type=Path, default=None,
+                   help="write the result JSON here instead of stdout")
+    p.add_argument("--metrics", type=Path, default=None,
+                   dest="metrics_output",
+                   help="also run with per-shard metric registries and "
+                        "the fleet SLO evaluator attached and write the "
+                        "merged fleet snapshot JSON (repro.metrics/1, "
+                        "with the repro.health/1 block) here")
+    p.add_argument("--compact", action="store_true",
+                   help="single-line JSON (default: indented)")
+    return p
+
+
+def fleet_main(argv: list[str] | None = None) -> int:
+    """``repro fleet`` — drive a sharded fleet through a workload."""
+    import json
+
+    from repro.fleet.fleet import FleetConfig, PartitionFleet
+    from repro.fleet.workload import FLEET_PROFILES, run_fleet_workload
+
+    args = build_fleet_parser().parse_args(argv)
+    if args.profile not in FLEET_PROFILES:
+        return _reject_unknown_profile(
+            args.profile, FLEET_PROFILES, what="fleet workload")
+    kills = []
+    for spec in args.kill:
+        target, sep, at = spec.rpartition(":")
+        if not sep or not at.isdigit():
+            print(f"error: bad --kill spec {spec!r}; expected SHARD:AT "
+                  f"(e.g. 'primary:10' or '1:10')", file=sys.stderr)
+            return 2
+        kills.append((target, int(at)))
+    try:
+        fleet_config = FleetConfig(
+            num_shards=args.shards,
+            replicas=args.replicas,
+            virtual_nodes=args.virtual_nodes,
+        )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    fleet = None
+    if args.metrics_output is not None:
+        from repro.observability.health import (
+            HealthEvaluator,
+            default_fleet_slos,
+        )
+        from repro.observability.metrics import MetricsRegistry
+
+        fleet = PartitionFleet(
+            fleet_config,
+            metrics=MetricsRegistry(),
+            health=HealthEvaluator(default_fleet_slos()),
+        )
+    result = run_fleet_workload(
+        args.profile,
+        seed=args.seed,
+        fleet=fleet,
+        fleet_config=fleet_config,
+        kills=kills,
+        verify=not args.no_verify,
+    )
+    text = json.dumps(result.to_json_dict(), sort_keys=True,
+                      indent=None if args.compact else 2)
+    if args.output is not None:
+        args.output.write_text(text + "\n")
+        print(f"fleet stats written to {args.output}")
+    else:
+        print(text)
+    if args.metrics_output is not None:
+        snapshot = fleet.metrics_snapshot(
+            experiment=f"fleet:{args.profile}",
+            seed=args.seed,
+            clock_units=int(fleet.clock_units()),
+        )
+        args.metrics_output.write_text(json.dumps(
+            snapshot, sort_keys=True,
+            indent=None if args.compact else 2) + "\n")
+        print(f"fleet metrics written to {args.metrics_output}")
+    if not args.no_verify:
+        bad = [n for n, ok in result.membership_matches_scratch.items()
+               if not ok]
+        bad += [n for n, ok in result.replicas_consistent.items()
+                if not ok]
+        if bad:
+            print("error: fleet verification failed for "
+                  f"{sorted(set(bad))}", file=sys.stderr)
+            return 1
+    return 0
+
+
 #: First-token subcommands understood by :func:`main`.
 _SUBCOMMANDS = ("run", "trace", "profile", "metrics", "bench", "serve",
-                "reorder")
+                "reorder", "fleet")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -652,6 +793,8 @@ def main(argv: list[str] | None = None) -> int:
         return serve_main(argv[1:])
     if argv and argv[0] == "reorder":
         return reorder_main(argv[1:])
+    if argv and argv[0] == "fleet":
+        return fleet_main(argv[1:])
     if argv and argv[0] == "run":
         argv = argv[1:]
     parser = build_parser()

@@ -1,0 +1,42 @@
+"""Sharded partition-server fleet behind a deterministic router.
+
+The "millions of users" layer: N deterministic
+:class:`~repro.service.server.PartitionServer` shards placed on a
+consistent-hash ring (:mod:`repro.fleet.ring`), routed by
+:mod:`repro.fleet.router` (primary-shard DETECT/UPDATE with
+replication, cross-shard QUERY fan-out with deterministic merge,
+replica failover served DEGRADED), managed by
+:mod:`repro.fleet.fleet` (spawn/kill/drain/rebalance with explicit
+minimal key-movement plans), and driven by the hot-key Zipfian
+workloads of :mod:`repro.fleet.workload`.  See ``docs/FLEET.md``.
+"""
+
+from repro.fleet.fleet import FLEET_STATS_SCHEMA, FleetConfig, PartitionFleet
+from repro.fleet.ring import HashRing, KeyMove, MovePlan, plan_moves
+from repro.fleet.router import FANOUT_SCHEMA, FleetRouter, FleetTicket, Shard
+from repro.fleet.workload import (
+    FLEET_PROFILES,
+    FLEET_WORKLOAD_SCHEMA,
+    FleetWorkloadProfile,
+    FleetWorkloadResult,
+    run_fleet_workload,
+)
+
+__all__ = [
+    "FANOUT_SCHEMA",
+    "FLEET_PROFILES",
+    "FLEET_STATS_SCHEMA",
+    "FLEET_WORKLOAD_SCHEMA",
+    "FleetConfig",
+    "FleetRouter",
+    "FleetTicket",
+    "FleetWorkloadProfile",
+    "FleetWorkloadResult",
+    "HashRing",
+    "KeyMove",
+    "MovePlan",
+    "PartitionFleet",
+    "Shard",
+    "plan_moves",
+    "run_fleet_workload",
+]

@@ -1,0 +1,298 @@
+"""Seeded closed-loop Zipfian workload for the partition fleet.
+
+Models "millions of users" traffic shapes against a
+:class:`~repro.fleet.fleet.PartitionFleet`, deterministically for a
+given ``(profile, seed, fleet config)``:
+
+1. **warm-up** — a fleet DETECT per registry graph plus a *thundering
+   herd* of duplicate DETECTs submitted before the first pump; every
+   replica's admission queue coalesces its herd onto the in-flight
+   original (the existing per-shard dedup layer, now exercised once per
+   replica);
+2. **steady state** — queries target a *hot-key-skewed* graph (Zipf
+   over the key ranks) with a Zipf-skewed vertex inside the graph,
+   interleaved with replicated UPDATE bursts and periodic cross-shard
+   fan-out queries; an optional **kill script** marks shards unhealthy
+   mid-run, after which reads fail over to surviving replicas (served
+   DEGRADED, never failed — the failover smoke's assertion);
+3. **drain + verify** — drain every shard, run a final ``membership``
+   fan-out (its shard-count-invariant digest is recorded), then verify
+   that (a) the served membership per graph equals a from-scratch
+   solve on the final graph and (b) every alive replica of a key holds
+   a byte-identical membership at the same version.
+
+The request *sequence* depends only on ``(profile, seed)`` — never on
+the shard count — so the final partitions, fan-out answers, and digest
+are identical at 1, 2, and 4 shards (the acceptance invariance).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.leiden import leiden
+from repro.datasets.registry import load_graph
+from repro.dynamic.batch import EdgeBatch, apply_batch, random_batch
+from repro.errors import ConfigError
+from repro.fleet.fleet import FleetConfig, PartitionFleet
+
+__all__ = [
+    "FleetWorkloadProfile",
+    "FleetWorkloadResult",
+    "FLEET_PROFILES",
+    "run_fleet_workload",
+]
+
+#: Version tag of the fleet workload result document.
+FLEET_WORKLOAD_SCHEMA = "repro.fleet-workload/1"
+
+
+@dataclass(frozen=True)
+class FleetWorkloadProfile:
+    """One named fleet request mix."""
+
+    name: str
+    graphs: tuple
+    #: Steady-state QUERY requests (total, across keys).
+    num_queries: int
+    #: UPDATE bursts injected across the steady state.
+    update_bursts: int
+    #: UPDATE requests per burst.
+    burst_size: int
+    #: Insertions (and deletions) per UPDATE batch.
+    edges_per_update: int
+    #: Thundering-herd duplicate DETECTs behind each warm-up original.
+    herd_detects: int
+    #: A cross-shard fan-out query every this many steady queries.
+    fanout_every: int
+    #: Zipf exponent of the query-vertex distribution.
+    zipf_exponent: float = 1.3
+    #: Zipf exponent of the hot-*key* (graph) distribution.
+    key_zipf: float = 1.5
+
+
+FLEET_PROFILES: Dict[str, FleetWorkloadProfile] = {
+    p.name: p
+    for p in [
+        FleetWorkloadProfile(
+            "tiny", ("com-Orkut", "asia_osm"), 30, 1, 3, 3, 4, 12),
+        FleetWorkloadProfile(
+            "quick", ("com-Orkut", "asia_osm", "uk-2002"),
+            80, 2, 4, 4, 6, 25),
+        FleetWorkloadProfile(
+            "smoke", ("com-Orkut", "asia_osm", "uk-2002", "com-LiveJournal"),
+            200, 3, 6, 5, 8, 40),
+    ]
+}
+
+
+@dataclass
+class FleetWorkloadResult:
+    """Everything one fleet workload run produced."""
+
+    profile: str
+    seed: int
+    stats: dict
+    #: graph name -> bool: served membership == from-scratch solve.
+    membership_matches_scratch: Dict[str, bool]
+    #: graph name -> bool: all alive replicas hold identical partitions.
+    replicas_consistent: Dict[str, bool]
+    #: graph name -> store key.
+    keys: Dict[str, str]
+    #: Shard-count-invariant digest of the final membership fan-out.
+    fanout_digest: str
+    #: ``(shard_id, at_query)`` kills applied by the fault script.
+    kills_applied: List[Tuple[str, int]] = field(default_factory=list)
+
+    def to_json_dict(self) -> dict:
+        return {
+            "schema": FLEET_WORKLOAD_SCHEMA,
+            "profile": self.profile,
+            "seed": self.seed,
+            "membership_matches_scratch": dict(
+                sorted(self.membership_matches_scratch.items())),
+            "replicas_consistent": dict(
+                sorted(self.replicas_consistent.items())),
+            "fanout_digest": self.fanout_digest,
+            "kills_applied": [
+                {"shard": sid, "at_query": at}
+                for sid, at in self.kills_applied],
+            "stats": self.stats,
+        }
+
+
+def _zipf_index(rng: np.random.Generator, n: int, s: float) -> int:
+    """A Zipf-skewed rank in ``[0, n)`` (0 is the hot item)."""
+    return int((int(rng.zipf(s)) - 1) % n)
+
+
+def resolve_profile(profile: "str | FleetWorkloadProfile") \
+        -> FleetWorkloadProfile:
+    """Profile lookup with the standard unknown-name error."""
+    if isinstance(profile, FleetWorkloadProfile):
+        return profile
+    try:
+        return FLEET_PROFILES[profile]
+    except KeyError:
+        raise ConfigError(
+            f"unknown fleet workload profile {profile!r}; "
+            f"known: {sorted(FLEET_PROFILES)}") from None
+
+
+def run_fleet_workload(
+    profile: "str | FleetWorkloadProfile" = "quick",
+    *,
+    seed: int = 0,
+    fleet: Optional[PartitionFleet] = None,
+    fleet_config: Optional[FleetConfig] = None,
+    kills: Sequence[Tuple[str, int]] = (),
+    verify: bool = True,
+) -> FleetWorkloadResult:
+    """Drive a fleet through ``profile``; returns the result document.
+
+    ``kills`` is the fault script: ``(shard, at_query)`` pairs, applied
+    just before steady-state query ``at_query``.  ``shard`` is a shard
+    id, a shard index (as a string), or the literal ``"primary"`` —
+    the primary of the hottest key, whichever shard that lands on, so
+    a failover test degrades reads regardless of ring layout.
+    """
+    prof = resolve_profile(profile)
+    flt = fleet or PartitionFleet(fleet_config)
+    rng = np.random.default_rng(seed)
+    router = flt.router
+
+    # -- warm-up: DETECT + thundering herd per graph -----------------------
+    graphs = {name: load_graph(name) for name in prof.graphs}
+    detect_tickets = {}
+    for name, graph in graphs.items():
+        detect_tickets[name] = router.submit_detect(graph)
+        for _ in range(prof.herd_detects):
+            # Herd replicas coalesce in every shard's admission queue.
+            router.submit_detect(graph)
+    router.pump()
+    keys = {name: t.response["key"] for name, t in detect_tickets.items()}
+
+    def _resolve_kill_target(token: str) -> str:
+        if token == "primary":
+            return flt.ring.primary(keys[prof.graphs[0]])
+        if token in flt.shards:
+            return token
+        try:
+            index = int(token)
+        except ValueError:
+            raise ConfigError(
+                f"unknown kill target {token!r}; use a shard id, a "
+                f"shard index, or 'primary'") from None
+        ids = list(flt.shards)
+        if not (0 <= index < len(ids)):
+            raise ConfigError(
+                f"kill index {index} out of range; have {len(ids)} shards")
+        return ids[index]
+
+    kill_at: Dict[int, List[str]] = {}
+    for token, at in kills:
+        kill_at.setdefault(int(at), []).append(str(token))
+
+    def _alive_entry(key: str):
+        """The entry for ``key`` from its first alive holder, if any."""
+        for sid in flt.ring.placement(key):
+            sh = flt.shards.get(sid)
+            if sh is not None and sh.alive:
+                entry = sh.server.store.peek(key)
+                if entry is not None:
+                    return entry
+        return None
+
+    # -- steady state: hot-key Zipf queries, bursts, kills, fan-outs -------
+    names = list(prof.graphs)
+    burst_at = {
+        (i + 1) * prof.num_queries // (prof.update_bursts + 1)
+        for i in range(prof.update_bursts)
+    }
+    submitted_batches: Dict[str, List[EdgeBatch]] = {n: [] for n in names}
+    kills_applied: List[Tuple[str, int]] = []
+    burst_index = 0
+    for i in range(prof.num_queries):
+        for token in kill_at.get(i, ()):
+            sid = _resolve_kill_target(token)
+            flt.kill(sid)
+            kills_applied.append((sid, i))
+        if i in burst_at:
+            # Burst against the *hottest* key: the skewed write pattern.
+            target = names[burst_index % len(names)]
+            for j in range(prof.burst_size):
+                batch = random_batch(
+                    graphs[target],
+                    num_insertions=prof.edges_per_update,
+                    num_deletions=prof.edges_per_update,
+                    seed=seed + 1000 * (burst_index + 1) + j,
+                )
+                submitted_batches[target].append(batch)
+                router.submit_update(keys[target], batch)
+            burst_index += 1
+        # The rng draw sequence is fixed per (profile, seed): never
+        # consult fleet state before drawing, so every shard count
+        # sees the identical request tape.
+        name = names[_zipf_index(rng, len(names), prof.key_zipf)]
+        graph = graphs[name]
+        kind_draw = float(rng.random())
+        vertex = _zipf_index(rng, graph.num_vertices, prof.zipf_exponent)
+        if kind_draw < 0.70:
+            router.submit_query(keys[name], "community_of", vertex=vertex)
+        elif kind_draw < 0.85:
+            entry = _alive_entry(keys[name])
+            community = (entry.index.community_of(vertex)
+                         if entry is not None else 0)
+            router.submit_query(keys[name], "members", community=community)
+        elif kind_draw < 0.95:
+            router.submit_query(keys[name], "neighbor_communities",
+                                vertex=vertex)
+        else:
+            router.submit_query(keys[name], "membership")
+        if prof.fanout_every and (i + 1) % prof.fanout_every == 0:
+            router.fanout_query("community_of", vertex=0)
+        router.pump()  # closed loop: drain before the next arrival
+
+    # -- drain, final fan-out, verification --------------------------------
+    flt.drain()
+    final_fanout = router.fanout_query("membership")
+    digest = router.fanout_invariant_digest(final_fanout)
+
+    matches: Dict[str, bool] = {}
+    consistent: Dict[str, bool] = {}
+    if verify:
+        for name in names:
+            final_graph = graphs[name]
+            for batch in submitted_batches[name]:
+                final_graph = apply_batch(final_graph, batch)
+            entry = _alive_entry(keys[name])
+            scratch = leiden(final_graph, flt.config.service.leiden)
+            matches[name] = (
+                entry is not None
+                and entry.graph == final_graph
+                and np.array_equal(entry.membership, scratch.membership)
+            )
+            holders = [
+                sh.server.store.peek(keys[name])
+                for sh in flt.shards.values()
+                if sh.alive and sh.server.store.peek(keys[name]) is not None
+            ]
+            consistent[name] = bool(holders) and all(
+                h.version == holders[0].version
+                and np.array_equal(h.membership, holders[0].membership)
+                for h in holders[1:]
+            ) if holders else False
+
+    return FleetWorkloadResult(
+        profile=prof.name,
+        seed=seed,
+        stats=flt.stats(),
+        membership_matches_scratch=matches,
+        replicas_consistent=consistent,
+        keys=keys,
+        fanout_digest=digest,
+        kills_applied=kills_applied,
+    )

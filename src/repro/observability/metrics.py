@@ -597,6 +597,41 @@ class MetricsRegistry:
             names.append(hist.name)
         return names
 
+    # -- registry merge (fleet aggregation) --------------------------------
+
+    def merge(self, other: "MetricsRegistry") -> List[str]:
+        """Fold every instrument of ``other`` into this registry.
+
+        The fleet aggregation path: per-shard registries merge into one
+        snapshot.  Same-name instruments must agree on kind and label
+        set (the usual registry conflict rule applies).  Counters and
+        histogram series *sum* per label key; gauges also sum — the
+        fleet-meaningful reading of per-shard gauges like store bytes
+        or queue depth is their total.  Returns the instrument names
+        merged, sorted.
+        """
+        names: List[str] = []
+        for inst in other.instruments():
+            cls = type(inst)
+            mine = self._get_or_create(
+                cls, inst.name, inst.help, inst.labelnames,
+                inst.max_series)
+            if isinstance(inst, Histogram):
+                for key, d in sorted(inst._data.items()):
+                    if d.count:
+                        mine._inject(key, d.buckets, {
+                            "sum": d.sum, "min": d.min, "max": d.max})
+                    elif not mine._has_series(key):
+                        mine.labels(*key)
+            else:
+                for key, v in sorted(inst._values.items()):
+                    # labels() handles overflow routing past the bound.
+                    bound = mine.labels(*key)
+                    mine._values[bound._key] += float(v)
+            mine.overflowed += inst.overflowed
+            names.append(inst.name)
+        return sorted(names)
+
     # -- derived metrics ---------------------------------------------------
 
     def derived_metrics(self) -> Dict[str, float]:

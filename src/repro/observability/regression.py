@@ -44,10 +44,12 @@ from repro.parallel.runtime import Runtime
 
 __all__ = [
     "BASELINE_SCHEMA",
+    "FLEET_BASELINE_SCHEMA",
     "METRICS_BASELINE_SCHEMA",
     "REORDER_BASELINE_SCHEMA",
     "SERVICE_BASELINE_SCHEMA",
     "Baseline",
+    "FleetBaseline",
     "MetricCheck",
     "MetricsBaseline",
     "ReorderBaseline",
@@ -62,12 +64,14 @@ __all__ = [
     "format_checks",
     "format_trace_diff",
     "measure_experiment",
+    "measure_fleet",
     "measure_metrics",
     "measure_reorder",
     "measure_service",
     "measure_service_metrics",
     "migrate_trace",
     "record_baselines",
+    "record_fleet_baselines",
     "record_metrics_baselines",
     "record_reorder_baselines",
     "record_service_baselines",
@@ -95,6 +99,11 @@ METRICS_BASELINE_SCHEMA = "repro.metrics-baseline/1"
 #: layouts of the largest registry graphs — all counting passes, no
 #: wall clock — so it too gates on exact equality.
 REORDER_BASELINE_SCHEMA = "repro.reorder-baseline/1"
+
+#: Version tag of the fleet-load baseline files.  The document holds
+#: the full 1-shard vs 4-shard A/B (stats, fan-out digests, invariance
+#: verdict) on logical clocks only, so it gates on exact equality.
+FLEET_BASELINE_SCHEMA = "repro.fleet-baseline/1"
 
 #: Version tag of the multi-experiment bundle written by ``bench --trace``.
 TRACE_BUNDLE_SCHEMA = "repro.trace-bundle/1"
@@ -790,19 +799,116 @@ def _check_reorder_baseline(baseline: ReorderBaseline, print_fn) -> bool:
     return ok
 
 
+# -- fleet-load baselines (exact-match gate) ---------------------------------
+
+
+@dataclass(frozen=True)
+class FleetBaseline:
+    """One committed fleet A/B: profile, seed, exact expectations.
+
+    ``expected`` is the deterministic 1-shard vs 4-shard comparison
+    document of :func:`repro.bench.experiments.ext_fleet_load.
+    measure_fleet_load` — both runs' full stats plus the cross-width
+    fan-out invariance verdict.  The gate is exact equality.
+    """
+
+    name: str
+    profile: str
+    seed: int
+    expected: Dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": FLEET_BASELINE_SCHEMA,
+            "name": self.name,
+            "profile": self.profile,
+            "seed": self.seed,
+            "expected": self.expected,
+            "recorded_with": __version__,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "FleetBaseline":
+        schema = d.get("schema")
+        if schema != FLEET_BASELINE_SCHEMA:
+            raise ValueError(
+                f"unsupported fleet baseline schema {schema!r} "
+                f"(expected {FLEET_BASELINE_SCHEMA!r})"
+            )
+        return cls(
+            name=str(d["name"]),
+            profile=str(d["profile"]),
+            seed=int(d["seed"]),
+            expected=dict(d["expected"]),
+        )
+
+    @classmethod
+    def load(cls, path: Path | str) -> "FleetBaseline":
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+    def save(self, path: Path | str) -> None:
+        Path(path).write_text(
+            json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+        )
+
+
+def measure_fleet(profile: str = "quick", *, seed: int = 0) -> dict:
+    """Deterministic fleet A/B document for one ``(profile, seed)``."""
+    from repro.bench.experiments.ext_fleet_load import measure_fleet_load
+
+    return measure_fleet_load(profile, seed=seed)
+
+
+def record_fleet_baselines(
+    directory: Path | str,
+    profiles: Sequence[str] = ("quick",),
+    *,
+    seed: int = 0,
+) -> List[FleetBaseline]:
+    """(Re)write one fleet baseline file per profile."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    out: List[FleetBaseline] = []
+    for profile in profiles:
+        baseline = FleetBaseline(
+            name=f"fleet_{profile}",
+            profile=profile,
+            seed=seed,
+            expected=measure_fleet(profile, seed=seed),
+        )
+        baseline.save(directory / f"fleet_{profile}.json")
+        out.append(baseline)
+    return out
+
+
+def _check_fleet_baseline(baseline: FleetBaseline, print_fn) -> bool:
+    current = measure_fleet(baseline.profile, seed=baseline.seed)
+    diffs = compare_service_docs(baseline.expected, current)
+    ok = not diffs
+    print_fn(f"{'PASS' if ok else 'FAIL'} {baseline.name} "
+             f"(exact match, profile={baseline.profile}, "
+             f"seed={baseline.seed})")
+    for path, exp, act in diffs[:20]:
+        print_fn(f"  [REG] {path}: baseline={exp!r}  current={act!r}")
+    if len(diffs) > 20:
+        print_fn(f"  ... and {len(diffs) - 20} more differing fields")
+    return ok
+
+
 def expected_baseline_names() -> List[str]:
     """Filenames ``--check`` requires to be present in the baseline dir.
 
     Derived from the recorders' defaults (:func:`record_baselines`,
     :func:`record_service_baselines`, :func:`record_metrics_baselines`,
-    :func:`record_reorder_baselines`) — the set ``--update-baselines``
-    writes and CI commits.
+    :func:`record_reorder_baselines`, :func:`record_fleet_baselines`) —
+    the set ``--update-baselines`` writes and CI commits.
     """
     names = [f"{g}.json" for g in DEFAULT_BASELINE_GRAPHS]
     names.append("service_quick.json")
     names.append("metrics_asia_osm.json")
     names.append("metrics_service_quick.json")
     names.append("reorder_locality.json")
+    names.append("fleet_quick.json")
     return sorted(names)
 
 
@@ -858,6 +964,11 @@ def run_check(
         if doc.get("schema") == REORDER_BASELINE_SCHEMA:
             if not _check_reorder_baseline(
                     ReorderBaseline.from_dict(doc), print_fn):
+                failures += 1
+            continue
+        if doc.get("schema") == FLEET_BASELINE_SCHEMA:
+            if not _check_fleet_baseline(
+                    FleetBaseline.from_dict(doc), print_fn):
                 failures += 1
             continue
         baseline = Baseline.from_dict(doc)

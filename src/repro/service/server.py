@@ -199,7 +199,8 @@ class PartitionServer:
         self.health = health
         self.store = PartitionStore(self.config.store_budget_bytes,
                                     metrics=self.metrics)
-        self.queue = AdmissionQueue(self.config.queue_capacity)
+        self.queue = AdmissionQueue(self.config.queue_capacity,
+                                    metrics=self.metrics)
         self.fault_hook = fault_hook
         m = self.metrics
         self._m_requests = m.counter(

@@ -1,0 +1,70 @@
+"""``repro fleet`` / ``repro serve`` CLI: profile validation, faults."""
+
+import json
+
+from repro.cli import main
+
+
+class TestProfileValidation:
+    def test_serve_unknown_profile_exits_2_with_list(self, capsys):
+        assert main(["serve", "--workload", "bogus"]) == 2
+        err = capsys.readouterr().err
+        assert "VALID workload profile tiny" in err
+        assert "VALID workload profile quick" in err
+        assert "VALID workload profile smoke" in err
+        assert "error: unknown workload profile 'bogus'" in err
+
+    def test_fleet_unknown_profile_exits_2_with_list(self, capsys):
+        assert main(["fleet", "--profile", "bogus"]) == 2
+        err = capsys.readouterr().err
+        assert "VALID fleet workload profile tiny" in err
+        assert "error: unknown fleet workload profile 'bogus'" in err
+
+    def test_fleet_bad_kill_spec_exits_2(self, capsys):
+        assert main(["fleet", "--profile", "tiny",
+                     "--kill", "nonsense"]) == 2
+        assert "bad --kill spec" in capsys.readouterr().err
+
+    def test_fleet_bad_shard_count_exits_2(self, capsys):
+        assert main(["fleet", "--profile", "tiny", "--shards", "0"]) == 2
+        assert "num_shards" in capsys.readouterr().err
+
+
+class TestFleetRun:
+    def test_tiny_run_writes_deterministic_stats(self, tmp_path, capsys):
+        out_a = tmp_path / "a.json"
+        out_b = tmp_path / "b.json"
+        for out in (out_a, out_b):
+            assert main(["fleet", "--shards", "3", "--profile", "tiny",
+                         "--compact", "--output", str(out)]) == 0
+        assert out_a.read_bytes() == out_b.read_bytes()
+        doc = json.loads(out_a.read_text())
+        assert doc["schema"] == "repro.fleet-workload/1"
+        assert all(doc["membership_matches_scratch"].values())
+        assert all(doc["replicas_consistent"].values())
+
+    def test_kill_script_degrades_without_errors(self, tmp_path):
+        out = tmp_path / "killed.json"
+        assert main(["fleet", "--shards", "3", "--replicas", "2",
+                     "--profile", "tiny", "--kill", "primary:10",
+                     "--compact", "--output", str(out)]) == 0
+        doc = json.loads(out.read_text())
+        counters = doc["stats"]["router"]["counters"]
+        assert counters["failed_requests"] == 0
+        assert counters["degraded_serves"] > 0
+        assert doc["kills_applied"] == [
+            {"at_query": 10, "shard": doc["kills_applied"][0]["shard"]}]
+
+    def test_metrics_output_merged_snapshot(self, tmp_path, capsys):
+        out = tmp_path / "stats.json"
+        metrics = tmp_path / "metrics.json"
+        assert main(["fleet", "--shards", "2", "--profile", "tiny",
+                     "--compact", "--output", str(out),
+                     "--metrics", str(metrics)]) == 0
+        snap = json.loads(metrics.read_text())
+        assert snap["schema"] == "repro.metrics/1"
+        names = set(snap["families"])
+        assert "fleet_requests_total" in names
+        assert "service_requests_total" in names  # merged from shards
+        assert "queue_rejected_total" in names
+        assert snap["health"]["schema"] == "repro.health/1"

@@ -1,0 +1,164 @@
+"""Consistent-hash ring: placement, edge cases, move-plan minimality."""
+
+import hashlib
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.fleet.ring import HashRing, plan_moves
+
+
+def seeded_keys(n, tag="key"):
+    """Deterministic fingerprint-shaped keys (blake2b hex, like
+    ``partition_key``'s ``graph_fp:config_fp``)."""
+    out = []
+    for i in range(n):
+        g = hashlib.blake2b(f"{tag}-{i}".encode(), digest_size=16)
+        c = hashlib.blake2b(f"cfg-{i % 3}".encode(), digest_size=8)
+        out.append(f"{g.hexdigest()}:{c.hexdigest()}")
+    return out
+
+
+class TestConstruction:
+    def test_empty_rejected(self):
+        with pytest.raises(ServiceError):
+            HashRing([])
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ServiceError):
+            HashRing(["a", "b", "a"])
+
+    def test_bad_vnodes_and_replicas_rejected(self):
+        with pytest.raises(ServiceError):
+            HashRing(["a"], virtual_nodes=0)
+        with pytest.raises(ServiceError):
+            HashRing(["a"], replicas=0)
+
+    def test_construction_order_irrelevant(self):
+        keys = seeded_keys(50)
+        r1 = HashRing(["a", "b", "c"], replicas=2)
+        r2 = HashRing(["c", "a", "b"], replicas=2)
+        for key in keys:
+            assert r1.placement(key) == r2.placement(key)
+
+
+class TestEdgeCases:
+    def test_single_shard_owns_everything(self):
+        ring = HashRing(["only"], replicas=1)
+        for key in seeded_keys(25):
+            assert ring.placement(key) == ("only",)
+            assert ring.primary(key) == "only"
+
+    def test_single_shard_with_large_r(self):
+        # R > N must clamp to N, not loop or raise.
+        ring = HashRing(["only"], replicas=5)
+        for key in seeded_keys(10):
+            assert ring.placement(key) == ("only",)
+
+    def test_replicas_exceeding_shards_clamp(self):
+        ring = HashRing(["a", "b", "c"], replicas=7)
+        for key in seeded_keys(25):
+            placement = ring.placement(key)
+            assert len(placement) == 3
+            assert sorted(placement) == ["a", "b", "c"]
+
+    def test_placement_distinct_shards(self):
+        ring = HashRing([f"s{i}" for i in range(5)], replicas=3)
+        for key in seeded_keys(50):
+            placement = ring.placement(key)
+            assert len(placement) == len(set(placement)) == 3
+
+
+class TestDeterminism:
+    def test_placement_independent_of_pythonhashseed(self):
+        # blake2b placement must not vary with interpreter hash
+        # randomization: run the same placements in subprocesses with
+        # different PYTHONHASHSEED values and compare.
+        code = (
+            "from repro.fleet.ring import HashRing\n"
+            "import hashlib\n"
+            "ring = HashRing(['a', 'b', 'c', 'd'], replicas=2)\n"
+            "keys = [hashlib.blake2b(str(i).encode(), digest_size=16)"
+            ".hexdigest() for i in range(20)]\n"
+            "print(';'.join(','.join(ring.placement(k)) for k in keys))\n"
+        )
+        import repro
+        from pathlib import Path
+
+        src = str(Path(repro.__file__).resolve().parents[1])
+        outputs = set()
+        for seed in ("0", "1", "12345"):
+            env = dict(os.environ, PYTHONHASHSEED=seed)
+            env["PYTHONPATH"] = os.pathsep.join(
+                p for p in (src, env.get("PYTHONPATH", "")) if p)
+            proc = subprocess.run(
+                [sys.executable, "-c", code], capture_output=True,
+                text=True, env=env, timeout=120, check=True)
+            outputs.add(proc.stdout.strip())
+        assert len(outputs) == 1
+
+
+class TestMovePlans:
+    def test_identical_rings_move_nothing(self):
+        keys = seeded_keys(40)
+        ring = HashRing(["a", "b", "c"], replicas=2)
+        same = HashRing(["a", "b", "c"], replicas=2)
+        plan = plan_moves(ring, same, keys)
+        assert plan.num_moved == 0
+        assert plan.unchanged == len(keys)
+
+    def test_resize_moves_about_k_over_n_keys(self):
+        # The consistent-hashing bound: adding one shard to N moves
+        # ~K/(N+1) primaries on average.  Property-test over several
+        # seeded key populations; allow generous slack for vnode
+        # variance but fail hard on rehash-everything behaviour.
+        n = 4
+        total_frac = 0.0
+        trials = 5
+        for t in range(trials):
+            keys = seeded_keys(300, tag=f"pop{t}")
+            old = HashRing([f"s{i}" for i in range(n)], virtual_nodes=96)
+            new = HashRing([f"s{i}" for i in range(n + 1)],
+                           virtual_nodes=96)
+            plan = plan_moves(old, new, keys)
+            frac = plan.num_primary_moved / len(keys)
+            # A naive mod-N rehash would move ~(1 - 1/(N+1)) = 80%.
+            assert frac < 0.45, f"trial {t}: moved {frac:.0%}"
+            total_frac += frac
+        avg = total_frac / trials
+        assert avg < 1.5 / n, f"average moved fraction {avg:.0%}"
+        assert avg > 0.0
+
+    def test_moves_are_fetch_into_new_owners_only(self):
+        keys = seeded_keys(100)
+        old = HashRing(["a", "b", "c"], replicas=2)
+        new = HashRing(["a", "b", "c", "d"], replicas=2)
+        plan = plan_moves(old, new, keys)
+        assert plan.total_keys == len(keys)
+        for move in plan.moves:
+            assert set(move.fetch) == set(move.new_placement) - set(
+                move.old_placement)
+            assert set(move.drop) == set(move.old_placement) - set(
+                move.new_placement)
+            # Growing the fleet only ever fetches onto the new shard.
+            assert all(s == "d" for s in move.fetch)
+
+    def test_duplicate_keys_counted_once(self):
+        keys = seeded_keys(10)
+        old = HashRing(["a", "b"])
+        new = HashRing(["a", "b", "c"])
+        plan = plan_moves(old, new, keys + keys)
+        assert plan.total_keys == len(keys)
+
+    def test_plan_json_roundtrip_fields(self):
+        keys = seeded_keys(30)
+        old = HashRing(["a", "b"], replicas=2)
+        new = HashRing(["a", "b", "c"], replicas=2)
+        doc = plan_moves(old, new, keys).to_json_dict()
+        assert set(doc) == {"moves", "unchanged", "num_moved",
+                            "num_primary_moved"}
+        for move in doc["moves"]:
+            assert set(move) == {"key", "old", "new", "fetch", "drop"}

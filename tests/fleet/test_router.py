@@ -1,0 +1,187 @@
+"""Router: replication, failover semantics, fan-out merge determinism."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.fleet.fleet import FleetConfig, PartitionFleet
+from repro.service.fingerprint import partition_key
+from tests.conftest import (
+    path_graph,
+    ring_of_cliques_graph,
+    star_graph,
+    two_cliques_graph,
+)
+
+
+def make_fleet(shards=3, replicas=1, **kwargs):
+    return PartitionFleet(
+        FleetConfig(num_shards=shards, replicas=replicas, virtual_nodes=32),
+        **kwargs)
+
+
+GRAPH_MAKERS = (two_cliques_graph, ring_of_cliques_graph, path_graph,
+                star_graph)
+
+
+def detect_all(fleet):
+    keys = {}
+    for make in GRAPH_MAKERS:
+        t = fleet.detect(make())
+        assert t.status == "done"
+        keys[make.__name__] = t.response["key"]
+    return keys
+
+
+class TestRouting:
+    def test_detect_routes_to_placement_primary(self):
+        fleet = make_fleet(shards=3)
+        g = two_cliques_graph()
+        key = partition_key(g)
+        ticket = fleet.detect(g)
+        assert ticket.shard == fleet.ring.primary(key)
+        assert ticket.response["fleet_state"] == "ok"
+
+    def test_writes_replicated_to_all_placement_shards(self):
+        fleet = make_fleet(shards=4, replicas=2)
+        keys = detect_all(fleet)
+        for key in keys.values():
+            placement = fleet.ring.placement(key)
+            assert len(placement) == 2
+            for sid in placement:
+                entry = fleet.shards[sid].server.store.peek(key)
+                assert entry is not None
+            others = set(fleet.shards) - set(placement)
+            for sid in others:
+                assert fleet.shards[sid].server.store.peek(key) is None
+
+    def test_replicas_hold_identical_partitions(self):
+        fleet = make_fleet(shards=3, replicas=3)
+        g = ring_of_cliques_graph()
+        key = fleet.detect(g).response["key"]
+        entries = [sh.server.store.peek(key)
+                   for sh in fleet.shards.values()]
+        assert all(e is not None for e in entries)
+        for e in entries[1:]:
+            assert np.array_equal(e.membership, entries[0].membership)
+            assert e.version == entries[0].version
+
+    def test_query_served_by_primary_when_healthy(self):
+        fleet = make_fleet(shards=3, replicas=2)
+        key = fleet.detect(two_cliques_graph()).response["key"]
+        t = fleet.query(key, "community_of", vertex=0)
+        assert t.shard == fleet.ring.primary(key)
+        assert not t.failover
+        assert t.response["state"] == "fresh"
+
+
+class TestFailover:
+    def test_kill_primary_fails_over_degraded(self):
+        fleet = make_fleet(shards=3, replicas=2)
+        key = fleet.detect(two_cliques_graph()).response["key"]
+        primary, replica = fleet.ring.placement(key)
+        fleet.kill(primary)
+        t = fleet.query(key, "community_of", vertex=0)
+        assert t.status == "done"
+        assert t.failover
+        assert t.shard == replica
+        assert t.response["state"] == "degraded"
+        assert t.response["fleet_state"] == "degraded"
+        assert fleet.router.counters["degraded_serves"] == 1
+        assert fleet.router.counters["failed_requests"] == 0
+
+    def test_no_alive_replica_fails_cleanly(self):
+        fleet = make_fleet(shards=2, replicas=1)
+        key = fleet.detect(two_cliques_graph()).response["key"]
+        fleet.kill(fleet.ring.primary(key))
+        t = fleet.query(key, "community_of", vertex=0)
+        assert t.status == "failed"
+        assert t.no_replica
+        assert "no alive replica" in t.response["error"]
+        assert fleet.router.counters["no_replica"] == 1
+        assert fleet.router.counters["failed_requests"] == 1
+
+    def test_revive_restores_primary_service(self):
+        fleet = make_fleet(shards=3, replicas=2)
+        key = fleet.detect(two_cliques_graph()).response["key"]
+        primary = fleet.ring.primary(key)
+        fleet.kill(primary)
+        assert fleet.query(key, "membership").failover
+        fleet.revive(primary)
+        t = fleet.query(key, "membership")
+        assert not t.failover
+        assert t.shard == primary
+        assert t.response["state"] == "fresh"
+
+    def test_kill_fails_queued_tickets(self):
+        fleet = make_fleet(shards=1)
+        key = fleet.detect(two_cliques_graph()).response["key"]
+        queued = fleet.router.submit_query(key, "membership")
+        failed = fleet.kill("shard-0")
+        assert failed == 1
+        fleet.router.pump()
+        assert queued.status == "failed"
+
+
+class TestFanout:
+    def test_merge_sorted_and_byte_deterministic(self):
+        fleet = make_fleet(shards=3)
+        detect_all(fleet)
+        doc1 = fleet.fanout_query("membership")
+        doc2 = fleet.fanout_query("membership")
+        assert doc1["schema"] == "repro.fleet-fanout/1"
+        assert list(doc1["answers"]) == sorted(doc1["answers"])
+        assert list(doc1["shards"]) == sorted(doc1["shards"])
+        assert (json.dumps(doc1, sort_keys=True)
+                == json.dumps(doc2, sort_keys=True))
+
+    def test_answers_invariant_across_shard_counts(self):
+        docs = {}
+        for shards in (1, 2, 4):
+            fleet = make_fleet(shards=shards)
+            detect_all(fleet)
+            doc = fleet.fanout_query("membership")
+            docs[shards] = (
+                fleet.router.fanout_invariant_digest(doc), doc["answers"])
+        digests = {d for d, _ in docs.values()}
+        assert len(digests) == 1
+        answers = [a for _, a in docs.values()]
+        assert answers[0] == answers[1] == answers[2]
+
+    def test_fanout_reports_degraded_keys(self):
+        fleet = make_fleet(shards=3, replicas=2)
+        keys = detect_all(fleet)
+        target = keys["two_cliques_graph"]
+        fleet.kill(fleet.ring.primary(target))
+        doc = fleet.fanout_query("community_of", vertex=0)
+        assert target in doc["degraded"]
+        assert doc["states"][target] == "degraded"
+        assert doc["failed"] == []
+
+    def test_fanout_vertex_param_recorded(self):
+        fleet = make_fleet(shards=2)
+        detect_all(fleet)
+        doc = fleet.fanout_query("community_of", vertex=3)
+        assert doc["params"] == {"vertex": 3}
+        for key, value in doc["answers"].items():
+            assert isinstance(value, int)
+
+
+class TestAccounting:
+    def test_imbalance_gauge(self):
+        fleet = make_fleet(shards=2)
+        key = fleet.detect(two_cliques_graph()).response["key"]
+        for _ in range(4):
+            fleet.query(key, "membership")
+        loads = fleet.router.routed_by_shard
+        expected = max(loads.values()) / (sum(loads.values()) / 2)
+        assert fleet.router.imbalance() == pytest.approx(expected)
+
+    def test_router_stats_sorted_and_complete(self):
+        fleet = make_fleet(shards=2)
+        detect_all(fleet)
+        stats = fleet.router.stats()
+        assert set(stats) == {"requests", "counters", "per_shard"}
+        assert list(stats["counters"]) == sorted(stats["counters"])
+        assert stats["requests"]["detect"] == len(GRAPH_MAKERS)

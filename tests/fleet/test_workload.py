@@ -1,0 +1,89 @@
+"""Fleet workload: determinism, verification, kill script, CLI."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.fleet.fleet import FleetConfig
+from repro.fleet.workload import (
+    FLEET_PROFILES,
+    FleetWorkloadProfile,
+    run_fleet_workload,
+)
+
+#: A miniature profile over the fast registry graphs so the suite
+#: stays quick; the committed fleet_quick.json baseline covers the
+#: full-size profiles.
+MINI = FleetWorkloadProfile(
+    "mini", ("com-Orkut",), num_queries=8, update_bursts=1, burst_size=2,
+    edges_per_update=2, herd_detects=2, fanout_every=4)
+
+
+class TestProfiles:
+    def test_known_profiles(self):
+        assert set(FLEET_PROFILES) == {"tiny", "quick", "smoke"}
+
+    def test_unknown_profile_raises_config_error(self):
+        with pytest.raises(ConfigError, match="unknown fleet workload"):
+            run_fleet_workload("bogus")
+
+
+class TestRun:
+    def test_mini_run_verifies_and_is_deterministic(self):
+        docs = []
+        for _ in range(2):
+            res = run_fleet_workload(
+                MINI, seed=3,
+                fleet_config=FleetConfig(num_shards=2, replicas=2,
+                                         virtual_nodes=16))
+            assert all(res.membership_matches_scratch.values())
+            assert all(res.replicas_consistent.values())
+            docs.append(json.dumps(res.to_json_dict(), sort_keys=True))
+        assert docs[0] == docs[1]
+
+    def test_herd_detects_coalesce_per_shard(self):
+        res = run_fleet_workload(
+            MINI, seed=3,
+            fleet_config=FleetConfig(num_shards=2, replicas=2,
+                                     virtual_nodes=16))
+        shards = res.stats["shards"]
+        coalesced = sum(s["queue"]["coalesced_detects"]
+                        for s in shards.values())
+        # herd_detects duplicates per replica of the one graph.
+        assert coalesced == MINI.herd_detects * 2
+        solves = sum(s["counters"]["detect_runs"] for s in shards.values())
+        assert solves == 2  # one solve per replica, herd absorbed
+
+    def test_kill_script_primary_token(self):
+        res = run_fleet_workload(
+            MINI, seed=3,
+            fleet_config=FleetConfig(num_shards=3, replicas=2,
+                                     virtual_nodes=16),
+            kills=[("primary", 2)])
+        assert len(res.kills_applied) == 1
+        c = res.stats["router"]["counters"]
+        assert c["failed_requests"] == 0
+        assert c["degraded_serves"] > 0
+
+    def test_kill_script_bad_target_rejected(self):
+        with pytest.raises(ConfigError, match="kill"):
+            run_fleet_workload(
+                MINI, seed=3,
+                fleet_config=FleetConfig(num_shards=2, virtual_nodes=16),
+                kills=[("nonsense", 2)])
+        with pytest.raises(ConfigError, match="out of range"):
+            run_fleet_workload(
+                MINI, seed=3,
+                fleet_config=FleetConfig(num_shards=2, virtual_nodes=16),
+                kills=[("7", 2)])
+
+    def test_fanout_digest_invariant_across_widths(self):
+        digests = set()
+        for shards in (1, 3):
+            res = run_fleet_workload(
+                MINI, seed=3,
+                fleet_config=FleetConfig(num_shards=shards,
+                                         virtual_nodes=16))
+            digests.add(res.fanout_digest)
+        assert len(digests) == 1

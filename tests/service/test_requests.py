@@ -52,6 +52,42 @@ class TestAdmissionQueue:
         q.pop()
         q.submit(QueryRequest("c"))  # room again after a pop
 
+    def test_rejections_counted_in_metrics(self):
+        # Filling a bounded queue must surface on the
+        # queue_rejected_total counter, not just the raised error.
+        from repro.observability.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        q = AdmissionQueue(capacity=3, metrics=registry)
+        for name in "abc":
+            q.submit(QueryRequest(name))
+        for name in "xyz":
+            with pytest.raises(ServiceOverloadError):
+                q.submit(QueryRequest(name))
+        assert registry.get("queue_rejected_total").value() == 3.0
+        assert q.rejected == 3
+
+    def test_rejected_counter_registered_eagerly(self):
+        # The family must exist (at zero) before any overflow, so
+        # scrapes and the exact-match metrics baselines see it.
+        from repro.observability.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        AdmissionQueue(capacity=2, metrics=registry)
+        assert registry.get("queue_rejected_total").value() == 0.0
+
+    def test_server_wires_queue_rejections_to_its_registry(self):
+        from repro.observability.metrics import MetricsRegistry
+        from repro.service.server import PartitionServer, ServiceConfig
+
+        registry = MetricsRegistry()
+        srv = PartitionServer(ServiceConfig(queue_capacity=1),
+                              metrics=registry)
+        srv.submit(QueryRequest("a"))
+        with pytest.raises(ServiceOverloadError):
+            srv.submit(QueryRequest("b"))
+        assert registry.get("queue_rejected_total").value() == 1.0
+
     def test_detect_dedup(self):
         q = AdmissionQueue()
         g = two_cliques_graph()

@@ -147,9 +147,10 @@ class TestBenchSubcommand:
         assert "recorded service baseline" in out
         assert "recorded metrics baseline" in out
         assert "recorded reorder baseline" in out
+        assert "recorded fleet baseline" in out
         assert main(["bench", "--check",
                      "--baselines", str(tmp_path)]) == 0
-        assert "7/7 baselines within thresholds" in capsys.readouterr().out
+        assert "8/8 baselines within thresholds" in capsys.readouterr().out
 
     def test_bench_trace_writes_bundle(self, tmp_path, capsys):
         out_file = tmp_path / "bundle.json"

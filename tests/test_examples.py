@@ -24,6 +24,7 @@ EXPECTED_OUTPUT = {
     "profile_smoke.py": "convergence monitor",
     "reorder_locality.py": "Q invariant under relabeling: True",
     "metrics_smoke.py": "health=PAGE",
+    "fleet_smoke.py": "zero failed requests: True",
 }
 
 
