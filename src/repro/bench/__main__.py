@@ -143,6 +143,12 @@ def main(argv: list[str] | None = None) -> int:
                 print(f"recorded fleet baseline {fb.name} "
                       f"({'/'.join(sorted(runs))}, "
                       f"invariant={fb.expected['invariant']})")
+            for tb in regression.record_reqtrace_baselines(baseline_dir):
+                widths = tb.expected["widths"]
+                print(f"recorded reqtrace baseline {tb.name} "
+                      f"({'/'.join(sorted(widths))}, "
+                      f"kept_match={tb.expected['kept_match']}, "
+                      f"det_invariant={tb.expected['det_keep_invariant']})")
         if args.trace_path:
             bundle = regression.run_trace(seed=args.seed)
             Path(args.trace_path).write_text(

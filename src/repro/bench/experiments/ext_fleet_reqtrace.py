@@ -1,0 +1,157 @@
+"""Extension experiment: request-trace sampling A/B — sampled vs full.
+
+Drives the fleet workload with the request tracer attached, twice per
+fleet width (1 and 4 shards): once in ``full`` retention and once in
+``sampled`` retention, same ``(profile, seed)``.  The tail-sampling
+rules are a pure function of the traces (:func:`repro.observability.
+reqtrace.select_kept` is the single implementation both modes call), so
+two contracts must hold *exactly*:
+
+- **mode agreement** — the sampled run keeps precisely the traces the
+  full run annotates with keep reasons (identical trace_id sets);
+- **width invariance** — restricted to the deterministic keep reasons
+  (:data:`~repro.observability.reqtrace.DETERMINISTIC_KEEP_REASONS`:
+  errors, degraded, failovers, reservoir — everything except top-K
+  ``slowest``, whose latencies depend on sharding), the kept set is
+  identical at 1 and 4 shards, because trace ids and outcomes follow
+  the request tape, never the placement.
+
+:func:`measure_fleet_reqtrace` returns the deterministic comparison
+document pinned as the ``reqtrace_quick.json`` exact-match baseline in
+``repro bench --check``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from hashlib import blake2b
+from typing import Dict, List
+
+from repro.bench.tables import format_table
+from repro.fleet.fleet import FleetConfig, PartitionFleet
+from repro.fleet.workload import run_fleet_workload
+from repro.observability.health import HealthEvaluator, default_fleet_slos
+from repro.observability.reqtrace import (
+    DETERMINISTIC_KEEP_REASONS,
+    RequestTracer,
+    validate_reqtrace,
+)
+
+__all__ = [
+    "FleetReqtraceResult",
+    "measure_fleet_reqtrace",
+    "run",
+    "report",
+    "main",
+]
+
+#: Fleet widths compared by the A/B (labels used in the result doc).
+SHARD_COUNTS = (1, 4)
+
+
+def _digest(ids: List[str]) -> str:
+    return blake2b(",".join(sorted(ids)).encode(),
+                   digest_size=8).hexdigest()
+
+
+def _run_traced(profile: str, seed: int, shards: int, mode: str) -> dict:
+    """One traced fleet workload run; returns the reqtrace document."""
+    tracer = RequestTracer(seed=seed, mode=mode)
+    fleet = PartitionFleet(
+        FleetConfig(num_shards=shards, replicas=1),
+        health=HealthEvaluator(default_fleet_slos()),
+        reqtrace=tracer,
+    )
+    run_fleet_workload(profile, seed=seed, fleet=fleet, verify=False)
+    doc = tracer.to_json_dict()
+    validate_reqtrace(doc)
+    return doc
+
+
+@dataclass
+class FleetReqtraceResult:
+    profile: str
+    seed: int
+    #: "shards_1" / "shards_4" -> per-width comparison block.
+    widths: Dict[str, dict]
+
+    @property
+    def kept_match(self) -> bool:
+        """Sampled keeps exactly what full annotates, at every width."""
+        return all(w["kept_match"] for w in self.widths.values())
+
+    @property
+    def det_keep_invariant(self) -> bool:
+        """Deterministic keep set identical across fleet widths."""
+        digests = {w["det_digest"] for w in self.widths.values()}
+        return len(digests) == 1
+
+
+def run(profile: str = "quick", *, seed: int = 0) -> FleetReqtraceResult:
+    widths: Dict[str, dict] = {}
+    for n in SHARD_COUNTS:
+        full = _run_traced(profile, seed, n, "full")
+        sampled = _run_traced(profile, seed, n, "sampled")
+        full_kept = [t["trace_id"] for t in full["traces"]
+                     if t["keep_reasons"]]
+        sampled_kept = [t["trace_id"] for t in sampled["traces"]]
+        det_kept = [t["trace_id"] for t in full["traces"]
+                    if set(t["keep_reasons"]) & DETERMINISTIC_KEEP_REASONS]
+        widths[f"shards_{n}"] = {
+            "requests": full["totals"]["requests"],
+            "spans": full["totals"]["spans"],
+            "sampled_kept": len(sampled_kept),
+            "by_reason": sampled["totals"]["by_reason"],
+            "kept_match": sorted(full_kept) == sorted(sampled_kept),
+            "kept_digest": _digest(sampled_kept),
+            "det_kept": len(det_kept),
+            "det_digest": _digest(det_kept),
+            "flight_dumps": len(full["flight"]["dumps"]),
+        }
+    return FleetReqtraceResult(profile=profile, seed=seed, widths=widths)
+
+
+def measure_fleet_reqtrace(profile: str = "quick", *, seed: int = 0) -> dict:
+    """Deterministic A/B document (the ``reqtrace_quick.json`` baseline)."""
+    result = run(profile, seed=seed)
+    return {
+        "profile": result.profile,
+        "seed": result.seed,
+        "kept_match": result.kept_match,
+        "det_keep_invariant": result.det_keep_invariant,
+        "widths": {label: dict(sorted(block.items()))
+                   for label, block in sorted(result.widths.items())},
+    }
+
+
+def report(result: FleetReqtraceResult) -> str:
+    rows = []
+    for label, w in result.widths.items():
+        reasons = ", ".join(f"{r}={n}"
+                            for r, n in sorted(w["by_reason"].items()))
+        rows.append([
+            label.replace("shards_", ""),
+            str(w["requests"]),
+            str(w["spans"]),
+            f"{w['sampled_kept']}/{w['requests']}",
+            "yes" if w["kept_match"] else "NO",
+            str(w["det_kept"]),
+            w["det_digest"][:12],
+            reasons or "-",
+        ])
+    inv = ("invariant" if result.det_keep_invariant
+           else "DIVERGED")
+    return format_table(
+        ["shards", "requests", "spans", "kept", "modes agree",
+         "det kept", "det digest", "kept by reason"],
+        rows,
+        title=f"Extension: fleet reqtrace ({result.profile} workload, "
+              f"seed {result.seed}) — deterministic keep set {inv} "
+              f"across widths",
+    )
+
+
+def main() -> FleetReqtraceResult:  # pragma: no cover - CLI
+    result = run()
+    print(report(result))
+    return result

@@ -434,6 +434,12 @@ def build_serve_parser() -> argparse.ArgumentParser:
                         "SLO evaluator attached and write their "
                         "byte-deterministic snapshot JSON (including the "
                         "repro.health/1 block) here")
+    p.add_argument("--reqtrace", type=Path, default=None,
+                   dest="reqtrace_output",
+                   help="also run with the request tracer attached and "
+                        "write the repro.reqtrace/1 document here; when "
+                        "--profile is also given, the Chrome trace gains "
+                        "the request lanes (merged view)")
     p.add_argument("--compact", action="store_true",
                    help="single-line JSON (default: indented)")
     return p
@@ -466,7 +472,8 @@ def serve_main(argv: list[str] | None = None) -> int:
     service_config = ServiceConfig(coalesce_updates=not args.no_coalesce)
     server = None
     if (args.trace_output is not None or args.profile_output is not None
-            or args.metrics_output is not None):
+            or args.metrics_output is not None
+            or args.reqtrace_output is not None):
         from repro.observability.health import (
             HealthEvaluator,
             default_service_slos,
@@ -476,6 +483,12 @@ def serve_main(argv: list[str] | None = None) -> int:
         from repro.observability.tracer import Tracer
 
         with_metrics = args.metrics_output is not None
+        with_reqtrace = args.reqtrace_output is not None
+        reqtrace = None
+        if with_reqtrace:
+            from repro.observability.reqtrace import RequestTracer
+
+            reqtrace = RequestTracer(seed=args.seed)
         server = PartitionServer(
             service_config,
             tracer=Tracer() if args.trace_output is not None else None,
@@ -483,7 +496,8 @@ def serve_main(argv: list[str] | None = None) -> int:
                       else None),
             metrics=MetricsRegistry() if with_metrics else None,
             health=(HealthEvaluator(default_service_slos())
-                    if with_metrics else None),
+                    if with_metrics or with_reqtrace else None),
+            reqtrace=reqtrace,
         )
     result = run_workload(
         args.workload,
@@ -516,10 +530,26 @@ def serve_main(argv: list[str] | None = None) -> int:
         doc = to_chrome_trace(
             server.profiler.timeline(),
             experiment=f"serve:{args.workload}", seed=args.seed)
+        if args.reqtrace_output is not None:
+            # Merged view: solver timeline lanes + request lanes in one
+            # Chrome trace, stitched by flow events.
+            from repro.observability.reqtrace import merge_chrome_trace
+
+            doc = merge_chrome_trace(doc, server.reqtrace)
         validate_chrome_trace(doc)
         args.profile_output.write_text(chrome_trace_json(
             doc, indent=None if args.compact else 1) + "\n")
         print(f"profile written to {args.profile_output}")
+    if args.reqtrace_output is not None:
+        from repro.observability.reqtrace import validate_reqtrace
+
+        doc = server.reqtrace.to_json_dict(
+            experiment=f"serve:{args.workload}")
+        validate_reqtrace(doc)
+        args.reqtrace_output.write_text(json.dumps(
+            doc, sort_keys=True,
+            indent=None if args.compact else 2) + "\n")
+        print(f"request traces written to {args.reqtrace_output}")
     if args.metrics_output is not None:
         args.metrics_output.write_text(server.metrics.to_json(
             indent=None if args.compact else 2,
@@ -649,6 +679,117 @@ def reorder_main(argv: list[str] | None = None) -> int:
     return 0
 
 
+def build_reqtrace_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro reqtrace",
+        description="Inspect repro.reqtrace/1 documents (written by "
+                    "'repro fleet --reqtrace' / 'repro serve "
+                    "--reqtrace'): summarize retention, list the "
+                    "slowest requests, print one trace, or diff the "
+                    "kept sets of two documents",
+    )
+    p.add_argument("input", type=Path, nargs="+",
+                   help="reqtrace JSON document (two with --diff)")
+    p.add_argument("--slowest", type=int, default=None, metavar="N",
+                   help="list the N slowest kept requests (latency "
+                        "desc, seq asc on ties)")
+    p.add_argument("--trace-id", default=None, metavar="ID",
+                   help="print the full JSON of one kept trace")
+    p.add_argument("--diff", action="store_true",
+                   help="compare the kept sets (traces with keep "
+                        "reasons) of two documents; exit 1 when they "
+                        "differ")
+    return p
+
+
+def reqtrace_main(argv: list[str] | None = None) -> int:
+    """``repro reqtrace`` — inspect request-trace documents."""
+    import json
+
+    from repro.observability.reqtrace import validate_reqtrace
+
+    args = build_reqtrace_parser().parse_args(argv)
+    want = 2 if args.diff else 1
+    if len(args.input) != want:
+        print(f"error: expected {want} input document(s), "
+              f"got {len(args.input)}", file=sys.stderr)
+        return 2
+    docs = []
+    for path in args.input:
+        try:
+            doc = json.loads(path.read_text())
+            validate_reqtrace(doc)
+        except (OSError, ValueError) as exc:
+            print(f"error: {path}: {exc}", file=sys.stderr)
+            return 2
+        docs.append(doc)
+
+    if args.diff:
+        # "Kept" = annotated with at least one keep reason, so a full
+        # document diffs cleanly against its sampled twin (the A/B the
+        # ext_fleet_reqtrace bench pins).
+        kept = [{t["trace_id"]: t for t in d["traces"]
+                 if t.get("keep_reasons")} for d in docs]
+        a, b = kept
+        only_a = sorted(set(a) - set(b))
+        only_b = sorted(set(b) - set(a))
+        changed = sorted(
+            tid for tid in set(a) & set(b)
+            if (a[tid]["status"], a[tid]["latency_units"])
+            != (b[tid]["status"], b[tid]["latency_units"]))
+        for tid in only_a:
+            print(f"ONLY-A {tid} seq={a[tid]['seq']}")
+        for tid in only_b:
+            print(f"ONLY-B {tid} seq={b[tid]['seq']}")
+        for tid in changed:
+            print(f"CHANGED {tid} "
+                  f"a=({a[tid]['status']},{a[tid]['latency_units']}) "
+                  f"b=({b[tid]['status']},{b[tid]['latency_units']})")
+        if only_a or only_b or changed:
+            print(f"kept sets differ: {len(only_a)} only-A, "
+                  f"{len(only_b)} only-B, {len(changed)} changed")
+            return 1
+        print(f"kept sets identical ({len(a)} traces)")
+        return 0
+
+    doc = docs[0]
+    if args.trace_id is not None:
+        for t in doc["traces"]:
+            if t["trace_id"] == args.trace_id:
+                print(json.dumps(t, sort_keys=True, indent=2))
+                return 0
+        print(f"error: trace {args.trace_id!r} not in document "
+              f"(dropped by sampling, or never minted)", file=sys.stderr)
+        return 1
+    if args.slowest is not None:
+        ranked = sorted(doc["traces"],
+                        key=lambda t: (-t["latency_units"], t["seq"]))
+        for t in ranked[:args.slowest]:
+            reasons = ",".join(t.get("keep_reasons", [])) or "-"
+            print(f"{t['trace_id']} seq={t['seq']} kind={t['kind']} "
+                  f"status={t['status']} "
+                  f"latency={t['latency_units']:.0f} "
+                  f"spans={len(t['spans'])} keep={reasons}")
+        return 0
+    totals = doc["totals"]
+    sampling = doc["sampling"]
+    print(f"schema: {doc['schema']}")
+    print(f"mode: {sampling.get('mode')}  seed: {doc['meta'].get('seed')}")
+    print(f"requests: {totals.get('requests')}  kept: {totals.get('kept')}"
+          f"  dropped: {totals.get('dropped')}  spans: "
+          f"{totals.get('spans')}")
+    by_reason = totals.get("by_reason", {})
+    if by_reason:
+        print("kept by reason: " + ", ".join(
+            f"{r}={n}" for r, n in sorted(by_reason.items())))
+    dumps = doc["flight"].get("dumps", [])
+    print(f"flight dumps: {len(dumps)}")
+    for d in dumps:
+        print(f"  {d['reason']} at {d['at_units']:.0f} "
+              f"({len(d['traces'])} traces)")
+    return 0
+
+
 def build_fleet_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         prog="repro fleet",
@@ -689,6 +830,25 @@ def build_fleet_parser() -> argparse.ArgumentParser:
                         "the fleet SLO evaluator attached and write the "
                         "merged fleet snapshot JSON (repro.metrics/1, "
                         "with the repro.health/1 block) here")
+    p.add_argument("--reqtrace", type=Path, default=None,
+                   dest="reqtrace_output",
+                   help="attach the request tracer (+ fleet SLO "
+                        "evaluator) and write the repro.reqtrace/1 "
+                        "document — per-request causal spans, "
+                        "deterministic trace ids, tail-sampling "
+                        "annotations and flight-recorder dumps — here; "
+                        "byte-identical across double runs")
+    p.add_argument("--reqtrace-chrome", type=Path, default=None,
+                   help="also write the merged Chrome-trace view of the "
+                        "kept request traces (one lane per shard plus "
+                        "the router lane, flow events stitching "
+                        "cross-shard hops); open in a Chrome trace "
+                        "viewer")
+    p.add_argument("--reqtrace-mode", choices=("full", "sampled"),
+                   default="full",
+                   help="trace retention: keep every finished trace "
+                        "(full) or only the deterministic tail sample "
+                        "(sampled)")
     p.add_argument("--compact", action="store_true",
                    help="single-line JSON (default: indented)")
     return p
@@ -723,17 +883,30 @@ def fleet_main(argv: list[str] | None = None) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     fleet = None
-    if args.metrics_output is not None:
+    reqtrace = None
+    with_reqtrace = (args.reqtrace_output is not None
+                     or args.reqtrace_chrome is not None)
+    if args.metrics_output is not None or with_reqtrace:
         from repro.observability.health import (
             HealthEvaluator,
             default_fleet_slos,
         )
         from repro.observability.metrics import MetricsRegistry
 
+        if with_reqtrace:
+            from repro.observability.reqtrace import RequestTracer
+
+            reqtrace = RequestTracer(seed=args.seed,
+                                     mode=args.reqtrace_mode)
+        with_metrics = args.metrics_output is not None
         fleet = PartitionFleet(
             fleet_config,
-            metrics=MetricsRegistry(),
+            metrics=MetricsRegistry() if with_metrics else None,
+            # The SLO evaluator always rides along here: it feeds the
+            # health block of the metrics snapshot *and* the flight
+            # recorder's PAGE trigger.
             health=HealthEvaluator(default_fleet_slos()),
+            reqtrace=reqtrace,
         )
     result = run_fleet_workload(
         args.profile,
@@ -760,6 +933,30 @@ def fleet_main(argv: list[str] | None = None) -> int:
             snapshot, sort_keys=True,
             indent=None if args.compact else 2) + "\n")
         print(f"fleet metrics written to {args.metrics_output}")
+    if args.reqtrace_output is not None:
+        from repro.observability.reqtrace import validate_reqtrace
+
+        doc = reqtrace.to_json_dict(
+            experiment=f"fleet:{args.profile}",
+            shards=int(args.shards), replicas=int(args.replicas))
+        validate_reqtrace(doc)
+        args.reqtrace_output.write_text(json.dumps(
+            doc, sort_keys=True,
+            indent=None if args.compact else 2) + "\n")
+        print(f"request traces written to {args.reqtrace_output}")
+    if args.reqtrace_chrome is not None:
+        from repro.observability.profiler import (
+            chrome_trace_json,
+            validate_chrome_trace,
+        )
+
+        chrome = reqtrace.to_chrome_trace(
+            experiment=f"fleet:{args.profile}", seed=args.seed)
+        validate_chrome_trace(chrome)
+        args.reqtrace_chrome.write_text(chrome_trace_json(
+            chrome, indent=None if args.compact else 1) + "\n")
+        print(f"request-trace chrome view written to "
+              f"{args.reqtrace_chrome}")
     if not args.no_verify:
         bad = [n for n, ok in result.membership_matches_scratch.items()
                if not ok]
@@ -774,7 +971,7 @@ def fleet_main(argv: list[str] | None = None) -> int:
 
 #: First-token subcommands understood by :func:`main`.
 _SUBCOMMANDS = ("run", "trace", "profile", "metrics", "bench", "serve",
-                "reorder", "fleet")
+                "reorder", "fleet", "reqtrace")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -795,6 +992,8 @@ def main(argv: list[str] | None = None) -> int:
         return reorder_main(argv[1:])
     if argv and argv[0] == "fleet":
         return fleet_main(argv[1:])
+    if argv and argv[0] == "reqtrace":
+        return reqtrace_main(argv[1:])
     if argv and argv[0] == "run":
         argv = argv[1:]
     parser = build_parser()

@@ -8,12 +8,16 @@ replication, cross-shard QUERY fan-out with deterministic merge,
 replica failover served DEGRADED), managed by
 :mod:`repro.fleet.fleet` (spawn/kill/drain/rebalance with explicit
 minimal key-movement plans), and driven by the hot-key Zipfian
-workloads of :mod:`repro.fleet.workload`.  See ``docs/FLEET.md``.
+workloads of :mod:`repro.fleet.workload`.  Request journeys are
+traceable end to end: :mod:`repro.fleet.tracectx` threads the
+:mod:`repro.observability.reqtrace` contexts through router and
+shards.  See ``docs/FLEET.md``.
 """
 
 from repro.fleet.fleet import FLEET_STATS_SCHEMA, FleetConfig, PartitionFleet
 from repro.fleet.ring import HashRing, KeyMove, MovePlan, plan_moves
 from repro.fleet.router import FANOUT_SCHEMA, FleetRouter, FleetTicket, Shard
+from repro.fleet.tracectx import TraceContext
 from repro.fleet.workload import (
     FLEET_PROFILES,
     FLEET_WORKLOAD_SCHEMA,
@@ -37,6 +41,7 @@ __all__ = [
     "MovePlan",
     "PartitionFleet",
     "Shard",
+    "TraceContext",
     "plan_moves",
     "run_fleet_workload",
 ]

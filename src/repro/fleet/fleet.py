@@ -95,6 +95,11 @@ class PartitionFleet:
         Per-shard solve fault hook factory: ``callable(shard_id) ->
         hook | None``; the hook is passed to that shard's server
         (same contract as :class:`PartitionServer`'s ``fault_hook``).
+    reqtrace:
+        :class:`~repro.observability.reqtrace.RequestTracer` — the
+        router mints one trace per fleet request and every hop
+        (admission, shard queue wait, serve, refresh, failover, reply)
+        appends spans; ``None`` disables request tracing.
     """
 
     def __init__(
@@ -104,10 +109,12 @@ class PartitionFleet:
         metrics: Optional[MetricsRegistry] = None,
         health=None,
         fault_hook: Optional[Callable[[str], Optional[Callable]]] = None,
+        reqtrace=None,
     ) -> None:
         self.config = config or FleetConfig()
         self.metrics = metrics if metrics is not None else NULL_REGISTRY
         self.health = health
+        self.reqtrace = reqtrace
         self._fault_hook = fault_hook
         #: Insertion-ordered: iteration order == spawn order, which the
         #: router's pump loop and all reporting rely on (never sorted(),
@@ -127,7 +134,8 @@ class PartitionFleet:
             replicas=self.config.replicas,
         )
         self.router = FleetRouter(
-            self.shards, self.ring, metrics=self.metrics, health=self.health)
+            self.shards, self.ring, metrics=self.metrics, health=self.health,
+            reqtrace=self.reqtrace)
 
     # -- shard construction ------------------------------------------------
 
@@ -142,6 +150,10 @@ class PartitionFleet:
         hook = self._fault_hook(sid) if self._fault_hook else None
         server = PartitionServer(
             self.config.service, metrics=shard_metrics, fault_hook=hook)
+        # Span lane of this server in merged request traces — one lane
+        # per shard (the server's own ``reqtrace`` stays None: under a
+        # fleet the router owns the trace lifecycle).
+        server.lane = sid
         return Shard(id=sid, server=server, metrics=shard_metrics)
 
     # -- convenience request API (route + pump) ----------------------------

@@ -34,6 +34,7 @@ import numpy as np
 
 from repro.errors import ServiceOverloadError
 from repro.observability.metrics import NULL_REGISTRY
+from repro.observability.reqtrace import NULL_REQTRACE
 from repro.service.requests import (
     DETECT,
     DONE,
@@ -96,6 +97,10 @@ class FleetTicket:
     failover: bool = False
     #: No alive shard could take the request at submission.
     no_replica: bool = False
+    #: Request-trace context (:class:`~repro.fleet.tracectx.
+    #: TraceContext`) when tracing is on; the router seals it at
+    #: finalization.
+    trace: Optional[object] = None
 
     @property
     def done(self) -> bool:
@@ -169,15 +174,17 @@ class FleetRouter:
     """
 
     def __init__(self, shards: "Dict[str, Shard]", ring, *,
-                 metrics=None, health=None) -> None:
+                 metrics=None, health=None, reqtrace=None) -> None:
         self.shards = shards
         self.ring = ring
         self.metrics = metrics if metrics is not None else NULL_REGISTRY
         self.health = health
+        self.reqtrace = reqtrace if reqtrace is not None else NULL_REQTRACE
         self.counters: Dict[str, int] = {
             "routed": 0,
             "failovers": 0,
             "degraded_serves": 0,
+            "failover_failed": 0,
             "failed_requests": 0,
             "no_replica": 0,
             "fanouts": 0,
@@ -202,6 +209,17 @@ class FleetRouter:
         self._m_degraded = m.counter(
             "fleet_degraded_serves_total",
             "requests served DEGRADED by a failover replica")
+        self._m_degraded_served = m.counter(
+            "fleet_degraded_served_total",
+            "failover-path requests finalized, by final status — the "
+            "failover-while-error path lands under status=failed instead "
+            "of silently vanishing from the degraded accounting",
+            ("status",))
+        self._m_latency = m.histogram(
+            "fleet_request_latency_units",
+            "end-to-end fleet request latency (logical units), by kind; "
+            "buckets carry trace_id exemplars when request tracing is on",
+            ("kind",))
         self._m_fanouts = m.counter(
             "fleet_fanouts_total", "cross-shard query fan-outs")
         self._m_imbalance = m.gauge(
@@ -222,6 +240,7 @@ class FleetRouter:
         return alive, failover
 
     def _track(self, ticket: FleetTicket) -> FleetTicket:
+        self._begin_trace(ticket, [sid for sid, _ in ticket.tickets])
         self.counters["routed"] += 1
         self.requests_by_kind[ticket.kind] += 1
         if ticket.no_replica:
@@ -238,6 +257,34 @@ class FleetRouter:
             self._m_imbalance.set(self.imbalance())
         self._open.append(ticket)
         return ticket
+
+    def _begin_trace(self, ticket: FleetTicket, routed) -> None:
+        """Mint + attach a trace context for one fleet submission.
+
+        Records the admission span on the ``router`` lane (fleet clock)
+        and threads the context onto every replica ticket.  A replica
+        ticket that *already* carries a different context means the
+        shard's admission queue deduplicated this DETECT onto an
+        in-flight leader: the follower records a ``dedup_join`` span
+        linking to the leader's trace instead.
+        """
+        if not self.reqtrace.enabled:
+            return
+        clock = float(self.clock_units())
+        ctx = self.reqtrace.begin(ticket.kind, ticket.key, clock)
+        ticket.trace = ctx
+        ctx.span("admission", "router", clock, clock,
+                 kind=ticket.kind, placement=list(ticket.placement),
+                 routed=list(routed), failover=ticket.failover,
+                 no_replica=ticket.no_replica)
+        for sid, shard_ticket in ticket.tickets:
+            if shard_ticket.trace is None:
+                shard_ticket.trace = ctx
+            elif shard_ticket.trace is not ctx:
+                now = float(self.clock_units())
+                ctx.span("dedup_join", "router", now, now,
+                         link=shard_ticket.trace.trace_id, shard=sid,
+                         leader_seq=shard_ticket.trace.seq)
 
     def _submit_to_shard(self, sid: str, make_request) -> Ticket:
         """Submit to one shard, draining the fleet once on overflow.
@@ -327,14 +374,36 @@ class FleetRouter:
 
     def _finalize(self, ticket: FleetTicket) -> None:
         status = ticket.status
+        # DEGRADED is an *answer* annotation: only a DONE failover
+        # response carries it (``FleetTicket.response``).  A failover
+        # request that still errored is accounted separately so it never
+        # silently vanishes from the degraded bookkeeping.
         degraded = ticket.failover and status == DONE
         if status == FAILED:
             self.counters["failed_requests"] += 1
         if degraded:
             self.counters["degraded_serves"] += 1
             self._m_degraded.inc()
+        if ticket.failover:
+            if status != DONE:
+                self.counters["failover_failed"] += 1
+            self._m_degraded_served.labels(status).inc()
+        ctx = ticket.trace
+        fleet_state = ticket.response.get("fleet_state", "")
+        if ctx is not None:
+            clock = float(self.clock_units())
+            ctx.span("reply", "router", clock, clock,
+                     status=status, fleet_state=fleet_state,
+                     shard=ticket.shard, failover=ticket.failover)
+            self.reqtrace.finish(
+                ctx, status=status, clock=clock, fleet_state=fleet_state,
+                failover=ticket.failover,
+                latency_units=float(ticket.latency_units))
         if self.metrics.enabled:
             self._m_requests.labels(ticket.kind, status).inc()
+            self._m_latency.labels(ticket.kind).observe(
+                float(ticket.latency_units),
+                ctx.trace_id if ctx is not None else None)
         if self.health is not None:
             clock = self.clock_units()
             if ticket.kind == QUERY:
@@ -345,6 +414,9 @@ class FleetRouter:
                 "fleet_request_errors", clock, status == FAILED)
             self.health.record_value(
                 "fleet_shard_imbalance", clock, self.imbalance())
+            if self.reqtrace.enabled:
+                self.reqtrace.observe_health(
+                    self.health.state(clock), float(clock))
 
     # -- cross-shard fan-out -----------------------------------------------
 

@@ -1,0 +1,71 @@
+"""The trace-context a request carries through the fleet.
+
+A :class:`TraceContext` is the propagation vehicle of
+:mod:`repro.observability.reqtrace`: the router mints one per injected
+request (:meth:`~repro.observability.reqtrace.RequestTracer.begin`),
+attaches it to each shard :class:`~repro.service.requests.Ticket` it
+fans the request out to, and every hop — admission, shard queue wait,
+serve, refresh, failover, reply — appends a causal span to it.  The
+server side never imports this module: tickets expose the context as a
+plain ``ticket.trace`` attribute and span recording is duck-typed
+(``ctx.span(...)``) behind a ``ctx is not None`` guard, preserving the
+service → observability layering.
+
+Dedup joins: when a DETECT lands on a shard ticket that already carries
+a *different* context (the admission queue returned an in-flight
+leader), the follower records a ``dedup_join`` span whose ``link`` is
+the leader's trace_id — the two traces stay separate documents but the
+join is navigable from either side.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.observability.reqtrace import ReqSpan, RequestTrace
+
+__all__ = ["TraceContext"]
+
+
+class TraceContext:
+    """One request's live trace: a sink plus the mutable record."""
+
+    __slots__ = ("tracer", "trace")
+
+    def __init__(self, tracer, trace: RequestTrace) -> None:
+        self.tracer = tracer
+        self.trace = trace
+
+    @property
+    def trace_id(self) -> str:
+        return self.trace.trace_id
+
+    @property
+    def seq(self) -> int:
+        return self.trace.seq
+
+    def span(
+        self,
+        name: str,
+        lane: str,
+        start_units: float,
+        end_units: float,
+        *,
+        link: Optional[str] = None,
+        **attrs,
+    ) -> ReqSpan:
+        """Append one causal span (clamped to a non-negative interval)."""
+        s = ReqSpan(
+            name=name,
+            lane=lane,
+            start_units=float(start_units),
+            end_units=float(max(start_units, end_units)),
+            attrs=attrs,
+            link=link,
+        )
+        self.trace.spans.append(s)
+        return s
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"TraceContext({self.trace.trace_id}, "
+                f"{len(self.trace.spans)} spans)")

@@ -47,9 +47,11 @@ __all__ = [
     "FLEET_BASELINE_SCHEMA",
     "METRICS_BASELINE_SCHEMA",
     "REORDER_BASELINE_SCHEMA",
+    "REQTRACE_BASELINE_SCHEMA",
     "SERVICE_BASELINE_SCHEMA",
     "Baseline",
     "FleetBaseline",
+    "ReqtraceBaseline",
     "MetricCheck",
     "MetricsBaseline",
     "ReorderBaseline",
@@ -67,6 +69,7 @@ __all__ = [
     "measure_fleet",
     "measure_metrics",
     "measure_reorder",
+    "measure_reqtrace",
     "measure_service",
     "measure_service_metrics",
     "migrate_trace",
@@ -74,6 +77,7 @@ __all__ = [
     "record_fleet_baselines",
     "record_metrics_baselines",
     "record_reorder_baselines",
+    "record_reqtrace_baselines",
     "record_service_baselines",
     "run_check",
     "run_profile",
@@ -104,6 +108,12 @@ REORDER_BASELINE_SCHEMA = "repro.reorder-baseline/1"
 #: the full 1-shard vs 4-shard A/B (stats, fan-out digests, invariance
 #: verdict) on logical clocks only, so it gates on exact equality.
 FLEET_BASELINE_SCHEMA = "repro.fleet-baseline/1"
+
+#: Version tag of the reqtrace-sampling baseline files.  The document
+#: holds the sampled-vs-full A/B of the request tracer (kept-set
+#: digests, deterministic-keep width invariance, flight-dump counts)
+#: on logical clocks only, so it gates on exact equality.
+REQTRACE_BASELINE_SCHEMA = "repro.reqtrace-baseline/1"
 
 #: Version tag of the multi-experiment bundle written by ``bench --trace``.
 TRACE_BUNDLE_SCHEMA = "repro.trace-bundle/1"
@@ -895,13 +905,115 @@ def _check_fleet_baseline(baseline: FleetBaseline, print_fn) -> bool:
     return ok
 
 
+# -- reqtrace-sampling baselines (exact-match gate) --------------------------
+
+
+@dataclass(frozen=True)
+class ReqtraceBaseline:
+    """One committed reqtrace A/B: profile, seed, exact expectations.
+
+    ``expected`` is the deterministic sampled-vs-full comparison
+    document of :func:`repro.bench.experiments.ext_fleet_reqtrace.
+    measure_fleet_reqtrace` — per-width kept-set digests, the
+    mode-agreement verdict, and the deterministic-keep width-invariance
+    verdict.  The gate is exact equality: the tail-sampling rules are
+    pure functions of the request tape, so any drift in the kept set is
+    a behavioural change in tracing or serving.
+    """
+
+    name: str
+    profile: str
+    seed: int
+    expected: Dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": REQTRACE_BASELINE_SCHEMA,
+            "name": self.name,
+            "profile": self.profile,
+            "seed": self.seed,
+            "expected": self.expected,
+            "recorded_with": __version__,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "ReqtraceBaseline":
+        schema = d.get("schema")
+        if schema != REQTRACE_BASELINE_SCHEMA:
+            raise ValueError(
+                f"unsupported reqtrace baseline schema {schema!r} "
+                f"(expected {REQTRACE_BASELINE_SCHEMA!r})"
+            )
+        return cls(
+            name=str(d["name"]),
+            profile=str(d["profile"]),
+            seed=int(d["seed"]),
+            expected=dict(d["expected"]),
+        )
+
+    @classmethod
+    def load(cls, path: Path | str) -> "ReqtraceBaseline":
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+    def save(self, path: Path | str) -> None:
+        Path(path).write_text(
+            json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+        )
+
+
+def measure_reqtrace(profile: str = "quick", *, seed: int = 0) -> dict:
+    """Deterministic reqtrace A/B document for one ``(profile, seed)``."""
+    from repro.bench.experiments.ext_fleet_reqtrace import (
+        measure_fleet_reqtrace,
+    )
+
+    return measure_fleet_reqtrace(profile, seed=seed)
+
+
+def record_reqtrace_baselines(
+    directory: Path | str,
+    profiles: Sequence[str] = ("quick",),
+    *,
+    seed: int = 0,
+) -> List[ReqtraceBaseline]:
+    """(Re)write one reqtrace baseline file per profile."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    out: List[ReqtraceBaseline] = []
+    for profile in profiles:
+        baseline = ReqtraceBaseline(
+            name=f"reqtrace_{profile}",
+            profile=profile,
+            seed=seed,
+            expected=measure_reqtrace(profile, seed=seed),
+        )
+        baseline.save(directory / f"reqtrace_{profile}.json")
+        out.append(baseline)
+    return out
+
+
+def _check_reqtrace_baseline(baseline: ReqtraceBaseline, print_fn) -> bool:
+    current = measure_reqtrace(baseline.profile, seed=baseline.seed)
+    diffs = compare_service_docs(baseline.expected, current)
+    ok = not diffs
+    print_fn(f"{'PASS' if ok else 'FAIL'} {baseline.name} "
+             f"(exact match, profile={baseline.profile}, "
+             f"seed={baseline.seed})")
+    for path, exp, act in diffs[:20]:
+        print_fn(f"  [REG] {path}: baseline={exp!r}  current={act!r}")
+    if len(diffs) > 20:
+        print_fn(f"  ... and {len(diffs) - 20} more differing fields")
+    return ok
+
+
 def expected_baseline_names() -> List[str]:
     """Filenames ``--check`` requires to be present in the baseline dir.
 
     Derived from the recorders' defaults (:func:`record_baselines`,
     :func:`record_service_baselines`, :func:`record_metrics_baselines`,
-    :func:`record_reorder_baselines`, :func:`record_fleet_baselines`) —
-    the set ``--update-baselines`` writes and CI commits.
+    :func:`record_reorder_baselines`, :func:`record_fleet_baselines`,
+    :func:`record_reqtrace_baselines`) — the set ``--update-baselines``
+    writes and CI commits.
     """
     names = [f"{g}.json" for g in DEFAULT_BASELINE_GRAPHS]
     names.append("service_quick.json")
@@ -909,6 +1021,7 @@ def expected_baseline_names() -> List[str]:
     names.append("metrics_service_quick.json")
     names.append("reorder_locality.json")
     names.append("fleet_quick.json")
+    names.append("reqtrace_quick.json")
     return sorted(names)
 
 
@@ -969,6 +1082,11 @@ def run_check(
         if doc.get("schema") == FLEET_BASELINE_SCHEMA:
             if not _check_fleet_baseline(
                     FleetBaseline.from_dict(doc), print_fn):
+                failures += 1
+            continue
+        if doc.get("schema") == REQTRACE_BASELINE_SCHEMA:
+            if not _check_reqtrace_baseline(
+                    ReqtraceBaseline.from_dict(doc), print_fn):
                 failures += 1
             continue
         baseline = Baseline.from_dict(doc)

@@ -1,0 +1,628 @@
+"""Request-scoped distributed tracing on the fleet's logical clock.
+
+The fourth observability pillar: where the tracer answers *how much*,
+the profiler *where on the machine*, and metrics *what the p99 is*,
+this module answers **why a specific request was slow** — which queue
+it waited in, which shard served it, whether it joined an in-flight
+DETECT, failed over to a replica, or triggered an incremental vs full
+refresh.
+
+Every workload-injected request mints a deterministic
+:func:`mint_trace_id` (blake2b of seed and submission sequence — no
+wall clock anywhere), and a ``TraceContext``
+(:mod:`repro.fleet.tracectx`) rides the ticket through
+:mod:`repro.fleet.router` → per-shard
+:class:`~repro.service.server.PartitionServer` → refresh solves,
+appending causal :class:`ReqSpan` records: admission, queue wait,
+dedup joins (follower spans ``link`` to the leader's trace), coalesce
+membership, failover hops, store state at serve time, and
+incremental-vs-full refresh with the affected-frontier size.
+
+Emission is byte-deterministic:
+
+- :meth:`RequestTracer.to_json_dict` — the :data:`REQTRACE_SCHEMA`
+  document (``repro reqtrace`` inspects it, CI byte-compares double
+  runs, :func:`validate_reqtrace` re-derives every trace_id);
+- :meth:`RequestTracer.to_chrome_trace` — a merged Chrome-trace view:
+  one lane per shard plus the router lane under
+  :data:`~repro.observability.profiler.PID_FLEET`, with flow events
+  (``s``/``t``/``f``) stitching each request's cross-shard hops;
+  :func:`merge_chrome_trace` grafts those lanes onto an existing
+  profiler document so one file shows solver timeline and request
+  journeys side by side.
+
+**Tail sampling** (:class:`TailSamplingConfig`) is deterministic:
+errors, DEGRADED serves and failovers are always kept, the top-K
+slowest per seq-window are kept, and a seeded hash reservoir keeps a
+deterministic fraction of the rest — :func:`select_kept` is the single
+rule implementation, applied post-hoc in full mode and per window in
+sampled mode, so the two modes agree on the kept set by construction
+(the ``ext_fleet_reqtrace`` A/B pins this).  The reservoir and
+always-keep rules depend only on the trace itself (never on shard
+placement), so their kept set is invariant to fleet width.
+
+The :class:`FlightRecorder` is a bounded ring of the last N finished
+traces; :meth:`RequestTracer.observe_health` dumps it whenever the
+:class:`~repro.observability.health.HealthEvaluator` state transitions
+into PAGE — the post-incident "what was in flight" artifact.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from dataclasses import dataclass
+from hashlib import blake2b
+from typing import Dict, List, Optional, Tuple
+
+from repro.observability.profiler import PID_FLEET, PROFILE_SCHEMA
+
+__all__ = [
+    "REQTRACE_SCHEMA",
+    "DETERMINISTIC_KEEP_REASONS",
+    "ReqSpan",
+    "RequestTrace",
+    "RequestTracer",
+    "NullRequestTracer",
+    "NULL_REQTRACE",
+    "TailSamplingConfig",
+    "FlightRecorder",
+    "mint_trace_id",
+    "select_kept",
+    "merge_chrome_trace",
+    "validate_reqtrace",
+]
+
+#: Version tag embedded in every emitted request-trace document.
+REQTRACE_SCHEMA = "repro.reqtrace/1"
+
+#: Keep reasons that depend only on the trace itself (status, id), never
+#: on shard placement or timing — the kept set restricted to these is
+#: invariant to fleet width.  ``slowest`` is deliberately absent:
+#: latency depends on sharding.
+DETERMINISTIC_KEEP_REASONS = frozenset(
+    {"error", "degraded", "failover", "reservoir"})
+
+
+def mint_trace_id(seed: int, sequence: int) -> str:
+    """Deterministic 16-hex-char trace id for one injected request.
+
+    blake2b of ``"{seed}:{sequence}"`` — no wall clock, no randomness —
+    so double runs mint identical ids and :func:`validate_reqtrace` can
+    re-derive every id from the document's own metadata.
+    """
+    return blake2b(f"{seed}:{sequence}".encode(), digest_size=8).hexdigest()
+
+
+def _reservoir_hash(seed: int, trace_id: str) -> int:
+    """Seeded reservoir draw for one trace (independent of the id hash)."""
+    digest = blake2b(f"{seed}:reservoir:{trace_id}".encode(),
+                     digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+@dataclass
+class ReqSpan:
+    """One causal span of a request's journey, on the logical clock.
+
+    ``lane`` names where it happened (``router`` or a shard id);
+    ``link`` carries the leader's trace_id for dedup-join follower
+    spans.
+    """
+
+    name: str
+    lane: str
+    start_units: float
+    end_units: float
+    attrs: Dict[str, object]
+    link: Optional[str] = None
+
+    def to_json_dict(self) -> dict:
+        out: Dict[str, object] = {
+            "name": self.name,
+            "lane": self.lane,
+            "start_units": self.start_units,
+            "end_units": self.end_units,
+        }
+        if self.attrs:
+            out["attrs"] = {k: self.attrs[k] for k in sorted(self.attrs)}
+        if self.link is not None:
+            out["link"] = self.link
+        return out
+
+
+class RequestTrace:
+    """The full record of one request: identity, outcome, spans."""
+
+    __slots__ = ("trace_id", "seq", "kind", "key", "start_units",
+                 "end_units", "status", "fleet_state", "failover",
+                 "latency_units", "spans", "keep_reasons")
+
+    def __init__(self, trace_id: str, seq: int, kind: str, key: str,
+                 start_units: float) -> None:
+        self.trace_id = trace_id
+        self.seq = seq
+        self.kind = kind
+        self.key = key
+        self.start_units = float(start_units)
+        self.end_units = self.start_units
+        self.status = "pending"
+        self.fleet_state = ""
+        self.failover = False
+        self.latency_units = 0.0
+        self.spans: List[ReqSpan] = []
+        self.keep_reasons: List[str] = []
+
+    @property
+    def is_error(self) -> bool:
+        return self.status not in ("pending", "done")
+
+    def lanes(self) -> List[str]:
+        """Distinct lanes touched, in first-touch order."""
+        seen: List[str] = []
+        for s in self.spans:
+            if s.lane not in seen:
+                seen.append(s.lane)
+        return seen
+
+    def to_json_dict(self) -> dict:
+        return {
+            "trace_id": self.trace_id,
+            "seq": self.seq,
+            "kind": self.kind,
+            "key": self.key,
+            "status": self.status,
+            "fleet_state": self.fleet_state,
+            "failover": self.failover,
+            "start_units": self.start_units,
+            "end_units": self.end_units,
+            "latency_units": self.latency_units,
+            "keep_reasons": list(self.keep_reasons),
+            "spans": [s.to_json_dict() for s in self.spans],
+        }
+
+
+@dataclass(frozen=True)
+class TailSamplingConfig:
+    """Deterministic tail-sampling rules.
+
+    Requests are windowed by submission sequence (``seq // window``).
+    Within each window the always-keep rules fire first (errors,
+    DEGRADED, failovers), then the ``top_k`` slowest by
+    ``latency_units`` (ties broken toward the earlier seq), then a
+    seeded hash reservoir keeping ~``reservoir``-of-``window`` of
+    everything — all pure functions of the traces, so the kept set is
+    identical however the sampler is driven.
+    """
+
+    window: int = 32
+    top_k: int = 4
+    reservoir: int = 4
+
+    def __post_init__(self) -> None:
+        if self.window < 1:
+            raise ValueError("window must be >= 1")
+        if self.top_k < 0 or self.reservoir < 0:
+            raise ValueError("top_k and reservoir must be >= 0")
+
+    def to_json_dict(self) -> dict:
+        return {"window": self.window, "top_k": self.top_k,
+                "reservoir": self.reservoir}
+
+
+def select_kept(
+    traces: List[RequestTrace],
+    config: TailSamplingConfig,
+    seed: int,
+) -> Dict[str, List[str]]:
+    """Apply the tail-sampling rules; ``trace_id -> sorted keep reasons``.
+
+    The single implementation of the keep rules: full-mode documents
+    annotate reasons post-hoc with it, sampled-mode documents drop
+    whatever it leaves unkept, and the ``ext_fleet_reqtrace`` bench
+    asserts both agree.  Pure and order-insensitive — only ``seq``,
+    outcome fields and ``latency_units`` of each trace matter.
+    """
+    windows: Dict[int, List[RequestTrace]] = {}
+    for t in traces:
+        windows.setdefault(t.seq // config.window, []).append(t)
+    reasons: Dict[str, List[str]] = {}
+
+    def add(trace: RequestTrace, reason: str) -> None:
+        reasons.setdefault(trace.trace_id, []).append(reason)
+
+    for _, members in sorted(windows.items()):
+        for t in members:
+            if t.is_error:
+                add(t, "error")
+            if t.fleet_state == "degraded":
+                add(t, "degraded")
+            if t.failover:
+                add(t, "failover")
+            if (_reservoir_hash(seed, t.trace_id) % config.window
+                    < config.reservoir):
+                add(t, "reservoir")
+        ranked = sorted(members, key=lambda t: (-t.latency_units, t.seq))
+        for t in ranked[:config.top_k]:
+            add(t, "slowest")
+    return {tid: sorted(rs) for tid, rs in reasons.items()}
+
+
+class FlightRecorder:
+    """Bounded ring of the last N finished traces, dumped on PAGE.
+
+    :meth:`record` is called for *every* finished trace (sampling never
+    thins the ring — the whole point is seeing what was in flight right
+    before the page, kept or not); :meth:`dump` snapshots the ring into
+    :attr:`dumps`, which the emitted document carries under
+    ``"flight"``.
+    """
+
+    def __init__(self, capacity: int = 16) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = int(capacity)
+        self._ring: deque = deque(maxlen=self.capacity)
+        self.dumps: List[dict] = []
+
+    def record(self, trace: RequestTrace) -> None:
+        self._ring.append(trace)
+
+    def dump(self, *, reason: str, clock: float) -> dict:
+        doc = {
+            "reason": reason,
+            "at_units": float(clock),
+            "traces": [t.to_json_dict() for t in self._ring],
+        }
+        self.dumps.append(doc)
+        return doc
+
+    def to_json_dict(self) -> dict:
+        return {"capacity": self.capacity, "dumps": list(self.dumps)}
+
+
+class RequestTracer:
+    """Mints, collects and emits request traces for one run.
+
+    ``mode="full"`` keeps every finished trace (reasons still
+    annotated); ``mode="sampled"`` keeps only what :func:`select_kept`
+    keeps and counts the rest as dropped.  :meth:`begin` returns a
+    :class:`~repro.fleet.tracectx.TraceContext` that the router/server
+    thread through tickets; :meth:`finish` seals the outcome.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        *,
+        seed: int = 0,
+        mode: str = "full",
+        sampling: Optional[TailSamplingConfig] = None,
+        flight_capacity: int = 16,
+    ) -> None:
+        if mode not in ("full", "sampled"):
+            raise ValueError(f"unknown reqtrace mode {mode!r}")
+        self.seed = int(seed)
+        self.mode = mode
+        self.sampling = sampling or TailSamplingConfig()
+        self.flight = FlightRecorder(flight_capacity)
+        self._seq = 0
+        self._finished: List[RequestTrace] = []
+        self._open = 0
+        self._health_state = "OK"
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def begin(self, kind: str, key: str, clock: float):
+        """Mint a new trace; returns the propagation ``TraceContext``."""
+        # Runtime-only import: the context class lives beside the fleet
+        # code it threads through, and importing it at module load would
+        # invert the fleet -> observability layering.
+        from repro.fleet.tracectx import TraceContext
+
+        seq = self._seq
+        self._seq += 1
+        trace = RequestTrace(
+            mint_trace_id(self.seed, seq), seq, kind, key, float(clock))
+        self._open += 1
+        return TraceContext(self, trace)
+
+    def finish(
+        self,
+        ctx,
+        *,
+        status: str,
+        clock: float,
+        fleet_state: str = "",
+        failover: bool = False,
+        latency_units: Optional[float] = None,
+    ) -> RequestTrace:
+        """Seal one trace's outcome and hand it to ring + retention."""
+        t = ctx.trace
+        t.status = str(status)
+        t.fleet_state = str(fleet_state)
+        t.failover = bool(failover)
+        t.end_units = float(clock)
+        t.latency_units = float(
+            latency_units if latency_units is not None
+            else t.end_units - t.start_units)
+        self._open -= 1
+        self._finished.append(t)
+        self.flight.record(t)
+        return t
+
+    def observe_health(self, state: str, clock: float) -> None:
+        """Feed the current health state; dump the ring entering PAGE."""
+        prev = self._health_state
+        self._health_state = state
+        if state == "PAGE" and prev != "PAGE":
+            self.flight.dump(reason=f"{prev}->PAGE", clock=clock)
+
+    # -- retention ---------------------------------------------------------
+
+    def kept_traces(self) -> List[RequestTrace]:
+        """Finished traces surviving the mode's retention, seq order.
+
+        Annotates ``keep_reasons`` on every finished trace as a side
+        effect (full mode keeps unmatched traces with no reasons).
+        """
+        reasons = select_kept(self._finished, self.sampling, self.seed)
+        for t in self._finished:
+            t.keep_reasons = reasons.get(t.trace_id, [])
+        if self.mode == "full":
+            kept = list(self._finished)
+        else:
+            kept = [t for t in self._finished if t.keep_reasons]
+        return sorted(kept, key=lambda t: t.seq)
+
+    # -- emission ----------------------------------------------------------
+
+    def to_json_dict(self, **meta) -> dict:
+        """The :data:`REQTRACE_SCHEMA` document (byte-deterministic)."""
+        kept = self.kept_traces()
+        by_reason: Dict[str, int] = {}
+        for t in kept:
+            for r in t.keep_reasons:
+                by_reason[r] = by_reason.get(r, 0) + 1
+        return {
+            "schema": REQTRACE_SCHEMA,
+            "meta": {"seed": self.seed, **meta},
+            "sampling": {"mode": self.mode,
+                         **self.sampling.to_json_dict()},
+            "totals": {
+                "requests": len(self._finished),
+                "open": self._open,
+                "kept": len(kept),
+                "dropped": len(self._finished) - len(kept),
+                "spans": sum(len(t.spans) for t in kept),
+                "by_reason": {r: by_reason[r] for r in sorted(by_reason)},
+            },
+            "traces": [t.to_json_dict() for t in kept],
+            "flight": self.flight.to_json_dict(),
+        }
+
+    def to_json(self, *, indent: int | None = 2, **meta) -> str:
+        return json.dumps(self.to_json_dict(**meta), indent=indent,
+                          sort_keys=True)
+
+    def to_chrome_trace(self, **meta) -> dict:
+        """Kept traces as a Chrome trace-event document.
+
+        One lane per distinct span lane (``router`` sorts first, then
+        shard ids) under :data:`~repro.observability.profiler.
+        PID_FLEET`; per-request flow events stitch the hops.  Validated
+        by :func:`~repro.observability.profiler.validate_chrome_trace`.
+        """
+        kept = self.kept_traces()
+        events = chrome_request_events(kept)
+        lanes = sorted({s.lane for t in kept for s in t.spans})
+        return {
+            "traceEvents": events,
+            "displayTimeUnit": "ms",
+            "otherData": {
+                "schema": PROFILE_SCHEMA,
+                "num_threads": len(lanes),
+                "reqtrace": {"seed": self.seed, "mode": self.mode,
+                             "kept": len(kept)},
+                **meta,
+            },
+        }
+
+
+class NullRequestTracer:
+    """Disabled tracer: ``begin`` returns ``None`` and nothing records.
+
+    Call sites guard span recording on ``ctx is not None`` (tickets
+    simply carry no trace), so the disabled path costs one attribute
+    read per request — the NULL_TRACER/NULL_PROFILER pattern.
+    """
+
+    enabled = False
+    mode = "off"
+
+    def begin(self, kind: str, key: str, clock: float) -> None:
+        return None
+
+    def finish(self, ctx, **kw) -> None:
+        return None
+
+    def observe_health(self, state: str, clock: float) -> None:
+        return None
+
+    def kept_traces(self) -> list:
+        return []
+
+    def to_json_dict(self, **meta) -> dict:
+        return {"schema": REQTRACE_SCHEMA, "meta": meta,
+                "sampling": {"mode": "off"}, "totals": {}, "traces": [],
+                "flight": {"capacity": 0, "dumps": []}}
+
+
+#: Module-level disabled request tracer; the default everywhere.
+NULL_REQTRACE = NullRequestTracer()
+
+
+# -- Chrome trace-event export -------------------------------------------------
+
+
+#: Span names rendered as zero-duration markers at their *end* tick in
+#: the Chrome view (full interval stays in the JSON document, as a
+#: ``wait_units`` arg here).  Waits from concurrent requests overlap
+#: freely on a lane — as intervals they would break the proper-nesting
+#: contract request lanes promise; as markers at the dequeue moment the
+#: lane shows only what the shard is *doing*, and the wait reads as the
+#: gap the flow arrow crosses.
+_WAIT_SPANS = frozenset({"queue_wait", "coalesce_accept"})
+
+
+def _chrome_interval(s: ReqSpan) -> Tuple[float, float]:
+    """``(ts, dur)`` for one span's Chrome event (wait spans collapse)."""
+    if s.name in _WAIT_SPANS:
+        return s.end_units, 0.0
+    return s.start_units, s.end_units - s.start_units
+
+
+def chrome_request_events(traces: List[RequestTrace]) -> List[dict]:
+    """Request lanes + flow events for ``traces`` (shared emit path).
+
+    Lane tids are assigned by sorted lane name (``router`` < ``shard-0``
+    alphabetically, so the router lane leads).  Per lane, spans are
+    emitted sorted by ``(start, -end, insertion order)`` so nested spans
+    follow their parents — the containment order
+    :func:`~repro.observability.profiler.validate_chrome_trace` checks;
+    :data:`_WAIT_SPANS` collapse to markers to honour it.  Each
+    multi-span request contributes a flow chain (``s`` at its first
+    span, ``t`` at the middle hops, ``f`` at the last) with the
+    submission ``seq`` as the flow id.
+    """
+    lanes = sorted({s.lane for t in traces for s in t.spans})
+    tid_of = {lane: i for i, lane in enumerate(lanes)}
+    events: List[dict] = []
+    if lanes:
+        events.append({"ph": "M", "name": "process_name", "pid": PID_FLEET,
+                       "tid": 0, "args": {"name": "fleet requests"}})
+        for lane in lanes:
+            events.append({"ph": "M", "name": "thread_name",
+                           "pid": PID_FLEET, "tid": tid_of[lane],
+                           "args": {"name": lane}})
+    per_lane: Dict[str, List[Tuple[float, float, int, RequestTrace,
+                                   ReqSpan]]] = {}
+    for t in sorted(traces, key=lambda t: t.seq):
+        for j, s in enumerate(t.spans):
+            ts, dur = _chrome_interval(s)
+            per_lane.setdefault(s.lane, []).append((ts, -(ts + dur), j, t, s))
+    for lane in lanes:
+        for ts, neg_end, _, t, s in sorted(
+                per_lane[lane], key=lambda r: (r[0], r[1], r[3].seq, r[2])):
+            args: Dict[str, object] = {"trace_id": t.trace_id}
+            args.update({k: s.attrs[k] for k in sorted(s.attrs)})
+            if s.name in _WAIT_SPANS:
+                args["wait_units"] = s.end_units - s.start_units
+            if s.link is not None:
+                args["link"] = s.link
+            events.append({
+                "ph": "X", "name": s.name, "cat": "req",
+                "pid": PID_FLEET, "tid": tid_of[lane],
+                "ts": ts, "dur": -neg_end - ts, "args": args,
+            })
+    for t in sorted(traces, key=lambda t: t.seq):
+        if len(t.spans) < 2:
+            continue
+        for j, s in enumerate(t.spans):
+            ph = "s" if j == 0 else ("f" if j == len(t.spans) - 1 else "t")
+            events.append({
+                "ph": ph, "name": "req", "cat": "reqflow", "id": t.seq,
+                "pid": PID_FLEET, "tid": tid_of[s.lane],
+                "ts": _chrome_interval(s)[0],
+                "args": {"trace_id": t.trace_id},
+            })
+    return events
+
+
+def merge_chrome_trace(profile_doc: dict, tracer: RequestTracer) -> dict:
+    """Graft the request lanes onto an existing profiler document.
+
+    Returns a new document whose ``traceEvents`` are the profiler's
+    followed by :func:`chrome_request_events` of the tracer's kept
+    traces (distinct pid, so lanes never collide), with the reqtrace
+    metadata folded into ``otherData`` — one Chrome trace showing the
+    solver timeline and the request journeys together.
+    """
+    kept = tracer.kept_traces()
+    events = list(profile_doc["traceEvents"]) + chrome_request_events(kept)
+    other = dict(profile_doc.get("otherData", {}))
+    other["reqtrace"] = {"seed": tracer.seed, "mode": tracer.mode,
+                         "kept": len(kept)}
+    out = dict(profile_doc)
+    out["traceEvents"] = events
+    out["otherData"] = other
+    return out
+
+
+# -- document validation -------------------------------------------------------
+
+
+def validate_reqtrace(doc: dict) -> Dict[str, int]:
+    """Structural + determinism checks for a ``repro.reqtrace/1`` doc.
+
+    Verifies the schema tag, that traces are sorted by unique ``seq``
+    with every ``trace_id`` re-derivable from ``meta.seed`` (the
+    no-wall-clock contract), span intervals within sane bounds, dedup
+    ``link`` targets well-formed, and flight-recorder dumps shaped like
+    trace lists.  Raises :class:`ValueError` on the first violation;
+    returns ``{"traces": n, "spans": n, "dumps": n}``.
+    """
+    if not isinstance(doc, dict) or doc.get("schema") != REQTRACE_SCHEMA:
+        raise ValueError(
+            f"unsupported reqtrace schema {doc.get('schema')!r} "
+            f"(expected {REQTRACE_SCHEMA!r})")
+    for key in ("meta", "sampling", "totals", "traces", "flight"):
+        if key not in doc:
+            raise ValueError(f"reqtrace document missing {key!r}")
+    seed = doc["meta"].get("seed")
+    if not isinstance(seed, int):
+        raise ValueError("meta.seed missing or not an integer")
+
+    def check_trace(t: dict, where: str) -> int:
+        for key in ("trace_id", "seq", "kind", "key", "status",
+                    "start_units", "end_units", "latency_units", "spans"):
+            if key not in t:
+                raise ValueError(f"{where}: trace missing {key!r}")
+        if t["trace_id"] != mint_trace_id(seed, t["seq"]):
+            raise ValueError(
+                f"{where}: trace_id {t['trace_id']!r} does not match "
+                f"blake2b({seed}:{t['seq']})")
+        if t["end_units"] < t["start_units"]:
+            raise ValueError(f"{where}: trace ends before it starts")
+        for j, s in enumerate(t["spans"]):
+            for key in ("name", "lane", "start_units", "end_units"):
+                if key not in s:
+                    raise ValueError(
+                        f"{where} span {j}: missing {key!r}")
+            if s["end_units"] < s["start_units"]:
+                raise ValueError(
+                    f"{where} span {j}: ends before it starts")
+            link = s.get("link")
+            if link is not None and not (
+                    isinstance(link, str) and len(link) == 16):
+                raise ValueError(
+                    f"{where} span {j}: malformed link {link!r}")
+        return len(t["spans"])
+
+    spans = 0
+    last_seq = -1
+    for t in doc["traces"]:
+        if t["seq"] <= last_seq:
+            raise ValueError(
+                f"traces not sorted by unique seq at seq={t['seq']}")
+        last_seq = t["seq"]
+        spans += check_trace(t, f"trace seq={t['seq']}")
+    for d, dump in enumerate(doc["flight"].get("dumps", [])):
+        for key in ("reason", "at_units", "traces"):
+            if key not in dump:
+                raise ValueError(f"flight dump {d}: missing {key!r}")
+        for t in dump["traces"]:
+            check_trace(t, f"flight dump {d} seq={t.get('seq')}")
+    return {"traces": len(doc["traces"]), "spans": spans,
+            "dumps": len(doc["flight"].get("dumps", []))}

@@ -33,7 +33,7 @@ from repro.observability.metrics import bucket_of as _bucket_of
 from repro.observability.metrics import bucket_percentile
 
 __all__ = ["TRACE_SCHEMA", "TRACE_SCHEMA_V1", "Span", "Tracer", "NullTracer",
-           "NULL_TRACER", "bucket_percentile"]
+           "NULL_TRACER", "bucket_percentile", "format_span_path"]
 
 #: Version tag embedded in every emitted trace document.
 TRACE_SCHEMA = "repro.trace/2"
@@ -166,6 +166,22 @@ class Span:
                 f"{len(self.children)} children)")
 
 
+def format_span_path(spans) -> str:
+    """Slash-joined label for a sequence of open spans.
+
+    The single implementation behind :meth:`Tracer.span_path` and
+    :meth:`NullTracer.span_path` (both used as profiler region labels by
+    :mod:`repro.parallel.runtime`).  Spans carrying an ``index``
+    attribute (the per-pass spans) embed it so repeated siblings stay
+    distinguishable: ``leiden/pass[1]/local_move``.
+    """
+    parts = []
+    for s in spans:
+        idx = s.attrs.get("index")
+        parts.append(f"{s.name}[{idx}]" if idx is not None else s.name)
+    return "/".join(parts)
+
+
 class Tracer:
     """Collects a span tree plus counters for one traced execution."""
 
@@ -258,14 +274,10 @@ class Tracer:
         """Slash-joined path of the open spans, e.g. ``leiden/pass[1]/
         local_move`` — the region label the profiler attaches to events.
 
-        Spans carrying an ``index`` attribute (the per-pass spans) embed
-        it so repeated siblings stay distinguishable.
+        Delegates to :func:`format_span_path` (shared with
+        :class:`NullTracer` so there is exactly one formatting rule).
         """
-        parts = []
-        for s in self._stack[1:]:
-            idx = s.attrs.get("index")
-            parts.append(f"{s.name}[{idx}]" if idx is not None else s.name)
-        return "/".join(parts)
+        return format_span_path(self._stack[1:])
 
     def counter_totals(self) -> Dict[str, float]:
         """All counters, summed over the entire trace."""
@@ -377,7 +389,7 @@ class NullTracer:
         return _NULL_SPAN
 
     def span_path(self) -> str:
-        return ""
+        return format_span_path(())
 
     def counter_totals(self) -> Dict[str, float]:
         return {}

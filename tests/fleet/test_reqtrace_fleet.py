@@ -1,0 +1,191 @@
+"""Fleet request tracing: span chains, failover accounting, determinism."""
+
+import json
+import os
+import subprocess
+import sys
+
+from repro.fleet.fleet import FleetConfig, PartitionFleet
+from repro.fleet.workload import run_fleet_workload
+from repro.observability.health import HealthEvaluator, default_fleet_slos
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.profiler import validate_chrome_trace
+from repro.observability.reqtrace import (
+    DETERMINISTIC_KEEP_REASONS,
+    RequestTracer,
+    validate_reqtrace,
+)
+from tests.conftest import two_cliques_graph
+
+
+def traced_fleet(shards=3, replicas=2, *, mode="full", metrics=None):
+    tracer = RequestTracer(seed=0, mode=mode)
+    fleet = PartitionFleet(
+        FleetConfig(num_shards=shards, replicas=replicas, virtual_nodes=32),
+        metrics=metrics,
+        reqtrace=tracer,
+    )
+    return fleet, tracer
+
+
+def run_traced_workload(shards, *, mode="full", profile="tiny", seed=0):
+    tracer = RequestTracer(seed=seed, mode=mode)
+    fleet = PartitionFleet(
+        FleetConfig(num_shards=shards, replicas=1),
+        health=HealthEvaluator(default_fleet_slos()),
+        reqtrace=tracer,
+    )
+    run_fleet_workload(profile, seed=seed, fleet=fleet, verify=False)
+    return tracer.to_json_dict()
+
+
+class TestSpanChains:
+    def test_ok_request_has_complete_chain(self):
+        fleet, tracer = traced_fleet()
+        t = fleet.detect(two_cliques_graph())
+        assert t.status == "done"
+        trace = tracer.kept_traces()[0]
+        names = [s.name for s in trace.spans]
+        assert names[0] == "admission"
+        assert names[-1] == "reply"
+        assert "queue_wait" in names
+        assert any(n.startswith("serve.") for n in names)
+        # Router spans on the router lane, shard spans on the shard lane.
+        assert trace.lanes()[0] == "router"
+        assert t.shard in trace.lanes()
+
+    def test_failover_request_chain_is_complete_and_kept(self):
+        fleet, tracer = traced_fleet()
+        key = fleet.detect(two_cliques_graph()).response["key"]
+        primary, replica = fleet.ring.placement(key)
+        fleet.kill(primary)
+        t = fleet.query(key, "community_of", vertex=0)
+        assert t.failover and t.status == "done"
+        trace = tracer.kept_traces()[-1]
+        assert trace.failover
+        assert trace.fleet_state == "degraded"
+        assert set(trace.keep_reasons) >= {"degraded", "failover"}
+        admission = trace.spans[0]
+        assert admission.attrs["failover"] is True
+        assert admission.attrs["routed"] == [replica]
+        assert replica in trace.lanes()
+        assert trace.spans[-1].attrs["status"] == "done"
+
+    def test_dedup_follower_links_leader(self):
+        fleet, tracer = traced_fleet(shards=1, replicas=1)
+        g = two_cliques_graph()
+        lead = fleet.router.submit_detect(g)
+        follow = fleet.router.submit_detect(g)
+        fleet.router.pump()
+        assert follow.tickets[0][1] is lead.tickets[0][1]
+        linked = [s for t in tracer.kept_traces() for s in t.spans
+                  if s.name == "dedup_join"]
+        assert len(linked) == 1
+        assert linked[0].link == lead.trace.trace_id
+
+    def test_chrome_view_has_flow_chain_per_request(self):
+        fleet, tracer = traced_fleet()
+        key = fleet.detect(two_cliques_graph()).response["key"]
+        fleet.kill(fleet.ring.placement(key)[0])
+        fleet.query(key, "membership")
+        doc = tracer.to_chrome_trace()
+        summary = validate_chrome_trace(doc)
+        assert summary["flows"] == len(tracer.kept_traces())
+        # The failover trace's flow starts on the router lane and ends
+        # there too (reply), crossing the serving shard in between.
+        flow = [e for e in doc["traceEvents"]
+                if e.get("cat") == "reqflow" and e["id"] == 1]
+        assert [e["ph"] for e in flow] == (
+            ["s"] + ["t"] * (len(flow) - 2) + ["f"])
+
+
+class TestFailoverAccounting:
+    def test_degraded_served_counts_done_failovers(self):
+        m = MetricsRegistry()
+        fleet, _ = traced_fleet(metrics=m)
+        key = fleet.detect(two_cliques_graph()).response["key"]
+        fleet.kill(fleet.ring.placement(key)[0])
+        t = fleet.query(key, "community_of", vertex=0)
+        assert t.status == "done" and t.failover
+        c = fleet.router._m_degraded_served
+        assert c.value("done") == 1
+        assert fleet.router.counters["failover_failed"] == 0
+
+    def test_failover_while_error_lands_under_failed_status(self):
+        # Kill the primary so the query fails over to the replica, then
+        # kill the replica while the ticket is still queued: the request
+        # dies on the failover path without ever being served DEGRADED.
+        m = MetricsRegistry()
+        fleet, tracer = traced_fleet(metrics=m)
+        key = fleet.detect(two_cliques_graph()).response["key"]
+        primary, replica = fleet.ring.placement(key)
+        fleet.kill(primary)
+        queued = fleet.router.submit_query(key, "membership")
+        assert queued.failover
+        fleet.kill(replica)
+        fleet.router.pump()
+        assert queued.status == "failed"
+        assert fleet.router._m_degraded_served.value("failed") == 1
+        assert fleet.router.counters["failover_failed"] == 1
+        assert fleet.router.counters["degraded_serves"] == 0
+        # The failed failover is always kept — under both reasons.
+        trace = [t for t in tracer.kept_traces() if t.failover][0]
+        assert set(trace.keep_reasons) >= {"error", "failover"}
+
+    def test_latency_histogram_carries_trace_exemplars(self):
+        m = MetricsRegistry()
+        fleet, tracer = traced_fleet(metrics=m)
+        fleet.detect(two_cliques_graph())
+        data = fleet.router._m_latency._data[("detect",)]
+        assert data.exemplars
+        ids = {tid for _, tid in data.exemplars.values()}
+        assert ids <= {t.trace_id for t in tracer.kept_traces()}
+
+
+class TestDeterminism:
+    def test_double_run_byte_identical_at_1_and_4_shards(self):
+        for shards in (1, 4):
+            a = run_traced_workload(shards)
+            b = run_traced_workload(shards)
+            assert json.dumps(a, sort_keys=True) == json.dumps(
+                b, sort_keys=True), f"shards={shards}"
+            validate_reqtrace(a)
+
+    def test_hashseed_does_not_leak_into_document(self, tmp_path):
+        script = (
+            "import json\n"
+            "from tests.fleet.test_reqtrace_fleet import"
+            " run_traced_workload\n"
+            "print(json.dumps(run_traced_workload(2), sort_keys=True))\n"
+        )
+        docs = []
+        for hashseed in ("1", "4242"):
+            env = dict(os.environ, PYTHONHASHSEED=hashseed)
+            env["PYTHONPATH"] = os.pathsep.join(
+                p for p in ("src", env.get("PYTHONPATH", "")) if p)
+            proc = subprocess.run(
+                [sys.executable, "-c", script], env=env, cwd=os.getcwd(),
+                capture_output=True, text=True, timeout=300)
+            assert proc.returncode == 0, proc.stderr[-2000:]
+            docs.append(proc.stdout)
+        assert docs[0] == docs[1]
+
+    def test_deterministic_keep_set_invariant_across_widths(self):
+        kept_by_width = {}
+        for shards in (1, 2, 4):
+            doc = run_traced_workload(shards)
+            kept_by_width[shards] = {
+                t["trace_id"] for t in doc["traces"]
+                if set(t["keep_reasons"]) & DETERMINISTIC_KEEP_REASONS}
+        assert kept_by_width[1] == kept_by_width[2] == kept_by_width[4]
+
+    def test_sampled_mode_drops_are_width_invariant_too(self):
+        # The sampled documents keep supersets of the deterministic set;
+        # restricted back to the deterministic reasons they agree.
+        views = {}
+        for shards in (1, 4):
+            doc = run_traced_workload(shards, mode="sampled")
+            views[shards] = {
+                t["trace_id"] for t in doc["traces"]
+                if set(t["keep_reasons"]) & DETERMINISTIC_KEEP_REASONS}
+        assert views[1] == views[4]

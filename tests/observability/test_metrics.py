@@ -228,6 +228,63 @@ class TestExposition:
         with pytest.raises(ValueError):
             validate_prometheus(text)
 
+    def test_exemplar_golden(self):
+        r = MetricsRegistry()
+        h = r.histogram("lat", "latency")
+        h.observe(1.0, "aaaaaaaaaaaaaaaa")
+        h.observe(3.0)  # no exemplar: bucket line stays bare
+        h.observe(100.0, "bbbbbbbbbbbbbbbb")
+        h.observe(120.0, "cccccccccccccccc")  # larger value wins the bucket
+        assert r.to_prometheus() == (
+            "# HELP lat latency\n"
+            "# TYPE lat histogram\n"
+            'lat_bucket{le="2"} 1 # {trace_id="aaaaaaaaaaaaaaaa"} 1\n'
+            'lat_bucket{le="4"} 2\n'
+            'lat_bucket{le="128"} 4 # {trace_id="cccccccccccccccc"} 120\n'
+            'lat_bucket{le="+Inf"} 4\n'
+            "lat_sum 224\n"
+            "lat_count 4\n"
+        )
+
+    def test_exemplar_keep_rule_first_seen_wins_ties(self):
+        r = MetricsRegistry()
+        h = r.histogram("lat")
+        h.observe(100.0, "aaaaaaaaaaaaaaaa")
+        h.observe(100.0, "bbbbbbbbbbbbbbbb")  # equal value: keeps first
+        assert 'trace_id="aaaaaaaaaaaaaaaa"' in r.to_prometheus()
+        assert "bbbb" not in r.to_prometheus()
+
+    def test_validator_counts_exemplars(self):
+        r = MetricsRegistry()
+        h = r.histogram("lat", "", ("kind",))
+        h.labels("q").observe(2.0, "deadbeefdeadbeef")
+        report = validate_prometheus(r.to_prometheus())
+        assert report["exemplars"] == 1
+
+    def test_validator_rejects_exemplar_off_bucket_lines(self):
+        for line in ('c_total 1 # {trace_id="aaaaaaaaaaaaaaaa"} 1',
+                     'h_sum 4 # {trace_id="aaaaaaaaaaaaaaaa"} 4'):
+            family = ("# TYPE c_total counter\n" if line.startswith("c")
+                      else "# TYPE h histogram\n"
+                           'h_bucket{le="+Inf"} 1\n')
+            with pytest.raises(ValueError, match="non-histogram-bucket"):
+                validate_prometheus(family + line + "\n")
+
+    def test_validator_rejects_malformed_exemplar(self):
+        text = ("# TYPE h histogram\n"
+                'h_bucket{le="2"} 1 # trace_id=nolabels\n'
+                'h_bucket{le="+Inf"} 1\n')
+        with pytest.raises(ValueError, match="malformed exemplar"):
+            validate_prometheus(text)
+
+    def test_exemplars_survive_snapshot_roundtrip(self):
+        r = MetricsRegistry()
+        r.histogram("lat").observe(5.0, "feedfacefeedface")
+        doc = r.to_snapshot(seed=0)
+        series = doc["families"]["lat"]["series"][0]
+        assert series["exemplars"] == {
+            "3": {"trace_id": "feedfacefeedface", "value": 5.0}}
+
     def test_label_values_escaped(self):
         r = MetricsRegistry()
         r.counter("c_total", "", ("p",)).labels('a"b\\c\nd').inc()

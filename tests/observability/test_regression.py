@@ -218,6 +218,42 @@ class TestServiceBaseline:
         assert "2/2 baselines within thresholds" in capsys.readouterr().out
 
 
+class TestReqtraceBaseline:
+    def test_save_load_roundtrip(self, tmp_path):
+        b = regression.ReqtraceBaseline(
+            name="reqtrace_tiny", profile="tiny", seed=0,
+            expected={"kept_match": True, "widths": {}})
+        path = tmp_path / "reqtrace_tiny.json"
+        b.save(path)
+        loaded = regression.ReqtraceBaseline.load(path)
+        assert loaded == b
+        assert (json.loads(path.read_text())["schema"]
+                == regression.REQTRACE_BASELINE_SCHEMA)
+
+    def test_rejects_unknown_schema(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": "repro.reqtrace-baseline/9",
+                                    "name": "x", "profile": "tiny",
+                                    "seed": 0, "expected": {}}))
+        with pytest.raises(ValueError, match="schema"):
+            regression.ReqtraceBaseline.load(path)
+
+    def test_record_then_check_passes(self, tmp_path, capsys):
+        regression.record_reqtrace_baselines(tmp_path, ["tiny"], seed=0)
+        assert run_check(tmp_path) == 0
+        out = capsys.readouterr().out
+        assert "PASS reqtrace_tiny (exact match" in out
+
+    def test_measure_pins_mode_agreement_and_width_invariance(self):
+        doc = regression.measure_reqtrace("tiny", seed=0)
+        assert doc["kept_match"] is True
+        assert doc["det_keep_invariant"] is True
+        assert set(doc["widths"]) == {"shards_1", "shards_4"}
+
+    def test_expected_names_include_reqtrace(self):
+        assert "reqtrace_quick.json" in regression.expected_baseline_names()
+
+
 class TestRunTrace:
     def test_bundle_schema(self):
         bundle = run_trace([GRAPH], seed=42)

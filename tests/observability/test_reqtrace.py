@@ -1,0 +1,273 @@
+"""Request tracing: trace ids, tail sampling, flight recorder, export."""
+
+import json
+
+import pytest
+
+from repro.observability.profiler import validate_chrome_trace
+from repro.observability.reqtrace import (
+    DETERMINISTIC_KEEP_REASONS,
+    NULL_REQTRACE,
+    FlightRecorder,
+    NullRequestTracer,
+    RequestTracer,
+    TailSamplingConfig,
+    merge_chrome_trace,
+    mint_trace_id,
+    select_kept,
+    validate_reqtrace,
+)
+
+
+class TestMintTraceId:
+    def test_deterministic_and_16_hex(self):
+        a = mint_trace_id(0, 0)
+        assert a == mint_trace_id(0, 0)
+        assert len(a) == 16
+        int(a, 16)  # raises if not hex
+
+    def test_seed_and_sequence_both_matter(self):
+        ids = {mint_trace_id(s, q) for s in (0, 1, 7) for q in (0, 1, 2)}
+        assert len(ids) == 9
+
+
+class TestTailSamplingConfig:
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError, match="window"):
+            TailSamplingConfig(window=0)
+
+    def test_rejects_negative_knobs(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            TailSamplingConfig(top_k=-1)
+        with pytest.raises(ValueError, match=">= 0"):
+            TailSamplingConfig(reservoir=-1)
+
+
+def finished_trace(tracer, seq_kind="query", *, status="done",
+                   fleet_state="", failover=False, latency=1.0):
+    ctx = tracer.begin(seq_kind, f"k{tracer._seq}", 0.0)
+    return tracer.finish(ctx, status=status, clock=latency,
+                         fleet_state=fleet_state, failover=failover,
+                         latency_units=latency)
+
+
+class TestSelectKept:
+    def make_traces(self, n=8, **kw):
+        tracer = RequestTracer(seed=3)
+        return [finished_trace(tracer, **kw) for _ in range(n)]
+
+    def test_errors_degraded_failovers_always_kept(self):
+        tracer = RequestTracer(seed=3)
+        err = finished_trace(tracer, status="failed")
+        deg = finished_trace(tracer, fleet_state="degraded")
+        fov = finished_trace(tracer, failover=True)
+        cfg = TailSamplingConfig(window=4, top_k=0, reservoir=0)
+        reasons = select_kept([err, deg, fov], cfg, seed=3)
+        assert "error" in reasons[err.trace_id]
+        assert "degraded" in reasons[deg.trace_id]
+        assert "failover" in reasons[fov.trace_id]
+
+    def test_top_k_slowest_with_seq_tiebreak(self):
+        tracer = RequestTracer(seed=0)
+        traces = [finished_trace(tracer, latency=lat)
+                  for lat in (5.0, 9.0, 9.0, 1.0)]
+        cfg = TailSamplingConfig(window=8, top_k=2, reservoir=0)
+        reasons = select_kept(traces, cfg, seed=0)
+        slowest = {tid for tid, rs in reasons.items() if "slowest" in rs}
+        # Both 9.0s win; the tie among them resolves toward earlier seq
+        # but top_k=2 admits both, excluding 5.0 and 1.0.
+        assert slowest == {traces[1].trace_id, traces[2].trace_id}
+
+    def test_order_insensitive(self):
+        traces = self.make_traces(12)
+        cfg = TailSamplingConfig(window=4, top_k=1, reservoir=2)
+        fwd = select_kept(traces, cfg, seed=3)
+        rev = select_kept(list(reversed(traces)), cfg, seed=3)
+        assert fwd == rev
+
+    def test_reasons_sorted(self):
+        tracer = RequestTracer(seed=1)
+        t = finished_trace(tracer, status="failed", fleet_state="degraded",
+                           failover=True)
+        cfg = TailSamplingConfig(window=2, top_k=1, reservoir=2)
+        reasons = select_kept([t], cfg, seed=1)
+        assert reasons[t.trace_id] == sorted(reasons[t.trace_id])
+
+    def test_deterministic_reasons_exclude_slowest(self):
+        assert "slowest" not in DETERMINISTIC_KEEP_REASONS
+        assert DETERMINISTIC_KEEP_REASONS == {
+            "error", "degraded", "failover", "reservoir"}
+
+
+class TestModes:
+    def drive(self, mode, n=40):
+        tracer = RequestTracer(seed=7, mode=mode,
+                               sampling=TailSamplingConfig(
+                                   window=8, top_k=2, reservoir=2))
+        for i in range(n):
+            finished_trace(tracer, status="failed" if i % 13 == 0 else "done",
+                           latency=float(i % 5))
+        return tracer
+
+    def test_full_keeps_everything_but_annotates(self):
+        tracer = self.drive("full")
+        kept = tracer.kept_traces()
+        assert len(kept) == 40
+        assert any(t.keep_reasons for t in kept)
+        assert any(not t.keep_reasons for t in kept)
+
+    def test_sampled_keeps_exactly_the_annotated_set(self):
+        full = self.drive("full")
+        sampled = self.drive("sampled")
+        want = {t.trace_id for t in full.kept_traces() if t.keep_reasons}
+        got = {t.trace_id for t in sampled.kept_traces()}
+        assert got == want
+        doc = sampled.to_json_dict()
+        assert doc["totals"]["dropped"] == 40 - len(want)
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="mode"):
+            RequestTracer(mode="half")
+
+
+class TestFlightRecorder:
+    def test_ring_is_bounded(self):
+        rec = FlightRecorder(capacity=3)
+        tracer = RequestTracer(seed=0)
+        traces = [finished_trace(tracer) for _ in range(5)]
+        for t in traces:
+            rec.record(t)
+        dump = rec.dump(reason="WARN->PAGE", clock=9.0)
+        assert [t["seq"] for t in dump["traces"]] == [2, 3, 4]
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError, match="capacity"):
+            FlightRecorder(capacity=0)
+
+    def test_dump_only_on_transition_into_page(self):
+        tracer = RequestTracer(seed=0, flight_capacity=4)
+        finished_trace(tracer)
+        tracer.observe_health("OK", 1.0)
+        tracer.observe_health("WARN", 2.0)
+        assert tracer.flight.dumps == []
+        tracer.observe_health("PAGE", 3.0)
+        tracer.observe_health("PAGE", 4.0)  # still paging: no second dump
+        assert len(tracer.flight.dumps) == 1
+        assert tracer.flight.dumps[0]["reason"] == "WARN->PAGE"
+        tracer.observe_health("OK", 5.0)
+        tracer.observe_health("PAGE", 6.0)  # re-entry dumps again
+        assert len(tracer.flight.dumps) == 2
+        assert tracer.flight.dumps[1]["reason"] == "OK->PAGE"
+
+    def test_sampling_never_thins_the_ring(self):
+        tracer = RequestTracer(seed=0, mode="sampled",
+                               sampling=TailSamplingConfig(
+                                   window=8, top_k=0, reservoir=0))
+        for _ in range(6):
+            finished_trace(tracer)
+        assert tracer.kept_traces() == []  # nothing survives retention
+        tracer.observe_health("PAGE", 7.0)
+        assert len(tracer.flight.dumps[0]["traces"]) == 6
+
+
+class TestDocument:
+    def make_doc(self, **meta):
+        tracer = RequestTracer(seed=5)
+        ctx = tracer.begin("detect", "key-a", 0.0)
+        ctx.span("queue_wait", "server", 0.0, 2.0)
+        ctx.span("serve.detect", "server", 2.0, 6.0, cache_hit=False)
+        tracer.finish(ctx, status="done", clock=6.0, latency_units=6.0)
+        return tracer, tracer.to_json_dict(**meta)
+
+    def test_validates_and_counts(self):
+        _, doc = self.make_doc(experiment="unit")
+        assert validate_reqtrace(doc) == {"traces": 1, "spans": 2,
+                                          "dumps": 0}
+        assert doc["meta"]["experiment"] == "unit"
+
+    def test_byte_deterministic(self):
+        _, a = self.make_doc()
+        _, b = self.make_doc()
+        dump = lambda d: json.dumps(d, sort_keys=True)  # noqa: E731
+        assert dump(a) == dump(b)
+
+    def test_rejects_wrong_schema(self):
+        _, doc = self.make_doc()
+        doc["schema"] = "repro.reqtrace/0"
+        with pytest.raises(ValueError, match="schema"):
+            validate_reqtrace(doc)
+
+    def test_rejects_underivable_trace_id(self):
+        _, doc = self.make_doc()
+        doc["traces"][0]["trace_id"] = "f" * 16
+        with pytest.raises(ValueError, match="does not match"):
+            validate_reqtrace(doc)
+
+    def test_rejects_unsorted_seq(self):
+        tracer = RequestTracer(seed=5)
+        finished_trace(tracer)
+        finished_trace(tracer)
+        doc = tracer.to_json_dict()
+        doc["traces"].reverse()
+        with pytest.raises(ValueError, match="sorted"):
+            validate_reqtrace(doc)
+
+    def test_rejects_malformed_link(self):
+        _, doc = self.make_doc()
+        doc["traces"][0]["spans"][0]["link"] = "short"
+        with pytest.raises(ValueError, match="link"):
+            validate_reqtrace(doc)
+
+    def test_rejects_backwards_span(self):
+        _, doc = self.make_doc()
+        doc["traces"][0]["spans"][0]["end_units"] = -1.0
+        with pytest.raises(ValueError, match="ends before"):
+            validate_reqtrace(doc)
+
+
+class TestChromeView:
+    def multi_lane_tracer(self):
+        tracer = RequestTracer(seed=2)
+        ctx = tracer.begin("query", "key-a", 0.0)
+        ctx.span("admission", "router", 0.0, 0.0, kind="query")
+        ctx.span("queue_wait", "shard-0", 0.0, 3.0)
+        ctx.span("serve.query", "shard-0", 3.0, 5.0)
+        ctx.span("reply", "router", 5.0, 5.0, status="done")
+        tracer.finish(ctx, status="done", clock=5.0, latency_units=5.0)
+        return tracer
+
+    def test_lanes_flows_and_validation(self):
+        doc = self.multi_lane_tracer().to_chrome_trace()
+        summary = validate_chrome_trace(doc)
+        assert summary["lanes"] == 2
+        assert summary["flows"] == 1
+        names = {e["args"]["name"] for e in doc["traceEvents"]
+                 if e["ph"] == "M" and e["name"] == "thread_name"}
+        assert names == {"router", "shard-0"}
+
+    def test_wait_spans_collapse_to_markers(self):
+        doc = self.multi_lane_tracer().to_chrome_trace()
+        waits = [e for e in doc["traceEvents"]
+                 if e["ph"] == "X" and e["name"] == "queue_wait"]
+        assert len(waits) == 1
+        assert waits[0]["dur"] == 0.0
+        assert waits[0]["ts"] == 3.0  # the dequeue moment, not the submit
+        assert waits[0]["args"]["wait_units"] == 3.0
+
+    def test_merge_grafts_onto_profile_doc(self):
+        tracer = self.multi_lane_tracer()
+        base = {"traceEvents": [], "displayTimeUnit": "ms",
+                "otherData": {"schema": "repro.profile/1",
+                              "num_threads": 0}}
+        merged = merge_chrome_trace(base, tracer)
+        assert merged["otherData"]["reqtrace"]["kept"] == 1
+        assert base["traceEvents"] == []  # input untouched
+        validate_chrome_trace(merged)
+
+
+class TestNullTracer:
+    def test_disabled_api_surface(self):
+        assert NULL_REQTRACE.enabled is False
+        assert NULL_REQTRACE.begin("query", "k", 0.0) is None
+        assert NULL_REQTRACE.kept_traces() == []
+        assert NullRequestTracer().to_json_dict()["traces"] == []

@@ -178,6 +178,37 @@ class TestSpanPath:
     def test_null_tracer_path_empty(self):
         assert NullTracer().span_path() == ""
 
+    def test_single_implementation_behind_both_tracers(self):
+        # Regression: Tracer.span_path and NullTracer.span_path once
+        # carried duplicated formatting logic that drifted; both must
+        # delegate to format_span_path, the one the runtime's region
+        # labels come from.
+        from repro.observability.tracer import format_span_path
+
+        t = Tracer()
+        with t.span("leiden"):
+            with t.span("pass", index=2):
+                assert t.span_path() == format_span_path(t._stack[1:])
+        assert NullTracer().span_path() == format_span_path(())
+
+    def test_runtime_region_labels_use_span_path_at_both_call_sites(self):
+        # The two parallel/runtime.py call sites — parallel regions and
+        # serial sections — must label profiler regions with the same
+        # span path the tracer reports.
+        import numpy as np
+
+        from repro.observability.profiler import Profiler
+        from repro.parallel.runtime import Runtime
+
+        tracer = Tracer()
+        profiler = Profiler(num_threads=2)
+        rt = Runtime(num_threads=2, tracer=tracer, profiler=profiler)
+        with tracer.span("leiden"):
+            with tracer.span("pass", index=1):
+                rt.record_parallel(np.ones(8), phase="local_move")
+                rt.record_serial(4.0, phase="aggregate")
+        assert {r.label for r in profiler.regions} == {"leiden/pass[1]"}
+
 
 class TestCounters:
     def test_count_lands_on_innermost_span(self):

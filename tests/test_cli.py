@@ -148,9 +148,10 @@ class TestBenchSubcommand:
         assert "recorded metrics baseline" in out
         assert "recorded reorder baseline" in out
         assert "recorded fleet baseline" in out
+        assert "recorded reqtrace baseline" in out
         assert main(["bench", "--check",
                      "--baselines", str(tmp_path)]) == 0
-        assert "8/8 baselines within thresholds" in capsys.readouterr().out
+        assert "9/9 baselines within thresholds" in capsys.readouterr().out
 
     def test_bench_trace_writes_bundle(self, tmp_path, capsys):
         out_file = tmp_path / "bundle.json"

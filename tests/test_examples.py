@@ -25,6 +25,7 @@ EXPECTED_OUTPUT = {
     "reorder_locality.py": "Q invariant under relabeling: True",
     "metrics_smoke.py": "health=PAGE",
     "fleet_smoke.py": "zero failed requests: True",
+    "reqtrace_smoke.py": "trace ids replay deterministically: True",
 }
 
 
