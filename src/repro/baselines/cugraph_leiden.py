@@ -24,10 +24,16 @@ from dataclasses import dataclass
 
 from repro.core.config import LeidenConfig
 from repro.core.leiden import leiden
-from repro.core.result import LeidenResult
+from repro.core.result import (
+    PHASE_AGGREGATE,
+    PHASE_LOCAL_MOVE,
+    PHASE_REFINE,
+    LeidenResult,
+)
 from repro.datasets.registry import GraphSpec
 from repro.errors import SimulatedOutOfMemory
 from repro.graph.csr import CSRGraph
+from repro.observability.memtrack import MemoryLedger
 from repro.parallel.runtime import Runtime
 
 __all__ = ["cugraph_leiden", "DeviceModel", "A100_DEVICE", "CUGRAPH_LEIDEN_CONFIG"]
@@ -51,10 +57,46 @@ class DeviceModel:
             + num_vertices * self.bytes_per_vertex
         )
 
+    def allocation_plan(self, num_vertices: float, num_edges: float):
+        """The device working set as staged constituent allocations.
+
+        Breaks the 72 B/edge + 96 B/vertex budget into the buffers the
+        GPU pipeline actually holds, by component and Leiden phase, so
+        an OOM can name what filled the card.  Fractions sum exactly to
+        ``bytes_per_edge``/``bytes_per_vertex``; the last entry absorbs
+        integer-rounding remainders so the staged total always equals
+        :meth:`required_bytes`.
+        """
+        e, v = float(num_edges), float(num_vertices)
+        plan = [
+            # (component, buffer, phase, exact bytes)
+            ("csr", "adjacency", "other", e * 24.0),
+            ("coo", "staging", "other", e * 24.0),
+            ("kernels", "edge_scratch", PHASE_LOCAL_MOVE, e * 24.0),
+            ("csr", "offsets", "other", v * 16.0),
+            ("state", "membership", PHASE_LOCAL_MOVE, v * 16.0),
+            ("state", "community_weights", PHASE_LOCAL_MOVE, v * 24.0),
+            ("kernels", "hash_state", PHASE_REFINE, v * 24.0),
+            ("kernels", "frontier", PHASE_AGGREGATE, v * 16.0),
+        ]
+        need = self.required_bytes(num_vertices, num_edges)
+        staged = [(c, w, p, int(b)) for c, w, p, b in plan[:-1]]
+        c, w, p, _ = plan[-1]
+        staged.append((c, w, p, need - sum(b for *_, b in staged)))
+        return staged
+
     def check_fit(self, num_vertices: float, num_edges: float, what: str) -> None:
         need = self.required_bytes(num_vertices, num_edges)
         if need > self.memory_bytes:
-            raise SimulatedOutOfMemory(need, self.memory_bytes, what)
+            # Stage the working set into a ledger so the failure names
+            # the buffers (largest first) that blew the budget.
+            led = MemoryLedger()
+            for comp, buf, phase, nbytes in self.allocation_plan(
+                    num_vertices, num_edges):
+                led.alloc(comp, buf, nbytes, phase=phase)
+            raise SimulatedOutOfMemory(
+                need, self.memory_bytes, what,
+                alloc_trace=led.allocation_trace())
 
 
 A100_DEVICE = DeviceModel()

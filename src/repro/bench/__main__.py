@@ -16,6 +16,9 @@ Observability / CI flags:
 - ``--profile PATH`` runs the smoke experiments with the thread-timeline
   profiler enabled and writes a bundle of Chrome trace documents plus
   the critical-path/imbalance text reports;
+- ``--mem PATH`` runs the memory-ledger smoke experiment and writes the
+  byte-deterministic ``repro.memory/1`` allocation report — a CI
+  artifact next to the trace/profile bundles;
 - ``--update-baselines`` re-records the baseline files after an
   intentional performance or quality change;
 - ``--kernels`` runs the sort-vs-count kernel microbenchmarks
@@ -62,6 +65,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--threads", type=int, default=8,
                         help="simulated thread count for --profile "
                              "timelines")
+    parser.add_argument("--mem", default=None, dest="mem_path",
+                        metavar="PATH",
+                        help="write the memory-ledger smoke report "
+                             "(repro.memory/1, byte-deterministic) here")
     parser.add_argument("--baselines", default=None, dest="baseline_dir",
                         metavar="DIR",
                         help="baseline directory (default: "
@@ -113,7 +120,7 @@ def main(argv: list[str] | None = None) -> int:
         )
 
     if (args.check or args.trace_path or args.profile_path
-            or args.update_baselines):
+            or args.mem_path or args.update_baselines):
         from repro.observability import regression
 
         baseline_dir = (Path(args.baseline_dir) if args.baseline_dir
@@ -149,6 +156,12 @@ def main(argv: list[str] | None = None) -> int:
                       f"({'/'.join(sorted(widths))}, "
                       f"kept_match={tb.expected['kept_match']}, "
                       f"det_invariant={tb.expected['det_keep_invariant']})")
+            for memb in regression.record_memory_baselines(
+                    baseline_dir, seed=args.seed):
+                logical = memb.expected["logical"]
+                print(f"recorded memory baseline {memb.name} "
+                      f"(graph={memb.graph}, clock={logical['clock']}, "
+                      f"peak={logical['peak_bytes']} B)")
         if args.trace_path:
             bundle = regression.run_trace(seed=args.seed)
             Path(args.trace_path).write_text(
@@ -162,6 +175,12 @@ def main(argv: list[str] | None = None) -> int:
                 json.dumps(bundle, indent=2, sort_keys=True) + "\n"
             )
             print(f"profile bundle written to {args.profile_path}")
+        if args.mem_path:
+            doc = regression.measure_memory(seed=args.seed)
+            Path(args.mem_path).write_text(
+                json.dumps(doc, indent=2, sort_keys=True) + "\n"
+            )
+            print(f"memory report written to {args.mem_path}")
         if args.check:
             return regression.run_check(baseline_dir, require_complete=True)
         return 0

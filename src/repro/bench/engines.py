@@ -8,20 +8,25 @@ module times the ``threads`` and ``process`` engines end-to-end on
 registry graphs, verifies both memberships against the simulated
 ``batch`` oracle, and emits a JSON report CI uploads as an artifact.
 
-The report schema (``repro.bench.engines/1``)::
+The report schema (``repro.bench.engines/2``)::
 
     {
-      "schema": "repro.bench.engines/1",
+      "schema": "repro.bench.engines/2",
       "workers": 4, "seed": 42,
       "graphs": [
         {"name": "kmer_V1r", "vertices": ..., "edges": ...,
          "engines": {"threads":  {"wall_seconds": ..., "passes": ...,
-                                  "communities": ..., "identical": true},
+                                  "communities": ..., "identical": true,
+                                  "peak_logical_bytes": ...},
                      "process": {...}},
          "speedup_process_vs_threads": 3.2},
         ...
       ]
     }
+
+``peak_logical_bytes`` is each run's memory-ledger peak watermark
+(:mod:`repro.observability.memtrack`) — logical bytes, so it is
+worker-count-invariant and comparable across engines.
 
 ``identical`` is each engine's membership equality against the batch
 oracle.  Only the process engine *contracts* bitwise equality at any
@@ -41,12 +46,13 @@ import numpy as np
 from repro.core.config import LeidenConfig
 from repro.core.leiden import leiden
 from repro.datasets.registry import load_graph, registry_names
+from repro.observability.memtrack import MemoryLedger, record_csr
 from repro.parallel.runtime import Runtime
 
 __all__ = ["DEFAULT_AB_GRAPHS", "run_engine_ab", "format_engine_ab", "main"]
 
 #: Report schema tag.
-ENGINES_SCHEMA = "repro.bench.engines/1"
+ENGINES_SCHEMA = "repro.bench.engines/2"
 
 #: Graphs the A/B runs by default: the two largest registry graphs (by
 #: vertex count) plus one web-crawl representative.
@@ -65,19 +71,22 @@ def largest_registry_graphs(count: int = 2) -> List[str]:
 
 def _run_one(graph, engine: str, *, workers: int, seed: int,
              relabel: str = "none"):
-    """One timed end-to-end run; returns (result, wall_seconds)."""
+    """One timed end-to-end run; returns (result, wall_seconds, peak)."""
     cfg = LeidenConfig(engine=engine, seed=seed, relabel=relabel)
+    memory = MemoryLedger()
+    record_csr(memory, graph)  # input graph: loads are memoized
     if engine == "process":
-        rt = Runtime(num_threads=workers, executor="process", seed=seed)
+        rt = Runtime(num_threads=workers, executor="process", seed=seed,
+                     memory=memory)
     else:
-        rt = Runtime(num_threads=workers, seed=seed)
+        rt = Runtime(num_threads=workers, seed=seed, memory=memory)
     try:
         t0 = time.perf_counter()
         result = leiden(graph, cfg, runtime=rt)
         wall = time.perf_counter() - t0
     finally:
         rt.close()
-    return result, wall
+    return result, wall, memory.peak_bytes()
 
 
 def run_engine_ab(
@@ -108,7 +117,7 @@ def run_engine_ab(
             "engines": {},
         }
         for engine in engines:
-            result, wall = _run_one(
+            result, wall, peak = _run_one(
                 g, engine, workers=workers, seed=seed, relabel=relabel)
             row["engines"][engine] = {
                 "wall_seconds": round(wall, 4),
@@ -116,6 +125,7 @@ def run_engine_ab(
                 "communities": int(result.num_communities),
                 "identical": bool(
                     np.array_equal(result.membership, oracle.membership)),
+                "peak_logical_bytes": int(peak),
             }
         th = row["engines"].get("threads")
         pr = row["engines"].get("process")
@@ -139,15 +149,17 @@ def format_engine_ab(report: Dict) -> str:
         + (f", relabel={report['relabel']}"
            if report.get("relabel", "none") != "none" else "") + ")",
         f"{'graph':<18s} {'engine':<9s} {'wall s':>8s} {'passes':>6s} "
-        f"{'comms':>7s} {'oracle':>7s}",
+        f"{'comms':>7s} {'oracle':>7s} {'peak MiB':>9s}",
     ]
     for row in report["graphs"]:
         for engine, stats in row["engines"].items():
+            peak = stats.get("peak_logical_bytes", 0) / 2**20
             lines.append(
                 f"{row['name']:<18s} {engine:<9s} "
                 f"{stats['wall_seconds']:>8.3f} {stats['passes']:>6d} "
                 f"{stats['communities']:>7d} "
-                f"{'ok' if stats['identical'] else 'DIFF':>7s}")
+                f"{'ok' if stats['identical'] else 'DIFF':>7s} "
+                f"{peak:>9.2f}")
         if "speedup_process_vs_threads" in row:
             lines.append(
                 f"{'':<18s} speedup process vs threads: "

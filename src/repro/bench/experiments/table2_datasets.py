@@ -3,7 +3,8 @@
 The paper lists, per graph, |V|, |E| (after adding reverse edges), the
 average degree and the number of communities GVE-Leiden finds.  We print
 the same columns for the scaled-down stand-ins next to the paper's
-original values.
+original values, plus the run's peak logical bytes from the memory
+ledger (worker-count-invariant, so comparable across graphs).
 """
 
 from __future__ import annotations
@@ -11,9 +12,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Sequence
 
-from repro.bench.harness import run_once
 from repro.bench.tables import format_table
+from repro.core.config import LeidenConfig
+from repro.core.leiden import leiden
 from repro.datasets.registry import graph_spec, load_graph, registry_names
+from repro.observability.memtrack import MemoryLedger, record_csr
+from repro.parallel.runtime import Runtime
 
 __all__ = ["DatasetRow", "run", "report", "main"]
 
@@ -30,6 +34,8 @@ class DatasetRow:
     #: the identity the partition-serving store keys on; printing it per
     #: graph makes a drifting stand-in generator visible at a glance.
     fingerprint: str
+    #: Memory-ledger peak watermark of the solve (logical bytes).
+    peak_logical_bytes: int
     paper_vertices: float
     paper_edges: float
     paper_avg_degree: float
@@ -42,7 +48,12 @@ def run(graphs: Sequence[str] | None = None, *, seed: int = 42) -> List[DatasetR
     for name in graphs or registry_names():
         g = load_graph(name)
         spec = graph_spec(name)
-        rec = run_once("gve", name, seed=seed)
+        # Same solve as the "gve" harness implementation, but through a
+        # ledger-equipped runtime so the row carries peak bytes.
+        memory = MemoryLedger()
+        record_csr(memory, g)  # input graph: loads are memoized
+        with Runtime(num_threads=1, seed=seed, memory=memory) as rt:
+            result = leiden(g, LeidenConfig(seed=seed), runtime=rt)
         rows.append(
             DatasetRow(
                 name=name,
@@ -50,8 +61,9 @@ def run(graphs: Sequence[str] | None = None, *, seed: int = 42) -> List[DatasetR
                 num_vertices=g.num_vertices,
                 num_edges=g.num_edges,
                 avg_degree=g.num_edges / max(g.num_vertices, 1),
-                num_communities=rec.num_communities or 0,
+                num_communities=result.num_communities,
                 fingerprint=g.fingerprint(),
+                peak_logical_bytes=int(memory.peak_bytes()),
                 paper_vertices=spec.paper_vertices,
                 paper_edges=spec.paper_edges,
                 paper_avg_degree=spec.paper_avg_degree,
@@ -64,11 +76,14 @@ def run(graphs: Sequence[str] | None = None, *, seed: int = 42) -> List[DatasetR
 def report(rows: List[DatasetRow]) -> str:
     table = format_table(
         ["Graph", "family", "|V|", "|E|", "Davg", "|Gamma|", "fingerprint",
-         "paper |V|", "paper |E|", "paper Davg", "paper |Gamma|"],
+         "peak MiB", "paper |V|", "paper |E|", "paper Davg",
+         "paper |Gamma|"],
         [
             (r.name, r.family, r.num_vertices, r.num_edges,
              round(r.avg_degree, 1), r.num_communities,
-             r.fingerprint[:12], f"{r.paper_vertices:.3g}",
+             r.fingerprint[:12],
+             round(r.peak_logical_bytes / 2**20, 2),
+             f"{r.paper_vertices:.3g}",
              f"{r.paper_edges:.3g}",
              r.paper_avg_degree, f"{r.paper_communities:.3g}")
             for r in rows

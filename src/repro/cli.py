@@ -32,7 +32,13 @@ Subcommands:
   subsystem (:mod:`repro.service`) through a seeded closed-loop
   workload and emit its deterministic stats document
   (see docs/SERVICE.md); ``--metrics PATH`` attaches the metric
-  registry plus the stock SLO evaluator and writes their snapshot.
+  registry plus the stock SLO evaluator and writes their snapshot;
+- ``repro mem <input>`` — run GVE-Leiden with the memory ledger
+  (:mod:`repro.observability.memtrack`) attached and emit the
+  byte-deterministic ``repro.memory/1`` allocation report; ``--chrome``
+  writes the memory counter lanes as Chrome trace JSON, ``--rss``
+  prints the informational logical-vs-real ratio.  ``repro serve
+  --mem`` / ``repro fleet --mem`` write the serving-side reports.
 """
 
 from __future__ import annotations
@@ -440,6 +446,11 @@ def build_serve_parser() -> argparse.ArgumentParser:
                         "write the repro.reqtrace/1 document here; when "
                         "--profile is also given, the Chrome trace gains "
                         "the request lanes (merged view)")
+    p.add_argument("--mem", type=Path, default=None, dest="mem_output",
+                   help="also run with the memory ledger attached and "
+                        "write the byte-deterministic repro.memory/1 "
+                        "report (store bytes per entry, peak watermarks) "
+                        "here")
     p.add_argument("--compact", action="store_true",
                    help="single-line JSON (default: indented)")
     return p
@@ -473,7 +484,8 @@ def serve_main(argv: list[str] | None = None) -> int:
     server = None
     if (args.trace_output is not None or args.profile_output is not None
             or args.metrics_output is not None
-            or args.reqtrace_output is not None):
+            or args.reqtrace_output is not None
+            or args.mem_output is not None):
         from repro.observability.health import (
             HealthEvaluator,
             default_service_slos,
@@ -489,6 +501,11 @@ def serve_main(argv: list[str] | None = None) -> int:
             from repro.observability.reqtrace import RequestTracer
 
             reqtrace = RequestTracer(seed=args.seed)
+        memory = None
+        if args.mem_output is not None:
+            from repro.observability.memtrack import MemoryLedger
+
+            memory = MemoryLedger()
         server = PartitionServer(
             service_config,
             tracer=Tracer() if args.trace_output is not None else None,
@@ -498,6 +515,7 @@ def serve_main(argv: list[str] | None = None) -> int:
             health=(HealthEvaluator(default_service_slos())
                     if with_metrics or with_reqtrace else None),
             reqtrace=reqtrace,
+            memory=memory,
         )
     result = run_workload(
         args.workload,
@@ -559,11 +577,122 @@ def serve_main(argv: list[str] | None = None) -> int:
             clock_units=int(server.clock),
         ) + "\n")
         print(f"metrics written to {args.metrics_output}")
+    if args.mem_output is not None:
+        from repro.observability.memtrack import validate_memory_doc
+
+        mem_doc = server.memory.to_snapshot(
+            experiment=f"serve:{args.workload}", seed=args.seed)
+        validate_memory_doc(mem_doc)
+        args.mem_output.write_text(json.dumps(
+            mem_doc, sort_keys=True,
+            indent=None if args.compact else 2) + "\n")
+        print(f"memory report written to {args.mem_output}")
     if not args.no_verify and not all(
             result.membership_matches_scratch.values()):
         print("error: served membership diverged from from-scratch solve",
               file=sys.stderr)
         return 1
+    return 0
+
+
+def build_mem_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro mem",
+        description="Run GVE-Leiden with the memory ledger attached and "
+                    "emit the byte-deterministic repro.memory/1 report "
+                    "(logical allocation events, per-component and "
+                    "per-phase peak watermarks; the logical section is "
+                    "worker-count-invariant)",
+    )
+    p.add_argument("input",
+                   help="graph file (.mtx, .graph or edge list) or a "
+                        "registry dataset name")
+    p.add_argument("--engine", choices=list(ENGINE_CHOICES),
+                   default="batch")
+    _add_workers_arg(p)
+    p.add_argument("--quality", choices=["modularity", "cpm"],
+                   default="modularity")
+    p.add_argument("--max-passes", type=int, default=10)
+    p.add_argument("--seed", type=int, default=42)
+    p.add_argument("--output", type=Path, default=None,
+                   help="write the memory report JSON here instead of "
+                        "stdout")
+    p.add_argument("--chrome", type=Path, default=None,
+                   help="write the Chrome-trace memory counter lanes "
+                        "here (open in chrome://tracing or Perfetto)")
+    p.add_argument("--rss", action="store_true",
+                   help="also print the process RSS peak "
+                        "(resource.getrusage) and the logical-vs-real "
+                        "ratio — informational, never part of the "
+                        "report document")
+    p.add_argument("--compact", action="store_true",
+                   help="single-line JSON (default: indented)")
+    return p
+
+
+def mem_main(argv: list[str] | None = None) -> int:
+    """``repro mem`` — run once with the memory ledger on, emit report."""
+    import json
+
+    from repro.observability.memtrack import (
+        MemoryLedger,
+        record_csr,
+        validate_memory_doc,
+    )
+    from repro.observability.profiler import (
+        chrome_trace_json,
+        validate_chrome_trace,
+    )
+
+    args = build_mem_parser().parse_args(argv)
+    graph = _load(args.input)
+    config = LeidenConfig(
+        engine=args.engine,
+        quality=args.quality,
+        max_passes=args.max_passes,
+        seed=args.seed,
+    )
+    memory = MemoryLedger()
+    # Graph loads are memoized, so the input CSR may predate the ledger;
+    # charge it explicitly so the report covers the input arrays.
+    record_csr(memory, graph)
+    rt = _make_runtime(args, memory=memory)
+    try:
+        leiden(graph, config, runtime=rt)
+    finally:
+        rt.close()
+    doc = memory.to_snapshot(
+        experiment=str(args.input),
+        seed=args.seed,
+        engine=args.engine,
+    )
+    validate_memory_doc(doc)
+    text = json.dumps(doc, sort_keys=True,
+                      indent=None if args.compact else 2)
+    if args.output is not None:
+        args.output.write_text(text + "\n")
+        print(f"memory report written to {args.output}")
+    else:
+        print(text)
+    if args.chrome is not None:
+        chrome = memory.to_chrome_trace(
+            experiment=str(args.input), seed=args.seed)
+        validate_chrome_trace(chrome)
+        args.chrome.write_text(chrome_trace_json(
+            chrome, indent=None if args.compact else 1) + "\n")
+        print(f"memory chrome trace written to {args.chrome}")
+    if args.rss:
+        # Informational only: real RSS is machine- and allocator-
+        # dependent, so it never enters the (gated) report document.
+        import resource
+
+        rss_kib = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        rss_bytes = int(rss_kib) * 1024
+        peak = doc["logical"]["peak_bytes"]
+        ratio = peak / rss_bytes if rss_bytes else 0.0
+        print(f"rss peak: {rss_bytes} B ({rss_bytes / 2**20:.1f} MiB); "
+              f"logical peak {peak} B is {ratio:.1%} of real "
+              f"(informational, not gated)")
     return 0
 
 
@@ -849,6 +978,12 @@ def build_fleet_parser() -> argparse.ArgumentParser:
                    help="trace retention: keep every finished trace "
                         "(full) or only the deterministic tail sample "
                         "(sampled)")
+    p.add_argument("--mem", type=Path, default=None, dest="mem_output",
+                   help="also run with a per-shard memory ledger "
+                        "attached and write the merged fleet "
+                        "repro.memory/1 report (per-shard logical "
+                        "sections summed; shard iteration sorted, so "
+                        "byte-deterministic) here")
     p.add_argument("--compact", action="store_true",
                    help="single-line JSON (default: indented)")
     return p
@@ -886,7 +1021,8 @@ def fleet_main(argv: list[str] | None = None) -> int:
     reqtrace = None
     with_reqtrace = (args.reqtrace_output is not None
                      or args.reqtrace_chrome is not None)
-    if args.metrics_output is not None or with_reqtrace:
+    if (args.metrics_output is not None or with_reqtrace
+            or args.mem_output is not None):
         from repro.observability.health import (
             HealthEvaluator,
             default_fleet_slos,
@@ -907,6 +1043,7 @@ def fleet_main(argv: list[str] | None = None) -> int:
             # recorder's PAGE trigger.
             health=HealthEvaluator(default_fleet_slos()),
             reqtrace=reqtrace,
+            memory=args.mem_output is not None,
         )
     result = run_fleet_workload(
         args.profile,
@@ -957,6 +1094,13 @@ def fleet_main(argv: list[str] | None = None) -> int:
             chrome, indent=None if args.compact else 1) + "\n")
         print(f"request-trace chrome view written to "
               f"{args.reqtrace_chrome}")
+    if args.mem_output is not None:
+        mem_doc = fleet.memory_snapshot(
+            experiment=f"fleet:{args.profile}", seed=args.seed)
+        args.mem_output.write_text(json.dumps(
+            mem_doc, sort_keys=True,
+            indent=None if args.compact else 2) + "\n")
+        print(f"fleet memory report written to {args.mem_output}")
     if not args.no_verify:
         bad = [n for n, ok in result.membership_matches_scratch.items()
                if not ok]
@@ -971,7 +1115,7 @@ def fleet_main(argv: list[str] | None = None) -> int:
 
 #: First-token subcommands understood by :func:`main`.
 _SUBCOMMANDS = ("run", "trace", "profile", "metrics", "bench", "serve",
-                "reorder", "fleet", "reqtrace")
+                "reorder", "fleet", "reqtrace", "mem")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -994,6 +1138,8 @@ def main(argv: list[str] | None = None) -> int:
         return fleet_main(argv[1:])
     if argv and argv[0] == "reqtrace":
         return reqtrace_main(argv[1:])
+    if argv and argv[0] == "mem":
+        return mem_main(argv[1:])
     if argv and argv[0] == "run":
         argv = argv[1:]
     parser = build_parser()

@@ -49,6 +49,7 @@ from repro.graph.csr import CSRGraph
 from repro.graph.reorder import order_ranks as _order_ranks
 from repro.graph.reorder import vertex_order as _vertex_order
 from repro.metrics.partition import renumber_membership
+from repro.observability import memtrack
 from repro.parallel.rng import Xorshift32
 from repro.parallel.runtime import Runtime
 from repro.parallel.simthread import WorkLedger
@@ -143,6 +144,13 @@ def leiden(
         "leiden", vertices=int(n0), edges=int(graph.num_edges),
         engine=cfg.engine, quality=cfg.quality,
     )
+    # Activate the runtime's memory ledger for the run so buffer owners
+    # constructed deep inside the phases (super-graph CSR arrays, permute
+    # transients) can record allocations without threading the ledger
+    # through every call.  Entered/exited manually to share the existing
+    # try/finally.
+    _mem_scope = memtrack.activate(rt.memory)
+    _mem_scope.__enter__()
     try:
         for pass_index in range(cfg.max_passes):
             pass_ledger = WorkLedger()
@@ -324,7 +332,8 @@ def leiden(
 
             # -- aggregation phase (line 13) ------------------------------------------
             t0 = time.perf_counter()
-            with tracer.span("aggregate") as ag_span:
+            with tracer.span("aggregate") as ag_span, \
+                    memtrack.phase_scope(PHASE_AGGREGATE):
                 if cfg.engine in _BATCH_LIKE:
                     G = aggregate_batch(
                         G, C_ref_ren, num_comms, runtime=rt,
@@ -380,6 +389,7 @@ def leiden(
         run_span.set(passes=len(passes), communities=final_comms)
         m_comms.set(final_comms)
     finally:
+        _mem_scope.__exit__(None, None, None)
         # Close the run span (and any pass/phase
         # spans left open by an exception) so partial traces
         # still carry seconds.
@@ -448,7 +458,8 @@ def _leiden_relabeled(
 
         # -- permute (charged as serial edge-array traffic) --------------
         t0 = time.perf_counter()
-        relabeled, inv = graph.permute(relab.perm)
+        with memtrack.activate(rt.memory):
+            relabeled, inv = graph.permute(relab.perm)
         rt.record_serial(
             float(graph.num_vertices + graph.num_edges), phase=PHASE_OTHER)
         permute_seconds = time.perf_counter() - t0

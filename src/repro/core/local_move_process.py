@@ -59,10 +59,13 @@ def _build_arena(
     K: np.ndarray,
     Q: np.ndarray,
     Sigma: np.ndarray,
+    *,
+    memory=None,
+    phase: str = PHASE_LOCAL_MOVE,
 ) -> ShmArena:
     """Lay the phase state out in shared memory (one copy per pass)."""
     n = graph.num_vertices
-    arena = ShmArena()
+    arena = ShmArena(memory=memory, phase=phase)
     try:
         arena.from_array("offsets", graph.offsets)
         arena.from_array("degrees", graph.degrees)
@@ -75,8 +78,10 @@ def _build_arena(
         arena.create("batch", (max(n, 1),), np.int64)
         arena.create("best_community", (max(n, 1),), np.int64)
         arena.create("best_delta", (max(n, 1),), np.float64)
-        arena.create("scratch_maps", (pool.num_workers, max(n, 1)), np.int64)
-        arena.create("worker_stats", (pool.num_workers, 2), np.float64)
+        arena.create("scratch_maps", (pool.num_workers, max(n, 1)), np.int64,
+                     per_worker=pool.num_workers)
+        arena.create("worker_stats", (pool.num_workers, 2), np.float64,
+                     per_worker=pool.num_workers)
         arena.create("worker_stats__ops", (1,), np.float64)
     except Exception:
         arena.unlink()
@@ -148,7 +153,7 @@ def local_move_process(
         "proc_pool_tasks_total",
         "chunk tasks dispatched to the worker-process pool", ("phase",))
     m_shm = metrics.counter(
-        "proc_shm_bytes_total",
+        "mem_shm_bytes_total",
         "bytes laid out in shared-memory arenas", ("phase",))
     m_wedges = metrics.counter(
         "proc_worker_edges_total",
@@ -178,7 +183,8 @@ def local_move_process(
         "dense_grid_limit": int(ws.dense_grid_limit),
     }
     split = Schedule("static", 1)
-    with _build_arena(graph, pool, C, K, Q, Sigma) as arena:
+    with _build_arena(graph, pool, C, K, Q, Sigma,
+                      memory=runtime.memory, phase=phase) as arena:
         if metrics.enabled:
             m_shm.labels(phase).inc(arena.nbytes)
         C_shm = arena["membership"]

@@ -89,6 +89,7 @@ class KernelWorkspace:
         # hashtable covering the whole id domain; only slots named by a
         # batch are ever touched, so it is allocated once and never
         # cleared.  np.empty: contents are irrelevant by construction.
+        owns_map = scratch_map is None
         if scratch_map is not None:
             if (scratch_map.dtype != np.int64
                     or scratch_map.shape[0] < max(self.num_vertices, 1)):
@@ -105,11 +106,24 @@ class KernelWorkspace:
             ("engine", "kernel"))
         # Bound children resolved once per kernel name, not per dispatch.
         self._m_bound: dict = {}
+        #: Memory-ledger handle of the owned map (-1 when unrecorded).
+        self._mem_handle = -1
         if runtime is not None:
-            self._account_allocation(runtime, phase)
+            self._account_allocation(runtime, phase, owns_map)
 
-    def _account_allocation(self, runtime, phase: str) -> None:
-        """Charge the map allocation to the cost model (chunked items)."""
+    def _account_allocation(self, runtime, phase: str,
+                            owns_map: bool) -> None:
+        """Charge the map allocation to the cost model (chunked items)
+        and record it in the memory ledger.
+
+        The cost-model charge models the allocate-and-first-touch work
+        and applies whether the map is owned or handed in (the paper's
+        per-thread tables are touched per pass either way).  The
+        *ledger* event is recorded only for an owned map: an external
+        ``scratch_map`` (the process engine's shm slab) was already
+        recorded by its owner, and double-charging would break the
+        report's worker-count invariance.
+        """
         slots = max(self.num_vertices, 1)
         chunk = 4096
         n_chunks = (slots + chunk - 1) // chunk
@@ -117,7 +131,12 @@ class KernelWorkspace:
         costs[-1] = (slots - (n_chunks - 1) * chunk) * ALLOC_UNITS_PER_SLOT
         runtime.record_parallel(costs, phase=phase)
         if runtime.tracer.enabled:
-            runtime.tracer.count("workspace_alloc_slots", slots)
+            runtime.tracer.count("mem_workspace_alloc_slots", slots)
+        memory = getattr(runtime, "memory", None)
+        if owns_map and memory is not None and memory.enabled:
+            self._mem_handle = memory.alloc(
+                "workspace", "scratch_map", self._map.nbytes,
+                phase=phase, dtype=str(self._map.dtype))
 
     # -- kernel dispatch ---------------------------------------------------
 

@@ -47,11 +47,20 @@ class SimulatedOutOfMemory(ReproError):
     uk-2005, webbase-2001, it-2004 and sk-2005.
     """
 
-    def __init__(self, required_bytes: int, capacity_bytes: int, what: str = "graph"):
+    def __init__(self, required_bytes: int, capacity_bytes: int,
+                 what: str = "graph", alloc_trace=None):
         self.required_bytes = int(required_bytes)
         self.capacity_bytes = int(capacity_bytes)
         self.what = what
-        super().__init__(
+        #: Largest-first ``component/what phase=... N B`` lines from the
+        #: device memory ledger, naming what filled the budget (empty
+        #: when the failing model did not stage its allocations).
+        self.alloc_trace = list(alloc_trace) if alloc_trace else []
+        message = (
             f"simulated device out of memory: {what} needs "
             f"{required_bytes} B but device holds {capacity_bytes} B"
         )
+        if self.alloc_trace:
+            message += "\n  allocation trace (largest first):\n    " + \
+                "\n    ".join(self.alloc_trace)
+        super().__init__(message)

@@ -38,6 +38,7 @@ from typing import Callable, Dict, List, Optional
 from repro.errors import ServiceError
 from repro.fleet.ring import HashRing, MovePlan, plan_moves
 from repro.fleet.router import FleetRouter, Shard
+from repro.observability.memtrack import MemoryLedger, merge_memory_snapshots
 from repro.observability.metrics import (
     MetricsRegistry,
     NULL_REGISTRY,
@@ -100,6 +101,11 @@ class PartitionFleet:
         router mints one trace per fleet request and every hop
         (admission, shard queue wait, serve, refresh, failover, reply)
         appends spans; ``None`` disables request tracing.
+    memory:
+        Truthy to track memory: every shard gets its own
+        :class:`~repro.observability.memtrack.MemoryLedger` (store
+        bytes per shard) and :meth:`memory_snapshot` merges them into
+        one ``repro.memory/1`` document with a per-shard breakdown.
     """
 
     def __init__(
@@ -110,11 +116,13 @@ class PartitionFleet:
         health=None,
         fault_hook: Optional[Callable[[str], Optional[Callable]]] = None,
         reqtrace=None,
+        memory: bool = False,
     ) -> None:
         self.config = config or FleetConfig()
         self.metrics = metrics if metrics is not None else NULL_REGISTRY
         self.health = health
         self.reqtrace = reqtrace
+        self.track_memory = bool(memory)
         self._fault_hook = fault_hook
         #: Insertion-ordered: iteration order == spawn order, which the
         #: router's pump loop and all reporting rely on (never sorted(),
@@ -147,14 +155,17 @@ class PartitionFleet:
     def _make_shard(self, sid: str) -> Shard:
         shard_metrics = (
             MetricsRegistry() if self.metrics.enabled else NULL_REGISTRY)
+        shard_memory = MemoryLedger() if self.track_memory else None
         hook = self._fault_hook(sid) if self._fault_hook else None
         server = PartitionServer(
-            self.config.service, metrics=shard_metrics, fault_hook=hook)
+            self.config.service, metrics=shard_metrics, fault_hook=hook,
+            memory=shard_memory)
         # Span lane of this server in merged request traces — one lane
         # per shard (the server's own ``reqtrace`` stays None: under a
         # fleet the router owns the trace lifecycle).
         server.lane = sid
-        return Shard(id=sid, server=server, metrics=shard_metrics)
+        return Shard(id=sid, server=server, metrics=shard_metrics,
+                     memory=shard_memory)
 
     # -- convenience request API (route + pump) ----------------------------
 
@@ -324,6 +335,22 @@ class PartitionFleet:
         health_block = (self.health.evaluate(self.clock_units())
                         if self.health is not None else None)
         return merged.to_snapshot(health=health_block, **meta)
+
+    def memory_snapshot(self, **meta) -> dict:
+        """One merged ``repro.memory/1`` document for the whole fleet.
+
+        Logical live/peak bytes sum per component and phase across the
+        shards; a ``shards`` section keeps each shard's own logical
+        view.  Requires construction with ``memory=True``.
+        """
+        if not self.track_memory:
+            raise ServiceError(
+                "fleet was not constructed with memory=True")
+        per_shard = {
+            sid: sh.memory.to_snapshot()
+            for sid, sh in self.shards.items() if sh.memory is not None
+        }
+        return merge_memory_snapshots(per_shard, **meta)
 
     def hottest_shard_query_p99(self) -> float:
         """Largest per-shard QUERY latency p99 (logical units)."""

@@ -65,6 +65,8 @@ class Shard:
     alive: bool = True
     #: Per-shard MetricsRegistry when the fleet runs instrumented.
     metrics: Optional[object] = None
+    #: Per-shard MemoryLedger when the fleet tracks memory.
+    memory: Optional[object] = None
 
     def describe(self) -> dict:
         return {"id": self.id, "alive": self.alive}

@@ -33,6 +33,23 @@ from repro.types import (
 )
 
 
+#: Lazily imported :mod:`repro.observability.memtrack` — importing it at
+#: module scope would close a package cycle (observability.locality
+#: imports this module).  First CSR construction happens long after the
+#: import graph settles, so the deferred import is safe.
+_memtrack = None
+
+
+def _memmod():
+    global _memtrack
+    mt = _memtrack
+    if mt is None:
+        from repro.observability import memtrack as mt
+
+        _memtrack = mt
+    return mt
+
+
 class CSRGraph:
     """An immutable weighted graph in CSR form.
 
@@ -80,6 +97,21 @@ class CSRGraph:
         self._vertex_weights: AccumArray | None = None
         self._total_weight: float | None = None
         self._fingerprint: str | None = None
+        mt = _memmod()
+        led = mt._ACTIVE
+        if led.enabled:
+            # Logical allocation events for the CSR arrays: attributed
+            # to whatever phase built this graph (the aggregate phase
+            # for super-graphs, "other" for loads).  Views handed in by
+            # a caller count too — the ledger models logical ownership,
+            # not malloc calls, which keeps the report deterministic.
+            phase = mt.active_phase()
+            for what, arr in (("offsets", self.offsets),
+                              ("targets", self.targets),
+                              ("weights", self.weights),
+                              ("degrees", self.degrees)):
+                led.alloc("csr", what, arr.nbytes, phase=phase,
+                          dtype=str(arr.dtype))
         if validate:
             self._check_structure()
 
@@ -311,13 +343,27 @@ class CSRGraph:
         n = g.num_vertices
         p = validate_permutation(perm, n)
         inv = inverse_permutation(p)
+        mt = _memmod()
+        led = mt._ACTIVE
         degrees = g.degrees[p]
         offsets = np.zeros(n + 1, dtype=OFFSET_DTYPE)
         np.cumsum(degrees, out=offsets[1:])
         _, idx = ragged_indices(g.offsets[:-1][p], degrees)
+        if led.enabled:
+            # The gather index is the permute transient: as large as the
+            # edge arrays, gone when this call returns.  Recording the
+            # alloc/free pair makes the permute's footprint spike show
+            # in the peak watermarks without changing final live bytes.
+            phase = mt.active_phase()
+            h_idx = led.alloc("csr", "permute_gather_idx", idx.nbytes,
+                              phase=phase, dtype=str(idx.dtype))
+            led.alloc("csr", "permute_inv", inv.nbytes, phase=phase,
+                      dtype=str(inv.dtype))
         targets = inv[g.targets[idx]].astype(VERTEX_DTYPE, copy=False)
         weights = g.weights[idx]
         relabeled = CSRGraph(offsets, targets, weights, validate=False)
+        if led.enabled:
+            led.free(h_idx)
         return relabeled, inv
 
     # -- dunder ------------------------------------------------------------

@@ -155,6 +155,17 @@ def default_service_slos() -> Tuple[SLObjective, ...]:
             warn_burn=1.0,
             page_burn=4.0,
         ),
+        SLObjective(
+            name="mem_peak_to_budget",
+            signal="mem_peak_to_budget_ratio",
+            kind="latency",
+            target=1.0,
+            budget=0.01,
+            long_window=4096,
+            short_window=512,
+            warn_burn=1.0,
+            page_burn=8.0,
+        ),
     )
 
 

@@ -45,12 +45,14 @@ from repro.parallel.runtime import Runtime
 __all__ = [
     "BASELINE_SCHEMA",
     "FLEET_BASELINE_SCHEMA",
+    "MEMORY_BASELINE_SCHEMA",
     "METRICS_BASELINE_SCHEMA",
     "REORDER_BASELINE_SCHEMA",
     "REQTRACE_BASELINE_SCHEMA",
     "SERVICE_BASELINE_SCHEMA",
     "Baseline",
     "FleetBaseline",
+    "MemoryBaseline",
     "ReqtraceBaseline",
     "MetricCheck",
     "MetricsBaseline",
@@ -67,6 +69,7 @@ __all__ = [
     "format_trace_diff",
     "measure_experiment",
     "measure_fleet",
+    "measure_memory",
     "measure_metrics",
     "measure_reorder",
     "measure_reqtrace",
@@ -75,6 +78,7 @@ __all__ = [
     "migrate_trace",
     "record_baselines",
     "record_fleet_baselines",
+    "record_memory_baselines",
     "record_metrics_baselines",
     "record_reorder_baselines",
     "record_reqtrace_baselines",
@@ -114,6 +118,13 @@ FLEET_BASELINE_SCHEMA = "repro.fleet-baseline/1"
 #: digests, deterministic-keep width invariance, flight-dump counts)
 #: on logical clocks only, so it gates on exact equality.
 REQTRACE_BASELINE_SCHEMA = "repro.reqtrace-baseline/1"
+
+#: Version tag of the memory-ledger baseline files.  The document is a
+#: full ``repro.memory/1`` report of one single-thread detection run —
+#: logical clock, per-component/per-phase watermarks and the complete
+#: event list, no wall-clock fields — so it gates on exact equality:
+#: any drift is a real change in what the pipeline allocates.
+MEMORY_BASELINE_SCHEMA = "repro.memory-baseline/1"
 
 #: Version tag of the multi-experiment bundle written by ``bench --trace``.
 TRACE_BUNDLE_SCHEMA = "repro.trace-bundle/1"
@@ -905,6 +916,121 @@ def _check_fleet_baseline(baseline: FleetBaseline, print_fn) -> bool:
     return ok
 
 
+# -- memory-ledger baselines (exact-match gate) ------------------------------
+
+
+@dataclass(frozen=True)
+class MemoryBaseline:
+    """One committed memory report: graph, seed, exact expectations.
+
+    ``expected`` is the full ``repro.memory/1`` document of a
+    single-thread detection run on registry graph ``graph`` —
+    :func:`measure_memory`'s output.  The gate is exact equality: the
+    ledger's clock is an event counter and iteration is sorted, so any
+    byte of drift is a real change in the pipeline's allocations.
+    """
+
+    name: str
+    graph: str
+    seed: int
+    expected: Dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": MEMORY_BASELINE_SCHEMA,
+            "name": self.name,
+            "graph": self.graph,
+            "seed": self.seed,
+            "expected": self.expected,
+            "recorded_with": __version__,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "MemoryBaseline":
+        schema = d.get("schema")
+        if schema != MEMORY_BASELINE_SCHEMA:
+            raise ValueError(
+                f"unsupported memory baseline schema {schema!r} "
+                f"(expected {MEMORY_BASELINE_SCHEMA!r})"
+            )
+        return cls(
+            name=str(d["name"]),
+            graph=str(d["graph"]),
+            seed=int(d["seed"]),
+            expected=dict(d["expected"]),
+        )
+
+    @classmethod
+    def load(cls, path: Path | str) -> "MemoryBaseline":
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+    def save(self, path: Path | str) -> None:
+        Path(path).write_text(
+            json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+        )
+
+
+def measure_memory(graph_name: str = "asia_osm", *, seed: int = 42) -> dict:
+    """Deterministic ``repro.memory/1`` report of one detection run.
+
+    Single-thread run with a :class:`~repro.observability.memtrack.
+    MemoryLedger` attached; the input graph's CSR arrays are charged
+    explicitly (loads are memoized, so construction may predate the
+    ledger).  The document is validated (event replay must reproduce
+    the watermarks) before it is returned.
+    """
+    from repro.observability.memtrack import (
+        MemoryLedger,
+        record_csr,
+        validate_memory_doc,
+    )
+
+    graph = load_graph(graph_name)
+    memory = MemoryLedger()
+    record_csr(memory, graph)
+    with Runtime(num_threads=1, seed=seed, memory=memory) as rt:
+        leiden(graph, LeidenConfig(seed=seed), runtime=rt)
+    doc = memory.to_snapshot(experiment=graph_name, seed=seed)
+    validate_memory_doc(doc)
+    return doc
+
+
+def record_memory_baselines(
+    directory: Path | str,
+    graphs: Sequence[str] = ("asia_osm",),
+    *,
+    seed: int = 42,
+) -> List["MemoryBaseline"]:
+    """(Re)write the memory baseline file (``memory_quick.json``)."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    out: List[MemoryBaseline] = []
+    for i, graph_name in enumerate(graphs):
+        baseline = MemoryBaseline(
+            name="memory_quick" if i == 0 else f"memory_{graph_name}",
+            graph=graph_name,
+            seed=seed,
+            expected=measure_memory(graph_name, seed=seed),
+        )
+        baseline.save(directory / f"{baseline.name}.json")
+        out.append(baseline)
+    return out
+
+
+def _check_memory_baseline(baseline: "MemoryBaseline", print_fn) -> bool:
+    current = measure_memory(baseline.graph, seed=baseline.seed)
+    diffs = compare_service_docs(baseline.expected, current)
+    ok = not diffs
+    print_fn(f"{'PASS' if ok else 'FAIL'} {baseline.name} "
+             f"(exact match, graph={baseline.graph}, "
+             f"seed={baseline.seed})")
+    for path, exp, act in diffs[:20]:
+        print_fn(f"  [REG] {path}: baseline={exp!r}  current={act!r}")
+    if len(diffs) > 20:
+        print_fn(f"  ... and {len(diffs) - 20} more differing fields")
+    return ok
+
+
 # -- reqtrace-sampling baselines (exact-match gate) --------------------------
 
 
@@ -1012,8 +1138,8 @@ def expected_baseline_names() -> List[str]:
     Derived from the recorders' defaults (:func:`record_baselines`,
     :func:`record_service_baselines`, :func:`record_metrics_baselines`,
     :func:`record_reorder_baselines`, :func:`record_fleet_baselines`,
-    :func:`record_reqtrace_baselines`) — the set ``--update-baselines``
-    writes and CI commits.
+    :func:`record_reqtrace_baselines`, :func:`record_memory_baselines`)
+    — the set ``--update-baselines`` writes and CI commits.
     """
     names = [f"{g}.json" for g in DEFAULT_BASELINE_GRAPHS]
     names.append("service_quick.json")
@@ -1022,6 +1148,7 @@ def expected_baseline_names() -> List[str]:
     names.append("reorder_locality.json")
     names.append("fleet_quick.json")
     names.append("reqtrace_quick.json")
+    names.append("memory_quick.json")
     return sorted(names)
 
 
@@ -1087,6 +1214,11 @@ def run_check(
         if doc.get("schema") == REQTRACE_BASELINE_SCHEMA:
             if not _check_reqtrace_baseline(
                     ReqtraceBaseline.from_dict(doc), print_fn):
+                failures += 1
+            continue
+        if doc.get("schema") == MEMORY_BASELINE_SCHEMA:
+            if not _check_memory_baseline(
+                    MemoryBaseline.from_dict(doc), print_fn):
                 failures += 1
             continue
         baseline = Baseline.from_dict(doc)

@@ -42,6 +42,7 @@ import time
 from typing import Callable, Dict, List, Optional, Sequence
 
 import multiprocessing as mp
+import numpy as np
 
 from repro.errors import ConfigError
 from repro.parallel.rng import Xorshift32
@@ -216,6 +217,11 @@ class ProcessPool:
         available (fastest, Linux) else ``spawn``.
     seed:
         Seed for the deterministic task dispatch order.
+    memory:
+        A :class:`~repro.observability.memtrack.MemoryLedger`; each
+        :meth:`bind` records the spec's segment bytes × worker count as
+        a *physical* attach (worker mappings share pages — they are not
+        logical allocations, so the logical report stays invariant).
     """
 
     #: Kernel modules every pool loads (the engine kernels).
@@ -228,6 +234,7 @@ class ProcessPool:
         kernel_modules: Sequence[str] | None = None,
         context: str | None = None,
         seed: int = 12345,
+        memory=None,
     ) -> None:
         if num_workers < 1:
             raise ConfigError("num_workers must be >= 1")
@@ -251,6 +258,7 @@ class ProcessPool:
         self._workers: List = []
         self._closed = False
         self._bound = False
+        self.memory = memory
         self.tasks_dispatched = 0
         self.epoch = time.perf_counter()
 
@@ -364,6 +372,16 @@ class ProcessPool:
             self._tasks.put(("bind", spec))
         self._drain("bound", len(self._workers), timeout=timeout)
         self._bound = True
+        memory = self.memory
+        if memory is not None and memory.enabled:
+            # Worker mappings of the owner's segments: physical-only
+            # accounting (the pages are shared; the owner's ShmArena
+            # already recorded the logical allocation events).
+            nbytes = sum(
+                max(int(np.prod(shape)) * np.dtype(dtype).itemsize, 1)
+                for (_, shape, dtype) in spec.values())
+            memory.attach("procpool", "arena_map", nbytes,
+                          replicas=self.num_workers)
 
     def release(self, *, timeout: float = 60.0) -> None:
         """Detach the bound arena everywhere (before the owner unlinks)."""

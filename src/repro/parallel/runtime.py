@@ -16,6 +16,7 @@ from typing import Callable, List, Sequence
 import numpy as np
 
 from repro.errors import ConfigError
+from repro.observability.memtrack import NULL_LEDGER
 from repro.observability.metrics import NULL_REGISTRY
 from repro.observability.profiler import NULL_PROFILER
 from repro.observability.tracer import NULL_TRACER
@@ -60,6 +61,11 @@ class Runtime:
         Metric registry the runtime and phases report typed instruments
         to; defaults to the disabled
         :data:`~repro.observability.metrics.NULL_REGISTRY` (zero cost).
+    memory:
+        :class:`~repro.observability.memtrack.MemoryLedger` the buffer
+        owners (workspaces, shm arenas, CSR builds) record logical
+        allocation events to; defaults to the disabled
+        :data:`~repro.observability.memtrack.NULL_LEDGER` (zero cost).
     """
 
     def __init__(
@@ -73,6 +79,7 @@ class Runtime:
         tracer=None,
         profiler=None,
         metrics=None,
+        memory=None,
     ) -> None:
         if num_threads < 1:
             raise ConfigError("num_threads must be >= 1")
@@ -86,6 +93,7 @@ class Runtime:
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.profiler = profiler if profiler is not None else NULL_PROFILER
         self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        self.memory = memory if memory is not None else NULL_LEDGER
         m = self.metrics
         self._m_parallel_regions = m.counter(
             "runtime_parallel_regions_total",
@@ -183,6 +191,7 @@ class Runtime:
             self._procpool = ProcessPool(
                 num_workers if num_workers is not None else self.num_threads,
                 seed=self.seed,
+                memory=self.memory,
             )
             if self.metrics.enabled:
                 self.metrics.gauge(

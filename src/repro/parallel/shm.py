@@ -80,20 +80,45 @@ class ShmArena:
 
     Segment names carry a short random tag so concurrent arenas (test
     processes, parallel benches) never collide.
+
+    Parameters
+    ----------
+    tag:
+        Segment-name tag; random when omitted.
+    memory:
+        A :class:`~repro.observability.memtrack.MemoryLedger` the arena
+        records its segments to (``None`` disables recording).  Segment
+        bytes are logical-ledger events; pass ``per_worker`` on
+        :meth:`create` for arrays whose leading axis is the worker
+        count, so the logical report stays worker-count-invariant.
+    phase:
+        Phase label the arena's allocation events carry.
     """
 
-    def __init__(self, tag: str | None = None) -> None:
+    def __init__(self, tag: str | None = None, *, memory=None,
+                 phase: str = "other") -> None:
         self._tag = tag if tag is not None else secrets.token_hex(4)
         self._segments: Dict[str, shared_memory.SharedMemory] = {}
         self._arrays: Dict[str, np.ndarray] = {}
         self._spec: ArenaSpec = {}
         self._closed = False
         self._unlinked = False
+        self._memory = memory
+        self._phase = phase
+        self._mem_handles: Dict[str, int] = {}
 
     # -- allocation --------------------------------------------------------
 
-    def create(self, key: str, shape, dtype) -> np.ndarray:
-        """Allocate a zero-initialized array under ``key``."""
+    def create(self, key: str, shape, dtype, *,
+               per_worker: int = 1) -> np.ndarray:
+        """Allocate a zero-initialized array under ``key``.
+
+        ``per_worker`` declares that the segment is a per-worker
+        replication (e.g. the ``(workers, n)`` scratch grid): the memory
+        ledger then records one worker's share as the logical size with
+        ``replicas=per_worker``, keeping logical totals invariant under
+        the worker count while the physical section scales.
+        """
         if self._closed:
             raise ValueError("arena is closed")
         if key in self._segments:
@@ -109,6 +134,12 @@ class ShmArena:
         self._segments[key] = seg
         self._arrays[key] = arr
         self._spec[key] = (seg.name, shape, dt.str)
+        memory = self._memory
+        if memory is not None and memory.enabled:
+            replicas = max(int(per_worker), 1)
+            self._mem_handles[key] = memory.alloc(
+                "shm", key, nbytes // replicas, phase=self._phase,
+                dtype=dt.name, replicas=replicas)
         return arr
 
     def from_array(self, key: str, source: np.ndarray) -> np.ndarray:
@@ -164,6 +195,11 @@ class ShmArena:
                 seg.unlink()
             except FileNotFoundError:  # pragma: no cover - already gone
                 pass
+        memory = self._memory
+        if memory is not None and memory.enabled:
+            for handle in self._mem_handles.values():
+                memory.free(handle)
+            self._mem_handles.clear()
 
     def __enter__(self) -> "ShmArena":
         return self

@@ -199,6 +199,7 @@ class PartitionServer:
         metrics=None,
         health=None,
         reqtrace=None,
+        memory=None,
     ) -> None:
         from repro.observability.profiler import NULL_PROFILER
 
@@ -208,6 +209,7 @@ class PartitionServer:
         self.metrics = metrics if metrics is not None else NULL_REGISTRY
         self.health = health
         self.reqtrace = reqtrace
+        self.memory = memory
         #: Request-trace lane name of this server's spans (the fleet
         #: overwrites it with the shard id, so merged Chrome views get
         #: one lane per shard).
@@ -220,7 +222,8 @@ class PartitionServer:
         #: refresh spans of member tickets' traces.
         self._last_refresh_info: Dict[str, object] = {}
         self.store = PartitionStore(self.config.store_budget_bytes,
-                                    metrics=self.metrics)
+                                    metrics=self.metrics,
+                                    memory=memory)
         self.queue = AdmissionQueue(self.config.queue_capacity,
                                     metrics=self.metrics)
         self.fault_hook = fault_hook
@@ -441,6 +444,14 @@ class PartitionServer:
                 self.reqtrace.observe_health(
                     self.health.state(self.clock), self.clock)
 
+    def _record_memory_health(self) -> None:
+        """Feed the ``mem_peak_to_budget`` SLO after a store mutation:
+        the high-water resident bytes as a fraction of the budget."""
+        if self.health is not None and self.store.budget_bytes > 0:
+            self.health.record_value(
+                "mem_peak_to_budget_ratio", self.clock,
+                self.store.peak_bytes / self.store.budget_bytes)
+
     def _layout_index(self, graph, membership):
         """``(layout, index)`` for a freshly committed membership.
 
@@ -484,6 +495,7 @@ class PartitionServer:
                     layout=layout,
                 )
                 self.store.put(entry)
+                self._record_memory_health()
                 self.counters["detect_runs"] += 1
                 self._unreconciled.discard(key)
         except _ComputeFailed:
@@ -624,6 +636,7 @@ class PartitionServer:
             else:
                 self._unreconciled.add(key)
         self.store.put(entry)
+        self._record_memory_health()
         for t in tickets:
             if t.trace is not None:
                 for b0, b1, info in refresh_spans:

@@ -91,16 +91,28 @@ class PartitionEntry:
 
 
 class PartitionStore:
-    """Byte-budgeted LRU of :class:`PartitionEntry` objects."""
+    """Byte-budgeted LRU of :class:`PartitionEntry` objects.
+
+    When a :class:`~repro.observability.memtrack.MemoryLedger` is
+    attached via ``memory``, every resident entry is a live ``store``
+    allocation (freed on eviction/discard/replace), so the memory
+    report shows LRU bytes next to CSR/workspace/shm bytes — and
+    :attr:`peak_bytes` is the watermark the ``mem_peak_to_budget`` SLO
+    divides by the budget.
+    """
 
     def __init__(self, budget_bytes: int = 256 * 2**20, *,
-                 metrics=None) -> None:
+                 metrics=None, memory=None) -> None:
         self.budget_bytes = int(budget_bytes)
         self._entries: "OrderedDict[str, PartitionEntry]" = OrderedDict()
         self.hits = 0
         self.misses = 0
         self.stale_hits = 0
         self.evictions = 0
+        #: High-water mark of resident bytes across the store's life.
+        self.peak_bytes = 0
+        self.memory = memory
+        self._mem_handles: Dict[str, int] = {}
         self.metrics = metrics if metrics is not None else NULL_REGISTRY
         m_lookups = self.metrics.counter(
             "service_store_lookups_total",
@@ -111,7 +123,7 @@ class PartitionStore:
         self._m_evictions = self.metrics.counter(
             "service_store_evictions_total", "LRU evictions over budget")
         self._m_bytes = self.metrics.gauge(
-            "service_store_bytes", "resident bytes across all entries")
+            "mem_store_bytes", "resident bytes across all entries")
 
     # -- lookup -----------------------------------------------------------
 
@@ -152,22 +164,37 @@ class PartitionStore:
 
     def put(self, entry: PartitionEntry) -> None:
         """Insert or replace ``entry`` and evict LRU past the budget."""
+        self._mem_free(entry.key)
         self._entries[entry.key] = entry
         self._entries.move_to_end(entry.key)
+        memory = self.memory
+        if memory is not None and memory.enabled:
+            self._mem_handles[entry.key] = memory.alloc(
+                "store", entry.key, entry.nbytes, phase="service")
         self._evict()
+        total = self.total_bytes
+        if total > self.peak_bytes:
+            self.peak_bytes = total
         if self.metrics.enabled:
-            self._m_bytes.set(self.total_bytes)
+            self._m_bytes.set(total)
 
     def discard(self, key: str) -> None:
         self._entries.pop(key, None)
+        self._mem_free(key)
 
     def _evict(self) -> None:
         # Never evict the most recently touched entry: a single
         # over-budget partition must still be servable.
         while len(self._entries) > 1 and self.total_bytes > self.budget_bytes:
-            self._entries.popitem(last=False)
+            key, _ = self._entries.popitem(last=False)
+            self._mem_free(key)
             self.evictions += 1
             self._m_evictions.inc()
+
+    def _mem_free(self, key: str) -> None:
+        handle = self._mem_handles.pop(key, None)
+        if handle is not None:
+            self.memory.free(handle)
 
     # -- accounting -------------------------------------------------------
 
@@ -184,6 +211,7 @@ class PartitionStore:
             "entries": len(self._entries),
             "bytes": int(self.total_bytes),
             "budget_bytes": int(self.budget_bytes),
+            "peak_bytes": int(self.peak_bytes),
             "hits": self.hits,
             "misses": self.misses,
             "stale_hits": self.stale_hits,

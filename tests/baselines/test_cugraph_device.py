@@ -40,6 +40,34 @@ class TestDeviceModel:
         with pytest.raises(SimulatedOutOfMemory):
             tiny.check_fit(100, 100, "g")
 
+    def test_allocation_plan_sums_to_required_bytes(self):
+        plan = A100_DEVICE.allocation_plan(1e6, 1e8)
+        assert sum(nbytes for *_rest, nbytes in plan) == \
+            A100_DEVICE.required_bytes(1e6, 1e8)
+
+    def test_oom_on_largest_graph_reports_allocation_trace(self):
+        """The paper's biggest OOM case (sk-2005): the exception must
+        carry a non-empty allocation trace naming component and phase of
+        what filled the device budget."""
+        spec = graph_spec("sk-2005")
+        with pytest.raises(SimulatedOutOfMemory) as exc:
+            A100_DEVICE.check_fit(
+                spec.paper_vertices, spec.paper_edges, "sk-2005")
+        trace = exc.value.alloc_trace
+        assert trace, "OOM must carry an allocation trace"
+        # Largest constituent first, with component/phase attribution.
+        assert "csr/adjacency" in trace[0]
+        assert any("phase=local_move" in line for line in trace)
+        assert "allocation trace (largest first)" in str(exc.value)
+
+    def test_oom_trace_is_deterministic(self):
+        def grab():
+            with pytest.raises(SimulatedOutOfMemory) as exc:
+                A100_DEVICE.check_fit(1e9, 1e10, "huge")
+            return exc.value.alloc_trace
+
+        assert grab() == grab()
+
 
 class TestPaperOomPattern:
     @pytest.mark.parametrize("name", PAPER_OOM)

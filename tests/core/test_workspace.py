@@ -51,6 +51,95 @@ class TestAllocationAccounting:
         # Just must not raise.
         KernelWorkspace(100)
 
+    def test_memory_ledger_records_owned_map(self):
+        from repro.observability.memtrack import MemoryLedger
+
+        led = MemoryLedger()
+        rt = Runtime(num_threads=1, seed=0, memory=led)
+        ws = KernelWorkspace(10_000, runtime=rt, phase="local_move")
+        assert led.live_bytes("workspace") == ws._map.nbytes
+        assert led.phase_peak_bytes("local_move") == ws._map.nbytes
+        assert ws._mem_handle >= 0
+
+    def test_zero_slot_workspace_charges_one_slot(self):
+        """The map is never empty (max(nv, 1) slots): the ledger event
+        and the cost-model charge both cover exactly that one slot."""
+        from repro.observability.memtrack import MemoryLedger
+
+        led = MemoryLedger()
+        rt = Runtime(num_threads=1, seed=0, memory=led)
+        base = rt.ledger.total_work
+        ws = KernelWorkspace(0, runtime=rt)
+        assert ws._map.shape[0] == 1
+        assert led.live_bytes("workspace") == 8  # one int64 slot
+        assert led.to_snapshot()["logical"]["components"][
+            "workspace"]["allocs"] == 1
+        assert rt.ledger.total_work > base
+
+    def test_worker_handed_map_charges_exactly_once(self):
+        """An external scratch_map (the process engine's shm slab) was
+        already recorded by its owner: the workspace must charge the
+        cost model but NOT the memory ledger — double-charging would
+        break the report's worker-count invariance."""
+        from repro.observability.memtrack import MemoryLedger
+
+        led = MemoryLedger()
+        rt = Runtime(num_threads=1, seed=0, memory=led)
+        slab = np.empty(100, dtype=np.int64)
+        owner_handle = led.alloc("shm", "scratch_map", slab.nbytes,
+                                 replicas=1)
+        base = rt.ledger.total_work
+        ws = KernelWorkspace(100, runtime=rt, scratch_map=slab)
+        assert rt.ledger.total_work > base  # cost model still charged
+        assert ws._mem_handle == -1
+        assert led.live_bytes() == slab.nbytes  # only the owner's event
+        snap = led.to_snapshot()
+        assert "workspace" not in snap["logical"]["components"]
+        led.free(owner_handle)
+        assert led.live_bytes() == 0
+
+
+class TestLedgerInvariance:
+    """The logical memory report must not depend on hash seeding or on
+    the worker count — the two classic sources of run-to-run drift."""
+
+    @staticmethod
+    def _logical_doc(workers: int, hashseed: str) -> dict:
+        import json
+        import os
+        import subprocess
+        import sys
+
+        code = (
+            "import json\n"
+            "from repro.core.config import LeidenConfig\n"
+            "from repro.core.leiden import leiden\n"
+            "from repro.datasets.registry import load_graph\n"
+            "from repro.observability.memtrack import MemoryLedger, "
+            "record_csr\n"
+            "from repro.parallel.runtime import Runtime\n"
+            "g = load_graph('asia_osm')\n"
+            "led = MemoryLedger()\n"
+            "record_csr(led, g)\n"
+            f"with Runtime(num_threads={workers}, executor='process', "
+            "seed=42, memory=led) as rt:\n"
+            "    leiden(g, LeidenConfig(engine='process', seed=42), "
+            "runtime=rt)\n"
+            "print(json.dumps(led.to_snapshot()['logical'], "
+            "sort_keys=True))\n"
+        )
+        env = dict(os.environ, PYTHONHASHSEED=hashseed)
+        out = subprocess.run(
+            [sys.executable, "-c", code], env=env, text=True,
+            capture_output=True, check=True, timeout=300)
+        return json.loads(out.stdout.strip().splitlines()[-1])
+
+    def test_logical_report_invariant_to_workers_and_hashseed(self):
+        docs = [self._logical_doc(w, hs)
+                for w in (1, 4) for hs in ("0", "1")]
+        assert docs[0]["clock"] > 0
+        assert all(d == docs[0] for d in docs[1:])
+
 
 class TestDispatch:
     def _case(self, seed=0, size=200):

@@ -52,9 +52,10 @@ class TestSLObjective:
 
     def test_default_slos_valid(self):
         slos = default_service_slos()
-        assert len(slos) == 3
+        assert len(slos) == 4
         assert {o.name for o in slos} == {
-            "query_latency_p99", "error_ratio", "refresh_staleness"}
+            "query_latency_p99", "error_ratio", "refresh_staleness",
+            "mem_peak_to_budget"}
 
 
 class TestWindows:

@@ -254,6 +254,53 @@ class TestReqtraceBaseline:
         assert "reqtrace_quick.json" in regression.expected_baseline_names()
 
 
+class TestMemoryBaseline:
+    def test_roundtrip_and_schema(self, tmp_path):
+        baselines = regression.record_memory_baselines(tmp_path, seed=42)
+        assert [b.name for b in baselines] == ["memory_quick"]
+        path = tmp_path / "memory_quick.json"
+        loaded = regression.MemoryBaseline.load(path)
+        assert loaded == baselines[0]
+        assert (json.loads(path.read_text())["schema"]
+                == regression.MEMORY_BASELINE_SCHEMA)
+
+    def test_rejects_unknown_schema(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": "repro.memory-baseline/9",
+                                    "name": "x", "graph": GRAPH,
+                                    "seed": 42, "expected": {}}))
+        with pytest.raises(ValueError, match="schema"):
+            regression.MemoryBaseline.load(path)
+
+    def test_record_then_check_passes(self, tmp_path, capsys):
+        regression.record_memory_baselines(tmp_path, seed=42)
+        assert run_check(tmp_path) == 0
+        out = capsys.readouterr().out
+        assert "PASS memory_quick (exact match" in out
+
+    def test_tampered_expectation_fails_with_diff(self, tmp_path, capsys):
+        (baseline,) = regression.record_memory_baselines(tmp_path, seed=42)
+        doc = baseline.to_dict()
+        doc["expected"]["logical"]["peak_bytes"] += 1
+        doc["expected"]["events"][0]["nbytes"] += 1
+        path = tmp_path / "memory_quick.json"
+        path.write_text(json.dumps(doc, indent=2, sort_keys=True))
+        assert run_check(tmp_path) == 1
+        out = capsys.readouterr().out
+        assert "FAIL memory_quick" in out
+        assert "logical.peak_bytes" in out
+
+    def test_measure_is_deterministic_and_validated(self):
+        a = regression.measure_memory(GRAPH, seed=42)
+        b = regression.measure_memory(GRAPH, seed=42)
+        assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True)
+        assert a["logical"]["peak_bytes"] > 0
+        assert a["logical"]["events_dropped"] == 0
+
+    def test_expected_names_include_memory(self):
+        assert "memory_quick.json" in regression.expected_baseline_names()
+
+
 class TestRunTrace:
     def test_bundle_schema(self):
         bundle = run_trace([GRAPH], seed=42)

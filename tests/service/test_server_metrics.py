@@ -56,7 +56,7 @@ class TestServerInstruments:
         srv.query(ticket.response["key"], "community_of", vertex=0)
         lookups = reg.get("service_store_lookups_total")
         assert lookups.value("hit") >= 1.0
-        assert reg.get("service_store_bytes").value() > 0.0
+        assert reg.get("mem_store_bytes").value() > 0.0
 
     def test_detect_dedup_counter(self):
         reg = MetricsRegistry()

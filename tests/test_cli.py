@@ -149,9 +149,10 @@ class TestBenchSubcommand:
         assert "recorded reorder baseline" in out
         assert "recorded fleet baseline" in out
         assert "recorded reqtrace baseline" in out
+        assert "recorded memory baseline" in out
         assert main(["bench", "--check",
                      "--baselines", str(tmp_path)]) == 0
-        assert "9/9 baselines within thresholds" in capsys.readouterr().out
+        assert "10/10 baselines within thresholds" in capsys.readouterr().out
 
     def test_bench_trace_writes_bundle(self, tmp_path, capsys):
         out_file = tmp_path / "bundle.json"
@@ -221,6 +222,83 @@ class TestServeSubcommand:
                          str(tmp_path / "stats.json"),
                          "--metrics", str(p)]) == 0
         assert paths[0].read_text() == paths[1].read_text()
+
+
+class TestMemSubcommand:
+    def test_mem_json_to_stdout(self, graph_file, capsys):
+        assert main(["mem", str(graph_file)]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"] == "repro.memory/1"
+        assert doc["logical"]["peak_bytes"] > 0
+        assert "csr" in doc["logical"]["components"]
+        assert "workspace" in doc["logical"]["components"]
+
+    def test_mem_double_run_byte_identical(self, tmp_path, capsys):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        assert main(["mem", "asia_osm", "--output", str(a)]) == 0
+        assert main(["mem", "asia_osm", "--output", str(b)]) == 0
+        assert "memory report written to" in capsys.readouterr().out
+        assert a.read_text() == b.read_text()
+
+    def test_mem_chrome_export_validates(self, graph_file, tmp_path,
+                                         capsys):
+        from repro.observability.profiler import validate_chrome_trace
+
+        chrome = tmp_path / "mem_chrome.json"
+        assert main(["mem", str(graph_file), "--compact",
+                     "--chrome", str(chrome)]) == 0
+        doc = json.loads(chrome.read_text())
+        stats = validate_chrome_trace(doc)
+        assert stats["events"] > 0
+        assert any(e.get("name") == "mem_live_bytes"
+                   for e in doc["traceEvents"])
+
+    def test_mem_rss_line_is_informational(self, graph_file, capsys):
+        assert main(["mem", str(graph_file), "--rss", "--compact"]) == 0
+        out = capsys.readouterr().out
+        assert "rss peak:" in out
+        assert "not gated" in out
+        # The report document itself never carries RSS fields.
+        doc = json.loads(out.splitlines()[0])
+        assert set(doc) == {"schema", "meta", "logical", "physical",
+                            "events"}
+        assert "rss" not in json.dumps(doc["logical"])
+
+    def test_mem_worker_count_invariant_logical_section(self, tmp_path,
+                                                        capsys):
+        docs = []
+        for w in ("1", "2"):
+            p = tmp_path / f"mem_{w}.json"
+            assert main(["mem", "asia_osm", "--engine", "process",
+                         "--workers", w, "--output", str(p)]) == 0
+            docs.append(json.loads(p.read_text()))
+        capsys.readouterr()
+        assert docs[0]["logical"] == docs[1]["logical"]
+
+    def test_serve_mem_output(self, tmp_path, capsys):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        for p in (a, b):
+            assert main(["serve", "--workload", "tiny", "--seed", "0",
+                         "--no-verify", "--output",
+                         str(tmp_path / "stats.json"),
+                         "--mem", str(p)]) == 0
+        capsys.readouterr()
+        assert a.read_text() == b.read_text()
+        doc = json.loads(a.read_text())
+        assert doc["schema"] == "repro.memory/1"
+        assert doc["logical"]["components"]["store"]["allocs"] > 0
+
+    def test_fleet_mem_output_merges_shards(self, tmp_path, capsys):
+        mem = tmp_path / "fleet_mem.json"
+        assert main(["fleet", "--profile", "tiny", "--seed", "0",
+                     "--no-verify", "--output",
+                     str(tmp_path / "stats.json"),
+                     "--mem", str(mem)]) == 0
+        capsys.readouterr()
+        doc = json.loads(mem.read_text())
+        assert doc["schema"] == "repro.memory/1"
+        assert doc["meta"]["merged_shards"] >= 1
+        assert set(doc["shards"])  # per-shard logical sections present
 
 
 class TestMetricsSubcommand:

@@ -24,6 +24,7 @@ EXPECTED_OUTPUT = {
     "profile_smoke.py": "convergence monitor",
     "reorder_locality.py": "Q invariant under relabeling: True",
     "metrics_smoke.py": "health=PAGE",
+    "memory_smoke.py": "double runs byte-identical: True",
     "fleet_smoke.py": "zero failed requests: True",
     "reqtrace_smoke.py": "trace ids replay deterministically: True",
 }
